@@ -1,0 +1,33 @@
+# Convenience targets for the HPCA'19 multi-module GPU reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples clean-cache loc
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure (fills .cache/ on first run).
+reproduce:
+	$(PYTHON) -m repro all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/calibrate_gpujoule.py
+	$(PYTHON) examples/interconnect_design_space.py
+	$(PYTHON) examples/datacenter_upgrade.py
+
+clean-cache:
+	rm -rf .cache results
+
+loc:
+	@echo "src:";        find src -name '*.py' | xargs wc -l | tail -1
+	@echo "tests:";      find tests -name '*.py' | xargs wc -l | tail -1
+	@echo "benchmarks:"; find benchmarks -name '*.py' | xargs wc -l | tail -1
+	@echo "examples:";   find examples -name '*.py' | xargs wc -l | tail -1

@@ -1,0 +1,25 @@
+"""Section V-C point study: constant-energy amortization on-package."""
+
+from benchmarks.conftest import publish
+from repro.experiments import amortization_study as study
+
+
+def test_constant_energy_amortization(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: study.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "amortization_study", result.render())
+
+    energy_0, edpse_0 = result.by_rate[0.0]
+    energy_25, edpse_25 = result.by_rate[0.25]
+    energy_50, edpse_50 = result.by_rate[0.5]
+    # Paper shape: monotone — more sharing, less energy, more EDPSE.
+    assert energy_50 < energy_25 < energy_0
+    assert edpse_50 > edpse_25 > edpse_0
+    # Paper magnitudes: 50% amortization saves 22.3% energy; 25% saves 10.4%.
+    saving_50 = (1.0 - energy_50 / energy_0) * 100.0
+    saving_25 = (1.0 - energy_25 / energy_0) * 100.0
+    assert 15.0 < saving_50 < 35.0
+    assert 7.0 < saving_25 < 20.0
+    # ~half the amortization gives ~half the saving.
+    assert abs(saving_25 - saving_50 / 2) < 4.0

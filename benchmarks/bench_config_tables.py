@@ -1,0 +1,32 @@
+"""Tables Ia/II/III/IV: the experimental-setup tables, derived live."""
+
+from benchmarks.conftest import publish
+from repro.experiments import config_tables
+from repro.gpu.config import BandwidthSetting, table_iii_config, table_iv_interconnect
+from repro.workloads.suite import SCALING_SUBSET, WORKLOAD_SPECS
+
+
+def test_config_tables(benchmark, results_dir):
+    result = benchmark.pedantic(config_tables.run, rounds=1, iterations=1)
+    publish(results_dir, "config_tables", result.render())
+
+    # Table II: 18 applications, 14 in the scaling subset.
+    assert len(WORKLOAD_SPECS) == 18
+    assert len(SCALING_SUBSET) == 14
+
+    # Table III: resources scale linearly with module count.
+    for n in (1, 2, 4, 8, 16, 32):
+        config = table_iii_config(n)
+        assert config.total_sms == 16 * n
+        assert config.total_dram_bandwidth_gbps == 256.0 * n
+
+    # Table IV: the three I/O settings hold their DRAM ratios.
+    assert table_iv_interconnect(
+        BandwidthSetting.BW_1X
+    ).per_gpm_bandwidth_gbps == 128.0
+    assert table_iv_interconnect(
+        BandwidthSetting.BW_2X
+    ).per_gpm_bandwidth_gbps == 256.0
+    assert table_iv_interconnect(
+        BandwidthSetting.BW_4X
+    ).per_gpm_bandwidth_gbps == 512.0

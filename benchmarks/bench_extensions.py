@@ -1,0 +1,105 @@
+"""Extension/ablation benches: the paper's Section V-E directions, quantified.
+
+These go beyond the paper's evaluation: link compression, locality-mechanism
+knockouts, power gating, and the ED^iPSE metric family.
+"""
+
+from benchmarks.conftest import publish
+from repro.experiments import (
+    compression_study,
+    edip_study,
+    locality_ablation,
+    powergate_study,
+)
+
+
+def test_link_compression_extension(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: compression_study.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "compression_study", result.render())
+
+    off = compression_study_point(result, 1.0)
+    two_x = compression_study_point(result, 2.0)
+    # Compression behaves as a bandwidth upgrade on the starved ring:
+    # faster, cheaper, higher EDPSE — despite the codec energy.
+    assert two_x[0] >= off[0] * 0.98        # speedup not hurt
+    assert two_x[1] <= off[1] * 1.02        # energy not hurt
+    assert two_x[2] > off[2]                # EDPSE improves
+
+
+def compression_study_point(result, ratio):
+    return result.by_ratio[ratio]
+
+
+def test_locality_mechanism_ablation(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: locality_ablation.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "locality_ablation", result.render())
+
+    baseline = result.by_arm["first-touch + contiguous"]
+    striped = result.by_arm["striped placement"]
+    scattered = result.by_arm["round-robin CTAs"]
+    # Striping destroys ALL locality: remote traffic approaches (N-1)/N and
+    # both time and energy inflate substantially.
+    assert striped[0] > 3 * baseline[0]
+    assert striped[0] > 0.5
+    assert striped[1] > 1.1 and striped[2] > 1.05
+    # Round-robin CTAs keep private arrays local (first touch still works)
+    # but turn every halo access remote — a milder, still-visible knockout.
+    assert scattered[0] > 1.5 * baseline[0]
+    assert scattered[1] > 1.0 and scattered[2] > 1.0
+
+
+def test_power_gating_extension(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: powergate_study.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "powergate_study", result.render())
+
+    none_energy, none_edpse = result.by_setting[(0.0, False)]
+    stall_energy, stall_edpse = result.by_setting[(0.9, False)]
+    sleep_energy, sleep_edpse = result.by_setting[(0.9, True)]
+    # Gating monotonically recovers energy and EDPSE...
+    assert stall_energy < none_energy and stall_edpse > none_edpse
+    assert sleep_energy < stall_energy and sleep_edpse > stall_edpse
+    # ...but even aggressive gating cannot restore ideal efficiency: the
+    # starved design still wastes the *time* (paper: fix bandwidth first).
+    assert sleep_edpse < 75.0
+
+
+def test_edipse_metric_weighting(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: edip_study.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "edip_study", result.render())
+
+    for n in (2, 8, 32):
+        pe = result.metric(n, 0)
+        edpse = result.metric(n, 1)
+        ed2pse = result.metric(n, 2)
+        # Heavier delay weighting can only punish sub-linear scaling more.
+        assert ed2pse <= edpse * 1.01 or pe > 100.0
+    # The qualitative story is i-invariant: every metric declines with N.
+    for i in (0, 1, 2):
+        series = [result.metric(n, i) for n in (2, 4, 8, 16, 32)]
+        assert series == sorted(series, reverse=True), f"i={i}"
+
+
+def test_onpackage_topology_comparison(benchmark, runner, results_dir):
+    from repro.experiments import topology_study
+
+    result = benchmark.pedantic(
+        lambda: topology_study.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "topology_study", result.render())
+
+    # At 8 GPMs the planar topologies are close; at 32 the torus's halved
+    # hop count recovers much of the switch's advantage over the ring.
+    ring_32 = result.edpse("Ring", 32)
+    torus_32 = result.edpse("2D torus", 32)
+    switch_32 = result.edpse("Switch", 32)
+    assert torus_32 > ring_32
+    assert switch_32 >= torus_32 * 0.9   # torus approaches the switch
+    assert torus_32 - ring_32 > 0.3 * (switch_32 - ring_32)

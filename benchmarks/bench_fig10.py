@@ -1,0 +1,29 @@
+"""Figure 10: decomposed speedup and energy across the full design sweep."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig10_speedup_energy as fig10
+from repro.gpu.config import BandwidthSetting
+
+
+def test_fig10_speedup_energy_decomposition(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig10.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "fig10_speedup_energy", result.render())
+
+    bw1, bw2, bw4 = (
+        BandwidthSetting.BW_1X,
+        BandwidthSetting.BW_2X,
+        BandwidthSetting.BW_4X,
+    )
+    # Paper shape 1: at 8+ GPMs, speedup is governed by inter-GPM bandwidth.
+    for n in (8, 16, 32):
+        assert result.speedup(bw1, n) < result.speedup(bw2, n) < result.speedup(bw4, n)
+    # Paper shape 2 (the striking comparison): a 16-GPM/2x-BW design beats a
+    # 32-GPM/1x-BW design while consuming roughly half the energy.
+    assert result.speedup(bw2, 16) > result.speedup(bw1, 32)
+    assert result.energy(bw2, 16) < 0.75 * result.energy(bw1, 32)
+    # Paper shape 3: 1x on-board -> 4x on-package at 32 GPMs cuts energy
+    # substantially (paper: ~45% including amortization).
+    reduction = 1.0 - result.energy(bw4, 32) / result.energy(bw1, 32)
+    assert reduction > 0.25

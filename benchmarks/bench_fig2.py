@@ -1,0 +1,20 @@
+"""Figure 2: the energy cost of on-board strong scaling (the motivator)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig2_energy_scaling as fig2
+
+
+def test_fig2_energy_of_strong_scaling(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig2.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "fig2_energy_scaling", result.render())
+
+    energies = {row.num_gpms: row.values["energy"] for row in result.rows}
+    # Paper shape: energy rises monotonically with capability...
+    series = [energies[n] for n in (2, 4, 8, 16, 32)]
+    assert series == sorted(series)
+    # ...starting near 1x and reaching the ~2x regime at 32x capability
+    # (our ring model congests somewhat harder than the paper's: 2.85x).
+    assert energies[2] < 1.4
+    assert 1.5 < energies[32] < 3.2

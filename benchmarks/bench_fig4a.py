@@ -1,0 +1,17 @@
+"""Figure 4a: mixed-microbenchmark validation of the calibrated model."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig4_validation as fig4
+
+
+def test_fig4a_microbenchmark_validation(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig4.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "fig4a_validation", result.render_4a())
+
+    # Paper shape: refined-model errors within a single-digit band
+    # (paper: +2.5% / -6%); the naive pass fails by an order of magnitude.
+    assert result.fig4a.within(-8.0, 4.0)
+    assert result.fig4a.mean_absolute_error < 6.0
+    assert result.fig4a_naive.mean_absolute_error > 10.0

@@ -1,0 +1,32 @@
+"""Figure 6: EDPSE vs GPM count on the baseline on-package (2x-BW) design."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig6_edpse_onpackage as fig6
+from repro.isa.kernel import WorkloadCategory
+
+
+def test_fig6_edpse_on_package(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig6.run(runner), rounds=1, iterations=1
+    )
+    publish(
+        results_dir,
+        "fig6_edpse_onpackage",
+        result.render() + "\n\n" + result.render_per_workload(),
+    )
+
+    by_count = {row.num_gpms: row.values for row in result.rows}
+    # Paper shape 1: compute-intensive workloads exceed 100% at small counts.
+    assert by_count[2]["compute"] > 100.0
+    # Paper shape 2: memory-intensive always below compute-intensive.
+    for values in by_count.values():
+        assert values["memory"] < values["compute"]
+    # Paper shape 3: the all-workload mean declines monotonically...
+    means = [by_count[n]["all"] for n in (2, 4, 8, 16, 32)]
+    assert means == sorted(means, reverse=True)
+    # ...from near the paper's 94% peak to below the 50% bar only past 16 GPM.
+    assert means[0] > 80.0
+    assert by_count[16]["all"] > fig6.PAPER_THRESHOLD
+    assert by_count[32]["all"] < fig6.PAPER_THRESHOLD
+    # Paper's terminal value is 36%; we require the same collapse regime.
+    assert 20.0 < by_count[32]["all"] < 55.0

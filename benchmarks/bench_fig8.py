@@ -1,0 +1,31 @@
+"""Figure 8: EDPSE as a function of inter-GPM bandwidth settings."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig8_bandwidth as fig8
+from repro.gpu.config import BandwidthSetting
+
+
+def test_fig8_bandwidth_settings(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig8.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "fig8_bandwidth", result.render())
+
+    # Paper shape 1: EDPSE is monotone in bandwidth at every GPM count
+    # (within 1%: at trivial counts the link is not the bottleneck and the
+    # settings tie).
+    for n in (2, 4, 8, 16, 32):
+        e1 = result.edpse(BandwidthSetting.BW_1X, n)
+        e2 = result.edpse(BandwidthSetting.BW_2X, n)
+        e4 = result.edpse(BandwidthSetting.BW_4X, n)
+        assert e1 <= e2 * 1.01 and e2 <= e4 * 1.01, f"not monotone at {n}-GPM"
+    # Paper shape 2: at 32 GPMs, 4x the bandwidth buys ~3x the EDPSE.
+    gain = result.edpse(BandwidthSetting.BW_4X, 32) / result.edpse(
+        BandwidthSetting.BW_1X, 32
+    )
+    assert gain > 1.8
+    # Paper shape 3: bandwidth matters more at high GPM counts than low.
+    gain_at_2 = result.edpse(BandwidthSetting.BW_4X, 2) / result.edpse(
+        BandwidthSetting.BW_1X, 2
+    )
+    assert gain > gain_at_2

@@ -1,0 +1,25 @@
+"""Figure 9: on-board ring vs high-radix switch EDPSE."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig9_switch as fig9
+
+
+def test_fig9_switch_vs_ring(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig9.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "fig9_switch", result.render())
+
+    ring_1x = result.studies["Ring (1x-BW)"]
+    switch_1x = result.studies["Switch (1x-BW)"]
+    switch_2x = result.studies["Switch (2x-BW)"]
+    # Paper shape 1: with identical link bandwidth, the switch beats the
+    # ring at scale (paper: ~2x at 32 GPMs) by removing hop amplification.
+    assert switch_1x.mean_edpse(32) > 1.4 * ring_1x.mean_edpse(32)
+    # Paper shape 2: the advantage grows with GPM count.
+    advantage = [
+        switch_1x.mean_edpse(n) / ring_1x.mean_edpse(n) for n in (4, 16, 32)
+    ]
+    assert advantage[-1] > advantage[0]
+    # Paper shape 3: switch at 2x-BW dominates both 1x series.
+    assert switch_2x.mean_edpse(32) >= switch_1x.mean_edpse(32)

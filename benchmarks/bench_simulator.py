@@ -1,0 +1,54 @@
+"""Raw simulator throughput benchmarks (not a paper figure).
+
+These time the substrate itself — useful for tracking performance regressions
+in the discrete-event core, since every paper figure costs dozens of
+simulations.
+"""
+
+import dataclasses
+
+from repro.gpu.config import BandwidthSetting, table_iii_config
+from repro.gpu.simulator import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+
+def _small(abbr: str, ctas: int = 256):
+    spec = get_spec(abbr)
+    factor = max(1, spec.total_ctas // ctas)
+    return dataclasses.replace(
+        spec,
+        total_ctas=ctas,
+        kernels=1,
+        footprint_bytes=max(spec.footprint_bytes // factor, ctas * 128),
+        shared_footprint_bytes=max(
+            spec.shared_footprint_bytes // factor, 128 * 128
+        ),
+    )
+
+
+def test_simulator_throughput_single_gpm(benchmark):
+    workload = build_workload(_small("Stream"))
+    config = table_iii_config(1)
+    result = benchmark(lambda: simulate(workload, config))
+    assert result.counters.total_instructions > 0
+
+
+def test_simulator_throughput_ring_8gpm(benchmark):
+    workload = build_workload(_small("Lulesh-150"))
+    config = table_iii_config(8, BandwidthSetting.BW_2X)
+    result = benchmark(lambda: simulate(workload, config))
+    assert result.counters.inter_gpm_bytes > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    from repro.workloads.generator import WarpProgramBuilder
+
+    spec = get_spec("Lulesh-190")
+    builder = WarpProgramBuilder(spec, kernel_index=0)
+
+    def build_many():
+        return [builder(cta, warp) for cta in range(64) for warp in range(4)]
+
+    programs = benchmark(build_many)
+    assert len(programs) == 256

@@ -1,0 +1,25 @@
+"""Table Ib: EPI/EPT values recovered by the calibration campaign."""
+
+from benchmarks.conftest import publish
+from repro.core.epi_tables import EPI_TABLE_NJ, TransactionKind
+from repro.experiments import table1b_epi_ept as table1b
+from repro.isa.opcodes import TABLE_1B_COMPUTE_OPCODES
+
+
+def test_table1b_calibration(benchmark, results_dir):
+    result = benchmark.pedantic(table1b.run, rounds=1, iterations=1)
+    publish(results_dir, "table1b_epi_ept", result.render())
+
+    model, silicon = result.model, result.silicon
+    # Calibration must recover the silicon's ground truth within 5%...
+    for opcode in TABLE_1B_COMPUTE_OPCODES:
+        truth = silicon.true_epi_nj(opcode)
+        assert abs(model.epi_nj[opcode] - truth) / truth < 0.05
+    for kind in TransactionKind:
+        truth = silicon.true_ept_nj(kind)
+        assert abs(model.ept_nj[kind] - truth) / truth < 0.05
+    # ...and the truth itself sits near the paper's published values, so the
+    # recovered table tracks Table Ib within the modeled silicon spread.
+    for opcode in TABLE_1B_COMPUTE_OPCODES:
+        paper = EPI_TABLE_NJ[opcode]
+        assert abs(model.epi_nj[opcode] - paper) / paper < 0.30

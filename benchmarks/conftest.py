@@ -1,0 +1,36 @@
+"""Shared bench plumbing.
+
+Every benchmark regenerates one paper table/figure: it runs the experiment
+(through the sweep cache — the first invocation simulates, later ones replay),
+prints the same rows/series the paper reports, writes them under
+``results/``, and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import SweepRunner
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> SweepRunner:
+    """One cached sweep runner shared by every bench in the session."""
+    return SweepRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, rendered: str) -> None:
+    """Print a figure's rows and persist them under results/."""
+    print()
+    print(rendered)
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")

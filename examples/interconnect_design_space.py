@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Design-space walk: how interconnect choices shape a 16-GPM GPU.
+
+The paper's central architectural argument is that inter-GPM *bandwidth* and
+*topology* dominate multi-module energy efficiency while the link's intrinsic
+energy per bit barely matters.  This example reproduces that argument on a
+single workload by sweeping:
+
+* the Table IV bandwidth settings (1x / 2x / 4x),
+* ring vs high-radix switch topologies,
+* link signaling energy from 0.54 pJ/b (on-package) to 40 pJ/b (4x on-board),
+
+and reporting speedup, energy, and EDPSE for each design.
+
+Run:  python examples/interconnect_design_space.py
+"""
+
+from repro import BandwidthSetting, IntegrationDomain, TopologyKind
+from repro import simulate, table_iii_config
+from repro.core import EnergyModel, EnergyParams, ScalingPoint
+from repro.workloads import build_workload, get_spec
+
+NUM_GPMS = 16
+WORKLOAD = "Lulesh-150"   # memory-intensive: sensitive to the network
+
+
+def run_design(workload, bandwidth, topology, link_pj_per_bit=None):
+    config = table_iii_config(
+        NUM_GPMS,
+        bandwidth,
+        domain=IntegrationDomain.ON_BOARD,
+        topology=topology,
+    )
+    result = simulate(workload, config)
+    params = EnergyParams.for_config(config)
+    if link_pj_per_bit is not None:
+        params = params.with_link_energy(link_pj_per_bit)
+    energy = EnergyModel(params).total_energy(result.counters, result.seconds)
+    return result, energy
+
+
+def main() -> None:
+    workload = build_workload(get_spec(WORKLOAD))
+
+    baseline_config = table_iii_config(1)
+    baseline_run = simulate(workload, baseline_config)
+    baseline_energy = EnergyModel(
+        EnergyParams.for_config(baseline_config)
+    ).total_energy(baseline_run.counters, baseline_run.seconds)
+    base = ScalingPoint(n=1, delay_s=baseline_run.seconds,
+                        energy_j=baseline_energy)
+    print(f"{WORKLOAD} on a {NUM_GPMS}-GPM on-board GPU"
+          f" (baseline: 1-GPM, {baseline_run.seconds * 1e6:.0f} us)\n")
+
+    print(f"{'design':<28} {'speedup':>8} {'energy':>7} {'EDPSE':>7}")
+    print("-" * 55)
+    designs = [
+        ("ring, 1x-BW", BandwidthSetting.BW_1X, TopologyKind.RING, None),
+        ("ring, 2x-BW", BandwidthSetting.BW_2X, TopologyKind.RING, None),
+        ("ring, 4x-BW", BandwidthSetting.BW_4X, TopologyKind.RING, None),
+        ("switch, 1x-BW", BandwidthSetting.BW_1X, TopologyKind.SWITCH, None),
+        ("switch, 2x-BW", BandwidthSetting.BW_2X, TopologyKind.SWITCH, None),
+        # The counter-intuitive trade: 4x the pJ/bit for 2x the bandwidth.
+        ("ring, 2x-BW @ 40 pJ/b", BandwidthSetting.BW_2X,
+         TopologyKind.RING, 40.0),
+        ("ring, 1x-BW @ 40 pJ/b", BandwidthSetting.BW_1X,
+         TopologyKind.RING, 40.0),
+    ]
+    for label, bandwidth, topology, pj_bit in designs:
+        result, energy = run_design(workload, bandwidth, topology, pj_bit)
+        point = ScalingPoint(n=NUM_GPMS, delay_s=result.seconds,
+                             energy_j=energy)
+        print(f"{label:<28} {point.speedup_over(base):>7.2f}x"
+              f" {point.energy_ratio_over(base):>6.2f}x"
+              f" {point.edpse_over(base):>6.1f}%")
+
+    print(
+        "\nReading the table: quadrupling link *energy* (the 40 pJ/b rows)"
+        "\ncosts this traffic-heavy workload a few EDPSE points, while"
+        "\ndoubling link *bandwidth* or replacing the ring with a switch"
+        "\ngains multiples of that — even paying 40 pJ/b for 2x-BW beats the"
+        "\nefficient 1x-BW link. Spend energy on bandwidth, not on shaving"
+        "\npJ/bit (Section V-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

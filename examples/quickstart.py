@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload, price it with GPUJoule, compute EDPSE.
+
+This walks the three layers of the library:
+
+1. build a Table II workload as a synthetic trace,
+2. simulate it on 1-GPM and 4-GPM configurations,
+3. price both runs with the GPUJoule energy model and compare them with the
+   paper's EDP Scaling Efficiency metric.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BandwidthSetting, simulate, table_iii_config
+from repro.core import EnergyModel, EnergyParams, ScalingPoint
+from repro.workloads import build_workload, get_spec
+
+
+def main() -> None:
+    # 1. A workload from the Table II suite. `get_spec` exposes the knobs
+    #    (instruction mix, footprint, sharing); `build_workload` turns them
+    #    into kernels of lazily generated warp programs.
+    spec = get_spec("Hotspot")
+    workload = build_workload(spec)
+    print(f"workload: {spec.name} ({spec.abbr}), category {spec.category.value}")
+    print(f"  {spec.total_ctas} CTAs x {spec.warps_per_cta} warps,"
+          f" {spec.kernels} kernels")
+    print(f"  footprint {spec.footprint_bytes >> 20} MiB,"
+          f" memory intensity {spec.memory_intensity:.2f} accesses/instr")
+
+    # 2. Simulate on the 1-GPM baseline and a 4-GPM on-package design.
+    points = {}
+    for num_gpms in (1, 4):
+        config = table_iii_config(num_gpms, BandwidthSetting.BW_2X)
+        result = simulate(workload, config)
+        params = EnergyParams.for_config(config)
+        breakdown = EnergyModel(params).evaluate(result.counters, result.seconds)
+        points[num_gpms] = ScalingPoint(
+            n=num_gpms, delay_s=result.seconds, energy_j=breakdown.total
+        )
+        print(f"\n{config.label()}:")
+        print(f"  {result.cycles:,.0f} cycles = {result.seconds * 1e6:.1f} us")
+        print(f"  SM utilization {result.sm_utilization:.1%},"
+              f" L2 hit rate {result.counters.l2_hit_rate:.1%},"
+              f" remote traffic {result.counters.remote_fraction:.1%}")
+        print(f"  energy {breakdown.total * 1e3:.2f} mJ"
+              f" (constant {breakdown.fraction('constant'):.0%},"
+              f" compute {breakdown.fraction('sm_busy'):.0%},"
+              f" DRAM {breakdown.fraction('dram_to_l2'):.0%})")
+
+    # 3. The paper's metric: did quadrupling the hardware pay off?
+    base, scaled = points[1], points[4]
+    print(f"\nscaling 1-GPM -> 4-GPM:")
+    print(f"  speedup          {scaled.speedup_over(base):5.2f}x")
+    print(f"  energy ratio     {scaled.energy_ratio_over(base):5.2f}x")
+    print(f"  EDPSE            {scaled.edpse_over(base):5.1f}%"
+          f"  (100% = ideal linear scaling)")
+    print(f"  parallel eff.    {scaled.parallel_efficiency_over(base):5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` needs PEP 660 (which requires wheel); offline boxes can
+use `python setup.py develop` instead, which only needs setuptools.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs any of the paper's experiments from the shell and prints the same
+rows/series the paper's table or figure reports.  ``all`` runs everything in
+DESIGN.md's experiment-index order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    amortization_study,
+    config_tables,
+    compression_study,
+    edip_study,
+    fig2_energy_scaling,
+    fig4_validation,
+    fig6_edpse_onpackage,
+    fig7_incremental,
+    fig8_bandwidth,
+    fig9_switch,
+    fig10_speedup_energy,
+    headline,
+    interconnect_energy_study,
+    locality_ablation,
+    powergate_study,
+    table1b_epi_ept,
+    topology_study,
+)
+from repro.experiments.runner import SweepRunner, SweepSettings
+
+_EXPERIMENTS = {
+    "table1b": lambda runner: table1b_epi_ept.run(),
+    "fig2": fig2_energy_scaling.run,
+    "fig4": fig4_validation.run,
+    "fig6": fig6_edpse_onpackage.run,
+    "fig7": fig7_incremental.run,
+    "fig8": fig8_bandwidth.run,
+    "fig9": fig9_switch.run,
+    "fig10": fig10_speedup_energy.run,
+    "interconnect-energy": interconnect_energy_study.run,
+    "amortization": amortization_study.run,
+    "headline": headline.run,
+    # Extensions beyond the paper's evaluation (Section V-E directions).
+    "tables": lambda runner: config_tables.run(),
+    "compression": compression_study.run,
+    "locality": locality_ablation.run,
+    "powergate": powergate_study.run,
+    "edip": edip_study.run,
+    "topology": topology_study.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments, run experiments, print their rows."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the experiments of 'Understanding the Future of"
+            " Energy Efficiency in Multi-Module GPUs' (HPCA 2019)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        metavar="experiment",
+        help="which tables/figures to regenerate ('all' for everything)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: auto)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the sweep result cache",
+    )
+    args = parser.parse_args(argv)
+
+    settings_kwargs = {}
+    if args.processes is not None:
+        settings_kwargs["processes"] = args.processes
+    if args.no_cache:
+        settings_kwargs["use_cache"] = False
+    runner = SweepRunner(SweepSettings(**settings_kwargs))
+
+    if "all" in args.experiments:
+        names = sorted(_EXPERIMENTS)
+    else:
+        names = list(dict.fromkeys(args.experiments))
+    for name in names:
+        start = time.time()
+        result = _EXPERIMENTS[name](runner)
+        print(result.render())
+        print(f"[{name}: {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""GPUJoule and EDPSE: the paper's primary contribution.
+
+* :mod:`~repro.core.epi_tables` — the measured Table Ib energy constants plus
+  the published HBM and interconnect signaling energies of Section V-A2.
+* :mod:`~repro.core.energy_model` — Eq. 4: counters + time -> joules, with a
+  per-component breakdown matching Figure 7's stacks.
+* :mod:`~repro.core.edpse` — parallel efficiency, EDP, EDPSE, and ED^iPSE.
+* :mod:`~repro.core.calibration` — Eq. 5: sensor measurements -> EPI/EPT.
+* :mod:`~repro.core.refinement` — the Figure 3 validate-and-refine loop.
+* :mod:`~repro.core.validation` — modeled-vs-measured error statistics.
+"""
+
+from repro.core.epi_tables import (
+    EPI_TABLE_NJ,
+    EPT_TABLE,
+    HBM_PJ_PER_BIT,
+    EnergyConstants,
+    TransactionKind,
+)
+from repro.core.energy_model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.core.edpse import (
+    edp,
+    edipse,
+    edpse,
+    parallel_efficiency,
+    ScalingPoint,
+)
+from repro.core.calibration import MeasuredRun, estimate_epi, estimate_ept
+from repro.core.validation import ErrorReport, relative_error_percent
+
+__all__ = [
+    "EPI_TABLE_NJ",
+    "EPT_TABLE",
+    "HBM_PJ_PER_BIT",
+    "EnergyConstants",
+    "TransactionKind",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+    "edp",
+    "edipse",
+    "edpse",
+    "parallel_efficiency",
+    "ScalingPoint",
+    "MeasuredRun",
+    "estimate_epi",
+    "estimate_ept",
+    "ErrorReport",
+    "relative_error_percent",
+]

@@ -1,0 +1,105 @@
+"""Scaling-efficiency metrics: parallel efficiency, EDP, EDPSE, ED^iPSE.
+
+The paper's metric definitions (Section III):
+
+* ``ParallelEfficiency = t_1 * 100 / (N * t_N)`` — Eq. 1
+* ``EDPSE = EDP_1 * 100 / (N * EDP_N)`` — Eq. 2
+* ``ED^iPSE = ED^iP_1 * 100 / (N^i * ED^iP_N)`` — Eq. 3
+
+All three return percentages; 100 % means the scaled design realizes ideal
+linear scaling (N-fold delay reduction at constant energy), and values above
+100 % are possible under super-linear speedup or absolute energy reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def parallel_efficiency(t1: float, tn: float, n: int) -> float:
+    """Fraction (in %) of ideal speedup realized by an N-processor run (Eq. 1)."""
+    _check_positive(t1=t1, tn=tn, n=n)
+    return t1 * 100.0 / (n * tn)
+
+
+def edp(energy_j: float, delay_s: float, delay_exponent: int = 1) -> float:
+    """Energy-delay product ``E * D^i`` (i=1 for EDP, 2 for ED2P)."""
+    _check_positive(energy_j=energy_j, delay_s=delay_s)
+    if delay_exponent < 1:
+        raise ValidationError(
+            f"delay_exponent must be >= 1, got {delay_exponent!r}"
+        )
+    return energy_j * delay_s**delay_exponent
+
+
+def edpse(edp1: float, edpn: float, n: int) -> float:
+    """EDP Scaling Efficiency in percent (Eq. 2)."""
+    _check_positive(edp1=edp1, edpn=edpn, n=n)
+    return edp1 * 100.0 / (n * edpn)
+
+
+def edipse(edip1: float, edipn: float, n: int, i: int) -> float:
+    """Generalized ED^iP Scaling Efficiency in percent (Eq. 3).
+
+    ``i`` is the delay exponent: ``i=1`` recovers EDPSE; ``i=2`` weights
+    performance quadratically (ED2P-based efficiency).
+    """
+    _check_positive(edip1=edip1, edipn=edipn, n=n)
+    if i < 1:
+        raise ValidationError(f"delay exponent i must be >= 1, got {i!r}")
+    return edip1 * 100.0 / (n**i * edipn)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (design, workload) observation: resources, delay, and energy."""
+
+    n: int
+    delay_s: float
+    energy_j: float
+
+    def __post_init__(self) -> None:
+        _check_positive(n=self.n, delay_s=self.delay_s, energy_j=self.energy_j)
+
+    def edp(self, delay_exponent: int = 1) -> float:
+        """This point's ED^iP value (i = delay_exponent)."""
+        return edp(self.energy_j, self.delay_s, delay_exponent)
+
+    def speedup_over(self, baseline: "ScalingPoint") -> float:
+        """Speedup of this point relative to ``baseline``."""
+        return baseline.delay_s / self.delay_s
+
+    def energy_ratio_over(self, baseline: "ScalingPoint") -> float:
+        """Energy of this point normalized to ``baseline``."""
+        return self.energy_j / baseline.energy_j
+
+    def edpse_over(self, baseline: "ScalingPoint", i: int = 1) -> float:
+        """ED^iPSE of this point w.r.t. a baseline (usually the 1-GPM run).
+
+        The resource ratio N in Eq. 2/3 is ``self.n / baseline.n``.
+        """
+        if self.n % baseline.n != 0:
+            raise ValidationError(
+                f"scaled resources ({self.n}) must be a multiple of the"
+                f" baseline ({baseline.n})"
+            )
+        ratio = self.n // baseline.n
+        return edipse(baseline.edp(i), self.edp(i), ratio, i)
+
+    def parallel_efficiency_over(self, baseline: "ScalingPoint") -> float:
+        """Eq. 1 relative to a baseline point."""
+        if self.n % baseline.n != 0:
+            raise ValidationError(
+                f"scaled resources ({self.n}) must be a multiple of the"
+                f" baseline ({baseline.n})"
+            )
+        ratio = self.n // baseline.n
+        return parallel_efficiency(baseline.delay_s, self.delay_s, ratio)

@@ -1,0 +1,223 @@
+"""The GPUJoule energy equation (Eq. 4) and its per-component breakdown.
+
+The model predicts total GPU energy as::
+
+    E = sum_c EPI_c * IC_c            (compute instructions, per thread)
+      + sum_m EPT_m * TC_m            (memory transactions, per level)
+      + EPStall * stalls              (idle SM pipeline cycles)
+      + ConstPower * ExecTime         (platform constant power)
+      + E_link/bit * interconnect traffic   (multi-module extension, §V-A2)
+
+Constant power scales with module count following the integration domain:
+on-board designs replicate the full per-GPM platform overhead; on-package
+designs amortize a configurable share of it across GPMs (Constant Energy
+Amortization, §V-A2/§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core import epi_tables
+from repro.core.epi_tables import EnergyConstants, TransactionKind
+from repro.errors import ConfigError
+from repro.gpu.config import GpuConfig, IntegrationDomain
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+from repro.units import nj, pj_per_bit_to_joules_per_byte
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component — the stacks of Figure 7."""
+
+    sm_busy: float = 0.0          # compute-instruction energy (EPI terms)
+    sm_idle: float = 0.0          # stall energy (EPStall term)
+    constant: float = 0.0         # ConstPower * time
+    shared_to_rf: float = 0.0
+    l1_to_rf: float = 0.0
+    l2_to_l1: float = 0.0
+    dram_to_l2: float = 0.0
+    inter_gpm: float = 0.0        # link traversal energy (incl. switch hops)
+
+    #: Display order used by the Figure 7 rendering.
+    COMPONENT_ORDER = (
+        "sm_busy",
+        "sm_idle",
+        "constant",
+        "shared_to_rf",
+        "l1_to_rf",
+        "l2_to_l1",
+        "inter_gpm",
+        "dram_to_l2",
+    )
+
+    @property
+    def total(self) -> float:
+        return (
+            self.sm_busy
+            + self.sm_idle
+            + self.constant
+            + self.shared_to_rf
+            + self.l1_to_rf
+            + self.l2_to_l1
+            + self.dram_to_l2
+            + self.inter_gpm
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Component energies keyed by name, in display order."""
+        return {name: getattr(self, name) for name in self.COMPONENT_ORDER}
+
+    def fraction(self, component: str) -> float:
+        """One component's share of the total (0 when the total is 0)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return getattr(self, component) / total
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Everything the model needs to price one run."""
+
+    epi_nj: dict[Opcode, float] = field(
+        default_factory=lambda: dict(epi_tables.EPI_TABLE_NJ)
+    )
+    shared_rf_ept_j: float = field(
+        default_factory=lambda: epi_tables.ept_joules(TransactionKind.SHARED_TO_RF)
+    )
+    l1_rf_ept_j: float = field(
+        default_factory=lambda: epi_tables.ept_joules(TransactionKind.L1_TO_RF)
+    )
+    l2_l1_ept_j: float = field(
+        default_factory=lambda: epi_tables.ept_joules(TransactionKind.L2_TO_L1)
+    )
+    dram_l2_ept_j: float = field(default_factory=epi_tables.hbm_ept_joules)
+    link_pj_per_bit: float = epi_tables.ON_PACKAGE_LINK_PJ_PER_BIT
+    switch_pj_per_bit: float = epi_tables.SWITCH_HOP_PJ_PER_BIT
+    #: (De)compression energy per uncompressed byte through link codecs
+    #: (pJ/byte); only nonzero when the configuration enables compression.
+    codec_pj_per_byte: float = 0.0
+    constants: EnergyConstants = field(default_factory=EnergyConstants)
+    num_gpms: int = 1
+    constant_growth_per_gpm: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_gpms <= 0:
+            raise ConfigError("num_gpms must be positive")
+        if not 0.0 <= self.constant_growth_per_gpm <= 1.0:
+            raise ConfigError(
+                "constant_growth_per_gpm is a fraction in [0, 1];"
+                f" got {self.constant_growth_per_gpm!r}"
+            )
+
+    @property
+    def total_constant_power_w(self) -> float:
+        """Constant power of the whole GPU after amortization.
+
+        The first GPM always pays its full platform overhead; each additional
+        GPM adds ``constant_growth_per_gpm`` of it (1.0 = no sharing,
+        on-board; 0.5 = the paper's default on-package amortization).
+        """
+        per_gpm = self.constants.const_power_w
+        return per_gpm * (1.0 + (self.num_gpms - 1) * self.constant_growth_per_gpm)
+
+    @classmethod
+    def for_config(
+        cls,
+        config: GpuConfig,
+        constants: EnergyConstants | None = None,
+        constant_growth_per_gpm: float | None = None,
+        link_pj_per_bit: float | None = None,
+    ) -> "EnergyParams":
+        """Derive pricing parameters from a simulated GPU configuration.
+
+        The integration domain picks the link signaling energy and the
+        constant-energy amortization default (on-package shares 50 % of the
+        per-GPM platform overhead; on-board shares nothing).
+        """
+        on_package = config.integration_domain is IntegrationDomain.ON_PACKAGE
+        if constant_growth_per_gpm is None:
+            constant_growth_per_gpm = 0.5 if on_package else 1.0
+        if link_pj_per_bit is None:
+            if config.interconnect is not None:
+                link_pj_per_bit = config.interconnect.energy_pj_per_bit
+            else:
+                link_pj_per_bit = (
+                    epi_tables.ON_PACKAGE_LINK_PJ_PER_BIT
+                    if on_package
+                    else epi_tables.ON_BOARD_LINK_PJ_PER_BIT
+                )
+        switch_pj = (
+            config.interconnect.switch_hop_pj_per_bit
+            if config.interconnect is not None
+            else epi_tables.SWITCH_HOP_PJ_PER_BIT
+        )
+        codec_pj = (
+            config.compression.codec_pj_per_byte
+            if config.compression is not None
+            else 0.0
+        )
+        return cls(
+            link_pj_per_bit=link_pj_per_bit,
+            switch_pj_per_bit=switch_pj,
+            codec_pj_per_byte=codec_pj,
+            constants=constants or EnergyConstants(),
+            num_gpms=config.num_gpms,
+            constant_growth_per_gpm=constant_growth_per_gpm,
+        )
+
+    def with_link_energy(self, link_pj_per_bit: float) -> "EnergyParams":
+        """Clone with a different link energy (the §V-C point study)."""
+        return replace(self, link_pj_per_bit=link_pj_per_bit)
+
+    def with_amortization(self, growth_per_gpm: float) -> "EnergyParams":
+        """Clone with a different constant-energy growth fraction."""
+        return replace(self, constant_growth_per_gpm=growth_per_gpm)
+
+
+class EnergyModel:
+    """Evaluates Eq. 4 over a run's counters."""
+
+    def __init__(self, params: EnergyParams):
+        self.params = params
+
+    def evaluate(self, counters: CounterSet, exec_time_s: float) -> EnergyBreakdown:
+        """Price one run; returns the component breakdown in joules."""
+        if exec_time_s < 0:
+            raise ConfigError(f"negative execution time: {exec_time_s!r}")
+        params = self.params
+        constants = params.constants
+        breakdown = EnergyBreakdown()
+
+        warp = constants.warp_size
+        epi = params.epi_nj
+        busy = 0.0
+        for opcode, count in counters.instructions.items():
+            per_instr_nj = epi.get(opcode)
+            if per_instr_nj is None:
+                raise ConfigError(f"no EPI entry for opcode {opcode}")
+            busy += per_instr_nj * count * warp
+        breakdown.sm_busy = nj(busy)
+
+        breakdown.sm_idle = nj(constants.ep_stall_nj * counters.sm_idle_cycles)
+        breakdown.constant = params.total_constant_power_w * exec_time_s
+
+        breakdown.shared_to_rf = params.shared_rf_ept_j * counters.shared_rf_txns
+        breakdown.l1_to_rf = params.l1_rf_ept_j * counters.l1_rf_txns
+        breakdown.l2_to_l1 = params.l2_l1_ept_j * counters.l2_l1_txns
+        breakdown.dram_to_l2 = params.dram_l2_ept_j * counters.dram_l2_txns
+
+        link_j_per_byte = pj_per_bit_to_joules_per_byte(params.link_pj_per_bit)
+        switch_j_per_byte = pj_per_bit_to_joules_per_byte(params.switch_pj_per_bit)
+        breakdown.inter_gpm = (
+            link_j_per_byte * counters.inter_gpm_byte_hops
+            + switch_j_per_byte * counters.switch_byte_traversals
+            + params.codec_pj_per_byte * 1e-12 * counters.compression_codec_bytes
+        )
+        return breakdown
+
+    def total_energy(self, counters: CounterSet, exec_time_s: float) -> float:
+        """Total joules for one run (Eq. 4 without the breakdown)."""
+        return self.evaluate(counters, exec_time_s).total

@@ -1,0 +1,121 @@
+"""The measured energy constants of Table Ib and Section V-A2.
+
+Two families of constants live here:
+
+* **EPI** — energy per (thread-level) instruction for each PTX compute opcode,
+  in nanojoules, exactly as measured on the Tesla K40 (Table Ib).
+* **EPT** — energy per memory transaction at each hierarchy boundary.  The
+  transaction granularity is implied by the table itself: dividing the EPT by
+  the per-bit figure gives 1024 bits (a 128 B line) for shared->RF and
+  L1->RF, and 256 bits (a 32 B sector) for L2->L1 and DRAM->L2.
+
+The scaling study swaps the K40's GDDR5 DRAM energy for the published HBM
+figure (21.1 pJ/bit) and adds link signaling costs: 0.54 pJ/bit on-package,
+10 pJ/bit on-board, plus 10 pJ/bit through a switch fabric (Sections V-A2 and
+V-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.opcodes import Opcode
+from repro.units import CACHE_LINE_BYTES, SECTOR_BYTES, nj, pj_per_bit_to_joules_per_byte
+
+
+class TransactionKind(enum.Enum):
+    """Memory-hierarchy boundaries with distinct EPT values."""
+
+    SHARED_TO_RF = "shared_to_rf"
+    L1_TO_RF = "l1_to_rf"
+    L2_TO_L1 = "l2_to_l1"
+    DRAM_TO_L2 = "dram_to_l2"
+
+
+#: Table Ib compute-instruction EPIs, nanojoules per thread-level instruction.
+EPI_TABLE_NJ: dict[Opcode, float] = {
+    Opcode.FADD32: 0.06,
+    Opcode.FMUL32: 0.05,
+    Opcode.FFMA32: 0.05,
+    Opcode.IADD32: 0.07,
+    Opcode.ISUB32: 0.07,
+    Opcode.AND32: 0.06,
+    Opcode.OR32: 0.06,
+    Opcode.XOR32: 0.06,
+    Opcode.SIN32: 0.10,
+    Opcode.COS32: 0.10,
+    Opcode.IMUL32: 0.13,
+    Opcode.IMAD32: 0.15,
+    Opcode.FADD64: 0.15,
+    Opcode.FMUL64: 0.13,
+    Opcode.FFMA64: 0.16,
+    Opcode.SQRT32: 0.02,
+    Opcode.LOG232: 0.03,
+    Opcode.EXP232: 0.08,
+    Opcode.RCP32: 0.31,
+}
+
+#: Table Ib data-movement rows: (EPT in nJ, pJ/bit, bytes per transaction).
+EPT_TABLE: dict[TransactionKind, tuple[float, float, int]] = {
+    TransactionKind.SHARED_TO_RF: (5.45, 5.32, CACHE_LINE_BYTES),
+    TransactionKind.L1_TO_RF: (5.99, 5.85, CACHE_LINE_BYTES),
+    TransactionKind.L2_TO_L1: (3.96, 15.48, SECTOR_BYTES),
+    TransactionKind.DRAM_TO_L2: (7.82, 30.55, SECTOR_BYTES),
+}
+
+#: HBM DRAM access energy used by the scaling study (Section V-A2) [39].
+HBM_PJ_PER_BIT: float = 21.1
+
+#: GDDR5 DRAM access energy as measured on the K40 (Table Ib).
+GDDR5_PJ_PER_BIT: float = 30.55
+
+#: On-package ground-referenced signaling energy [23].
+ON_PACKAGE_LINK_PJ_PER_BIT: float = 0.54
+
+#: On-board SerDes signaling energy estimate [5].
+ON_BOARD_LINK_PJ_PER_BIT: float = 10.0
+
+#: Additional energy for payload moving through a switch chip (Section V-C).
+SWITCH_HOP_PJ_PER_BIT: float = 10.0
+
+
+def ept_joules(kind: TransactionKind) -> float:
+    """Energy in joules for one transaction at the given boundary."""
+    ept_nj, _pj_bit, _nbytes = EPT_TABLE[kind]
+    return nj(ept_nj)
+
+
+def hbm_ept_joules() -> float:
+    """Energy in joules for one 32 B DRAM<->L2 sector transaction with HBM."""
+    return pj_per_bit_to_joules_per_byte(HBM_PJ_PER_BIT) * SECTOR_BYTES
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Platform constants that close Eq. 4.
+
+    Attributes:
+        const_power_w: per-GPM baseline constant power — voltage regulators,
+            power delivery, host I/O, and static leakage (the
+            ``Const_Power`` term of Eq. 4).
+        ep_stall_nj: energy per SM-cycle of an idle (stalled) SM pipeline —
+            the ``EPStall`` term.
+        warp_size: thread-level instructions per warp-level counter event.
+    """
+
+    const_power_w: float = 52.0
+    ep_stall_nj: float = 2.0
+    warp_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.const_power_w < 0:
+            raise ValueError("const_power_w must be non-negative")
+        if self.ep_stall_nj < 0:
+            raise ValueError("ep_stall_nj must be non-negative")
+        if self.warp_size <= 0:
+            raise ValueError("warp_size must be positive")
+
+
+#: Constants used throughout the scaling study unless overridden.
+DEFAULT_CONSTANTS = EnergyConstants()

@@ -1,0 +1,6 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md §4)."""
+
+from repro.experiments.results import RunRecord, ScalingRow
+from repro.experiments.runner import SweepRunner, SweepSettings
+
+__all__ = ["RunRecord", "ScalingRow", "SweepRunner", "SweepSettings"]

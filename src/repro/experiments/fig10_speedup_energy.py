@@ -1,0 +1,89 @@
+"""Figure 10: absolute speedup and normalized energy across the full sweep.
+
+Decomposes EDPSE back into its factors: for every GPM count and bandwidth
+setting, the speedup over 1-GPM and the energy normalized to 1-GPM.  The 1x
+series is on-board; the 2x/4x series are on-package *with* constant-energy
+amortization — the figure's headline observations:
+
+* at 8+ GPMs, speedup is dominated by inter-GPM bandwidth;
+* a 16-GPM/2x-BW design outperforms a 32-GPM/1x-BW one at half the energy;
+* 1x -> 4x bandwidth at 32-GPM cuts energy by ~27.4 % on average, and moving
+  to the on-package domain (amortization included) raises that to ~45 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import render_table
+from repro.experiments.runner import SweepRunner
+from repro.experiments.study import (
+    SCALED_GPM_COUNTS,
+    StudyResult,
+    run_scaling_study,
+    scaling_configs,
+)
+from repro.gpu.config import BandwidthSetting
+
+PAPER_ENERGY_REDUCTION_4X_VS_1X_AT_32 = 27.4  # percent, bandwidth alone
+PAPER_ENERGY_REDUCTION_TOTAL_AT_32 = 45.0     # percent, + amortization
+
+BANDWIDTH_ORDER = (
+    BandwidthSetting.BW_1X,
+    BandwidthSetting.BW_2X,
+    BandwidthSetting.BW_4X,
+)
+
+
+@dataclass
+class Fig10Result:
+    studies: dict[BandwidthSetting, StudyResult]
+
+    def speedup(self, bandwidth: BandwidthSetting, n: int) -> float:
+        """Geomean speedup vs 1-GPM for one bandwidth setting at n GPMs."""
+        return self.studies[bandwidth].geomean_speedup(n)
+
+    def energy(self, bandwidth: BandwidthSetting, n: int) -> float:
+        """Mean normalized energy for one bandwidth setting at n GPMs."""
+        return self.studies[bandwidth].mean_energy_ratio(n)
+
+    def render(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        headers = ["config", "speedup", "energy (norm.)"]
+        rows = []
+        for n in SCALED_GPM_COUNTS:
+            for bandwidth in BANDWIDTH_ORDER:
+                rows.append(
+                    [
+                        f"{n}-GPM/{bandwidth.value}",
+                        self.speedup(bandwidth, n),
+                        self.energy(bandwidth, n),
+                    ]
+                )
+        reduction = (
+            1.0
+            - self.energy(BandwidthSetting.BW_4X, 32)
+            / self.energy(BandwidthSetting.BW_1X, 32)
+        ) * 100.0
+        return render_table(
+            "Figure 10: speedup and energy vs 1-GPM across bandwidth settings",
+            headers,
+            rows,
+            note=(
+                "1x-BW is on-board; 2x/4x are on-package with constant-energy"
+                f" amortization. 32-GPM energy reduction 1x->4x: {reduction:.1f}%"
+                " (paper: 45% incl. amortization, 27.4% from bandwidth alone)."
+            ),
+        )
+
+
+def run(runner: SweepRunner | None = None) -> Fig10Result:
+    """Execute (or fetch from cache) the Figure 10 study."""
+    runner = runner or SweepRunner()
+    studies = {}
+    for bandwidth in BANDWIDTH_ORDER:
+        configs = scaling_configs(bandwidth)
+        studies[bandwidth] = run_scaling_study(
+            runner, configs, label=bandwidth.value
+        )
+    return Fig10Result(studies=studies)

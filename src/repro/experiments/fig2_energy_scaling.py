@@ -1,0 +1,64 @@
+"""Figure 2: the energy cost of strong scaling with on-board integration.
+
+The motivating figure: averaged over the 14 scaling workloads, growing an
+on-board (1x-BW ring) multi-module GPU from 2x to 32x capability raises the
+energy to compute a fixed problem to ~2x the single-GPU energy, against an
+ideal of 1.0x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import render_table
+from repro.experiments.results import ScalingRow
+from repro.experiments.runner import SweepRunner
+from repro.experiments.study import (
+    SCALED_GPM_COUNTS,
+    StudyResult,
+    run_scaling_study,
+    scaling_configs,
+)
+from repro.gpu.config import BandwidthSetting, IntegrationDomain
+
+#: The paper's headline: ~2x energy at 32x capability, on average.
+PAPER_ENERGY_AT_32X = 2.0
+
+
+@dataclass
+class Fig2Result:
+    """Mean normalized energy per scaled capability point."""
+
+    study: StudyResult
+    rows: list[ScalingRow]
+
+    def render(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        table_rows = [
+            [f"{row.num_gpms}x", 1.0, row.values["energy"]]
+            for row in self.rows
+        ]
+        return render_table(
+            "Figure 2: energy normalized to single GPU — on-board scaling",
+            ["GPU capability", "ideal", "measured"],
+            table_rows,
+            note="Paper shape: rising curve reaching ~2.0x at 32x capability.",
+        )
+
+
+def run(runner: SweepRunner | None = None) -> Fig2Result:
+    """Execute (or fetch from cache) the Figure 2 study."""
+    runner = runner or SweepRunner()
+    configs = scaling_configs(
+        BandwidthSetting.BW_1X, domain=IntegrationDomain.ON_BOARD
+    )
+    study = run_scaling_study(runner, configs, label="on-board/1x-BW")
+    rows = [
+        ScalingRow(
+            num_gpms=n,
+            label=f"{n}x",
+            values={"energy": study.mean_energy_ratio(n)},
+        )
+        for n in SCALED_GPM_COUNTS
+    ]
+    return Fig2Result(study=study, rows=rows)

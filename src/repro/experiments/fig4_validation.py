@@ -1,0 +1,152 @@
+"""Figures 4a and 4b: GPUJoule validation against silicon.
+
+* **4a** — mixed microbenchmarks (FADD64 + memory levels): the refined model
+  lands within a few percent (the paper reports +2.5 %/-6 %); the *naive*
+  first-pass model (no stall term, no background subtraction) fails badly,
+  which is the motivation for the Figure 3 refinement loop.
+* **4b** — the 18 Table II applications, simulated on the K40 platform and
+  measured through the sensor substrate.  The paper reports a 9.4 % mean
+  absolute error with four >30 % outliers: RSBench/CoMD (memory-subsystem
+  energy invisible at near-zero utilization) and BFS/MiniAMR (kernels far
+  shorter than the sensor's 15 ms refresh window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.energy_model import EnergyModel
+from repro.core.refinement import CalibratedModel, CalibrationCampaign
+from repro.core.validation import ErrorReport
+from repro.experiments.render import render_table
+from repro.experiments.runner import SweepRunner
+from repro.gpu.config import k40_config
+from repro.microbench.mixed import fig4a_suite
+from repro.power.meter import PowerMeter
+from repro.power.sensor import PowerSensor
+from repro.power.silicon import SiliconGpu
+from repro.workloads.suite import WORKLOAD_SPECS
+
+PAPER_MEAN_ABS_ERROR = 9.4       # percent, Fig. 4b
+PAPER_OUTLIERS = ("RSBench", "CoMD", "BFS", "MiniAMR")
+PAPER_4A_BAND = (-6.0, 2.5)      # percent, Fig. 4a
+
+#: Repeat factor emulating that real applications iterate their kernel
+#: sequence continuously, letting the sensor observe steady state — except
+#: for the ``short_kernels`` workloads, whose individual launches stay far
+#: below the refresh window no matter how long the app runs.
+_STEADY_STATE_SECONDS = 0.05
+
+
+@dataclass
+class Fig4Result:
+    fig4a: ErrorReport
+    fig4a_naive: ErrorReport
+    fig4b: ErrorReport
+    model: CalibratedModel
+
+    def render_4a(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        rows = [
+            [name, self.fig4a.cases[name], self.fig4a_naive.cases[name]]
+            for name in self.fig4a.cases
+        ]
+        return render_table(
+            "Figure 4a: mixed-microbenchmark model error (%)",
+            ["benchmark", "refined model", "naive first pass"],
+            rows,
+            note=(
+                f"Paper band for the refined model: {PAPER_4A_BAND[0]}% to"
+                f" +{PAPER_4A_BAND[1]}%."
+            ),
+        )
+
+    def render_4b(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        rows = [[name, error] for name, error in self.fig4b.cases.items()]
+        rows.append(["mean |error|", self.fig4b.mean_absolute_error])
+        outliers = ", ".join(sorted(self.fig4b.outliers(25.0)))
+        return render_table(
+            "Figure 4b: per-application model error (%)",
+            ["application", "error"],
+            rows,
+            note=(
+                f"Paper: 9.4% mean abs error; >30% outliers RSBench, CoMD,"
+                f" BFS, MiniAMR. Outliers here (>25%): {outliers}."
+            ),
+        )
+
+    def render(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        return self.render_4a() + "\n\n" + self.render_4b()
+
+
+def _measure_application(
+    silicon: SiliconGpu,
+    sensor: PowerSensor,
+    counters,
+    seconds: float,
+    kernels: int,
+    short_kernels: bool,
+) -> float:
+    """Emulate how a practitioner measures one app's energy via the sensor.
+
+    Long-running apps are sampled in steady state.  Apps made of very short
+    kernel launches are sampled per launch: each reading blends the kernel
+    with surrounding activity (other short launches and host gaps), which is
+    precisely the resolution limit the paper blames for its Fig. 4b outliers.
+    """
+    true_power = silicon.true_power_w(counters, seconds)
+    if not short_kernels:
+        reading = sensor.measure_roi(
+            roi_duration_s=max(seconds, _STEADY_STATE_SECONDS),
+            roi_power_w=true_power,
+            surrounding_power_w=silicon.idle_power_w,
+        )
+        return reading * seconds
+    per_kernel = seconds / kernels
+    surrounding = 0.5 * (true_power + silicon.idle_power_w)
+    reading = sensor.measure_roi(
+        roi_duration_s=per_kernel,
+        roi_power_w=true_power,
+        surrounding_power_w=surrounding,
+    )
+    return reading * seconds
+
+
+def run(
+    runner: SweepRunner | None = None, seed: int = 40
+) -> Fig4Result:
+    """Execute the full Figure 4 validation."""
+    runner = runner or SweepRunner()
+    silicon = SiliconGpu(seed=seed)
+    meter = PowerMeter(silicon)
+    campaign = CalibrationCampaign(meter)
+    model = campaign.calibrate(refine=True)
+    naive = campaign.calibrate(refine=False)
+
+    suite = fig4a_suite()
+    fig4a = campaign.validate(model, suite)
+    fig4a_naive = campaign.validate(naive, suite)
+
+    config = k40_config()
+    energy_model = EnergyModel(model.to_energy_params())
+    sensor = PowerSensor()
+    fig4b = ErrorReport()
+    specs = list(WORKLOAD_SPECS.values())
+    records = runner.run([(spec, config) for spec in specs])
+    for spec, record in zip(specs, records):
+        counters = record.counters
+        measured = _measure_application(
+            silicon,
+            sensor,
+            counters,
+            record.seconds,
+            kernels=spec.kernels,
+            short_kernels=spec.short_kernels,
+        )
+        modeled = energy_model.total_energy(counters, record.seconds)
+        fig4b.add(spec.abbr, modeled, measured)
+    return Fig4Result(
+        fig4a=fig4a, fig4a_naive=fig4a_naive, fig4b=fig4b, model=model
+    )

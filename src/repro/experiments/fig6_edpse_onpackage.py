@@ -1,0 +1,95 @@
+"""Figure 6: EDPSE vs GPM count for the baseline on-package (2x-BW) design.
+
+The paper reports: compute-intensive workloads exceed 100 % EDPSE at small
+GPM counts; memory-intensive workloads sit far lower; the all-workload mean
+peaks at 94 % (2-GPM) and collapses to 36 % at 32-GPM, crossing the 50 %
+"parallel efficiency" threshold beyond 16 GPMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import render_table
+from repro.experiments.results import ScalingRow
+from repro.experiments.runner import SweepRunner
+from repro.experiments.study import (
+    SCALED_GPM_COUNTS,
+    StudyResult,
+    run_scaling_study,
+    scaling_configs,
+)
+from repro.gpu.config import BandwidthSetting
+from repro.isa.kernel import WorkloadCategory
+
+#: Paper-reported values for EXPERIMENTS.md comparisons.
+PAPER_MAX_MEAN_EDPSE = 94.0
+PAPER_MEAN_EDPSE_32GPM = 36.0
+PAPER_THRESHOLD = 50.0
+
+
+@dataclass
+class Fig6Result:
+    """EDPSE series by category for each scaled GPM count."""
+
+    study: StudyResult
+    rows: list[ScalingRow]
+
+    def render(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        table_rows = [
+            [
+                f"{row.num_gpms}-GPM",
+                row.values["compute"],
+                row.values["memory"],
+                row.values["all"],
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            "Figure 6: EDPSE (%) — on-package, 2x-BW ring",
+            ["config", "compute-intensive", "memory-intensive", "all"],
+            table_rows,
+            note=(
+                "Paper shape: compute > 100% at small counts; mean 94% at"
+                " 2-GPM falling to 36% at 32-GPM; 50% threshold crossed"
+                " beyond 16 GPMs."
+            ),
+        )
+
+    def render_per_workload(self) -> str:
+        """Per-workload EDPSE detail behind the category means."""
+        counts = [row.num_gpms for row in self.rows]
+        headers = ["workload", "cat."] + [f"{n}-GPM" for n in counts]
+        table_rows = []
+        for abbr, scaling in sorted(self.study.workloads.items()):
+            table_rows.append(
+                [abbr, scaling.category.value]
+                + [scaling.edpse(n) for n in counts]
+            )
+        return render_table(
+            "Figure 6 (detail): per-workload EDPSE (%)",
+            headers,
+            table_rows,
+        )
+
+
+def run(runner: SweepRunner | None = None) -> Fig6Result:
+    """Execute (or fetch from cache) the Figure 6 study."""
+    runner = runner or SweepRunner()
+    configs = scaling_configs(BandwidthSetting.BW_2X)
+    study = run_scaling_study(runner, configs, label="on-package/2x-BW")
+    rows = []
+    for n in SCALED_GPM_COUNTS:
+        rows.append(
+            ScalingRow(
+                num_gpms=n,
+                label=f"{n}-GPM",
+                values={
+                    "compute": study.mean_edpse(n, WorkloadCategory.COMPUTE),
+                    "memory": study.mean_edpse(n, WorkloadCategory.MEMORY),
+                    "all": study.mean_edpse(n),
+                },
+            )
+        )
+    return Fig6Result(study=study, rows=rows)

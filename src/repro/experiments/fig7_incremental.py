@@ -1,0 +1,150 @@
+"""Figure 7: incremental speedup and energy growth at each scaling step.
+
+For each doubling of GPM count (on-package 2x-BW), the paper reports the
+speedup over the *preceding* configuration (86.8 % gain at 1->2 GPM falling
+to 47 % at 16->32) and the energy increase broken down by GPUJoule component
+— with constant energy overhead dominating the growth at high GPM counts.
+A monolithic (NUMA-free) GPU of equal resources achieves 80.8 % at 16->32,
+isolating NUMA as the cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.energy_model import EnergyBreakdown, EnergyParams
+from repro.experiments.render import render_table
+from repro.experiments.runner import SweepRunner
+from repro.experiments.study import (
+    SCALED_GPM_COUNTS,
+    run_scaling_study,
+    scaling_configs,
+)
+from repro.gpu.config import BandwidthSetting, monolithic_config, table_iii_config
+from repro.units import geomean, mean
+from repro.workloads.suite import SCALING_SUBSET, WORKLOAD_SPECS
+
+PAPER_SPEEDUP_1_TO_2 = 1.868
+PAPER_SPEEDUP_16_TO_32 = 1.47
+PAPER_MONOLITHIC_16_TO_32 = 1.808
+PAPER_ENERGY_INCREASE_16_TO_32 = 15.7  # percent
+
+
+@dataclass
+class Fig7Step:
+    """One scaling step's incremental speedup and energy-growth breakdown."""
+
+    num_gpms: int
+    incremental_speedup: float
+    energy_increase_percent: float
+    component_increase_percent: dict[str, float]
+
+
+@dataclass
+class Fig7Result:
+    steps: list[Fig7Step]
+    monolithic_16_to_32: float
+
+    def render(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        components = EnergyBreakdown.COMPONENT_ORDER
+        headers = ["step", "speedup", "dE total %"] + [
+            f"dE {name} %" for name in components
+        ]
+        rows = []
+        prev = 1
+        for step in self.steps:
+            rows.append(
+                [f"{prev}->{step.num_gpms}", step.incremental_speedup,
+                 step.energy_increase_percent]
+                + [step.component_increase_percent[name] for name in components]
+            )
+            prev = step.num_gpms
+        note = (
+            "Paper shape: incremental speedup decays 1.868x -> 1.47x;"
+            " constant-energy overhead dominates growth at 16->32 GPM;"
+            f" monolithic 16->32 speedup here: {self.monolithic_16_to_32:.2f}x"
+            " (paper: 1.81x)."
+        )
+        return render_table(
+            "Figure 7: incremental speedup and energy growth (2x-BW on-package)",
+            headers,
+            rows,
+            note=note,
+        )
+
+
+def _mean_breakdown(
+    grid: dict[str, dict], config_label: str, params: EnergyParams
+) -> dict[str, float]:
+    """Average per-component energy across workloads (joules)."""
+    sums: dict[str, float] = {}
+    records = grid[config_label]
+    for abbr in SCALING_SUBSET:
+        record = records[abbr]
+        breakdown = record.energy(params)
+        for name, value in breakdown.as_dict().items():
+            sums[name] = sums.get(name, 0.0) + value
+    count = len(SCALING_SUBSET)
+    return {name: value / count for name, value in sums.items()}
+
+
+def run(runner: SweepRunner | None = None) -> Fig7Result:
+    """Execute (or fetch from cache) the Figure 7 study."""
+    runner = runner or SweepRunner()
+    configs = scaling_configs(BandwidthSetting.BW_2X)
+    study = run_scaling_study(runner, configs, label="on-package/2x-BW")
+
+    # Per-component mean energies at each count (including the baseline).
+    specs = [WORKLOAD_SPECS[abbr] for abbr in SCALING_SUBSET]
+    base_config = table_iii_config(1, BandwidthSetting.BW_2X)
+    all_configs = [base_config] + [configs[n] for n in SCALED_GPM_COUNTS]
+    grid = runner.run_grid(specs, all_configs)
+    breakdowns: dict[int, dict[str, float]] = {}
+    breakdowns[1] = _mean_breakdown(
+        grid, base_config.label(), EnergyParams.for_config(base_config)
+    )
+    for n in SCALED_GPM_COUNTS:
+        config = configs[n]
+        breakdowns[n] = _mean_breakdown(
+            grid, config.label(), EnergyParams.for_config(config)
+        )
+
+    steps: list[Fig7Step] = []
+    counts = [1] + list(SCALED_GPM_COUNTS)
+    for prev_n, n in zip(counts, counts[1:]):
+        speedups = []
+        for scaling in study.workloads.values():
+            prev_delay = (
+                scaling.baseline.delay_s if prev_n == 1
+                else scaling.scaled[prev_n].delay_s
+            )
+            speedups.append(prev_delay / scaling.scaled[n].delay_s)
+        prev_total = sum(breakdowns[prev_n].values())
+        cur = breakdowns[n]
+        cur_total = sum(cur.values())
+        component_increase = {
+            name: (cur[name] - breakdowns[prev_n][name]) / prev_total * 100.0
+            for name in cur
+        }
+        steps.append(
+            Fig7Step(
+                num_gpms=n,
+                incremental_speedup=geomean(speedups),
+                energy_increase_percent=(cur_total - prev_total)
+                / prev_total
+                * 100.0,
+                component_increase_percent=component_increase,
+            )
+        )
+
+    # Monolithic comparison: a single module with 16x vs 32x resources.
+    mono16 = monolithic_config(16)
+    mono32 = monolithic_config(32)
+    mono_grid = runner.run_grid(specs, [mono16, mono32])
+    ratios = [
+        mono_grid[mono16.label()][abbr].seconds
+        / mono_grid[mono32.label()][abbr].seconds
+        for abbr in SCALING_SUBSET
+    ]
+    return Fig7Result(steps=steps, monolithic_16_to_32=geomean(ratios))

@@ -1,0 +1,73 @@
+"""Figure 8: EDPSE as a function of inter-GPM bandwidth (1x/2x/4x).
+
+The paper's conclusion figure for the bandwidth axis: at high GPM counts,
+raising inter-module bandwidth 4x (from the on-board 1x setting to the
+on-package 4x setting) improves EDPSE by roughly 3x — bandwidth, not link
+energy, is the first-order lever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import render_table
+from repro.experiments.runner import SweepRunner
+from repro.experiments.study import (
+    SCALED_GPM_COUNTS,
+    StudyResult,
+    run_scaling_study,
+    scaling_configs,
+)
+from repro.gpu.config import BandwidthSetting
+
+PAPER_EDPSE_GAIN_4X_VS_1X_AT_32 = 3.0
+
+BANDWIDTH_ORDER = (
+    BandwidthSetting.BW_1X,
+    BandwidthSetting.BW_2X,
+    BandwidthSetting.BW_4X,
+)
+
+
+@dataclass
+class Fig8Result:
+    studies: dict[BandwidthSetting, StudyResult]
+
+    def edpse(self, bandwidth: BandwidthSetting, n: int) -> float:
+        """Mean EDPSE (%) for one bandwidth setting at n GPMs."""
+        return self.studies[bandwidth].mean_edpse(n)
+
+    def render(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        headers = ["config"] + [f"{n}-GPM" for n in SCALED_GPM_COUNTS]
+        rows = []
+        for bandwidth in BANDWIDTH_ORDER:
+            study = self.studies[bandwidth]
+            rows.append(
+                [bandwidth.value]
+                + [study.mean_edpse(n) for n in SCALED_GPM_COUNTS]
+            )
+        gain = self.edpse(BandwidthSetting.BW_4X, 32) / self.edpse(
+            BandwidthSetting.BW_1X, 32
+        )
+        return render_table(
+            "Figure 8: EDPSE (%) vs interconnect bandwidth",
+            headers,
+            rows,
+            note=(
+                f"4x-BW / 1x-BW EDPSE gain at 32-GPM: {gain:.2f}x"
+                " (paper: ~3x from 4x more bandwidth)."
+            ),
+        )
+
+
+def run(runner: SweepRunner | None = None) -> Fig8Result:
+    """Execute (or fetch from cache) the Figure 8 study."""
+    runner = runner or SweepRunner()
+    studies = {}
+    for bandwidth in BANDWIDTH_ORDER:
+        configs = scaling_configs(bandwidth)
+        studies[bandwidth] = run_scaling_study(
+            runner, configs, label=bandwidth.value
+        )
+    return Fig8Result(studies=studies)

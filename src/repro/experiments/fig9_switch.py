@@ -1,0 +1,68 @@
+"""Figure 9: on-board ring vs high-radix switch EDPSE.
+
+Replacing the on-board ring with a switch chip (identical link bandwidth,
+plus 10 pJ/bit through the fabric) removes multi-hop amplification and
+roughly doubles 32-GPM EDPSE — topology innovation matters as much as raw
+link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.render import render_table
+from repro.experiments.runner import SweepRunner
+from repro.experiments.study import (
+    SCALED_GPM_COUNTS,
+    StudyResult,
+    run_scaling_study,
+    scaling_configs,
+)
+from repro.gpu.config import BandwidthSetting, IntegrationDomain, TopologyKind
+
+PAPER_SWITCH_GAIN_AT_32 = 2.0
+
+#: The three Figure 9 series: (label, bandwidth, topology).
+SERIES: tuple[tuple[str, BandwidthSetting, TopologyKind], ...] = (
+    ("Ring (1x-BW)", BandwidthSetting.BW_1X, TopologyKind.RING),
+    ("Switch (1x-BW)", BandwidthSetting.BW_1X, TopologyKind.SWITCH),
+    ("Switch (2x-BW)", BandwidthSetting.BW_2X, TopologyKind.SWITCH),
+)
+
+
+@dataclass
+class Fig9Result:
+    studies: dict[str, StudyResult]
+
+    def render(self) -> str:
+        """Render this result as the paper-style ASCII table."""
+        headers = ["config"] + [f"{n}-GPM" for n in SCALED_GPM_COUNTS]
+        rows = [
+            [label] + [self.studies[label].mean_edpse(n) for n in SCALED_GPM_COUNTS]
+            for label, _bw, _topo in SERIES
+        ]
+        gain = (
+            self.studies["Switch (1x-BW)"].mean_edpse(32)
+            / self.studies["Ring (1x-BW)"].mean_edpse(32)
+        )
+        return render_table(
+            "Figure 9: EDPSE (%) — on-board ring vs switched networks",
+            headers,
+            rows,
+            note=(
+                f"Switch / ring EDPSE gain at 32-GPM (same links):"
+                f" {gain:.2f}x (paper: ~2x)."
+            ),
+        )
+
+
+def run(runner: SweepRunner | None = None) -> Fig9Result:
+    """Execute (or fetch from cache) the Figure 9 study."""
+    runner = runner or SweepRunner()
+    studies = {}
+    for label, bandwidth, topology in SERIES:
+        configs = scaling_configs(
+            bandwidth, domain=IntegrationDomain.ON_BOARD, topology=topology
+        )
+        studies[label] = run_scaling_study(runner, configs, label=label)
+    return Fig9Result(studies=studies)

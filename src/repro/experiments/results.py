@@ -1,0 +1,84 @@
+"""Result records shared by the experiment drivers.
+
+A :class:`RunRecord` is the cached essence of one (workload, configuration)
+simulation: the counters the energy model needs plus timing.  Records are
+JSON-serializable so sweeps persist across processes and bench invocations —
+and, crucially, they can be *re-priced* under different energy assumptions
+(link pJ/bit, amortization) without re-simulating, which is exactly how the
+paper's Section V-C point studies work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.core.edpse import ScalingPoint
+from repro.core.energy_model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class RunRecord:
+    """One simulation outcome, detached from live simulator objects."""
+
+    workload: str
+    category: str
+    config_label: str
+    num_gpms: int
+    seconds: float
+    counters: CounterSet
+
+    def energy(self, params: EnergyParams) -> EnergyBreakdown:
+        """Price this run under the given energy parameters."""
+        return EnergyModel(params).evaluate(self.counters, self.seconds)
+
+    def scaling_point(self, params: EnergyParams) -> ScalingPoint:
+        """(n, delay, energy) under the given pricing."""
+        return ScalingPoint(
+            n=self.num_gpms,
+            delay_s=self.seconds,
+            energy_j=self.energy(params).total,
+        )
+
+    # ------------------------------------------------------------ serialization
+
+    def to_json(self) -> dict:
+        """Serialize to plain JSON data (opcodes by value)."""
+        data = asdict(self)
+        counters = data.pop("counters")
+        counters["instructions"] = {
+            opcode.value: count
+            for opcode, count in self.counters.instructions.items()
+        }
+        data["counters"] = counters
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunRecord":
+        raw_counters = dict(data["counters"])
+        raw_counters["instructions"] = {
+            Opcode(name): count
+            for name, count in raw_counters["instructions"].items()
+        }
+        counters = CounterSet(**raw_counters)
+        return cls(
+            workload=data["workload"],
+            category=data["category"],
+            config_label=data["config_label"],
+            num_gpms=data["num_gpms"],
+            seconds=data["seconds"],
+            counters=counters,
+        )
+
+
+@dataclass
+class ScalingRow:
+    """One row of a per-GPM-count summary (a figure's x-axis point)."""
+
+    num_gpms: int
+    label: str
+    values: dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]

@@ -1,0 +1,217 @@
+"""Sweep execution with disk caching and optional process parallelism.
+
+The full reproduction needs ~25 configurations x 14 workloads of simulation.
+Each (workload, configuration) pair is deterministic, so results are cached
+as JSON under ``.cache/`` keyed by a content hash of the workload spec, the
+configuration, and a results-format version.  Benches therefore pay the
+simulation cost once; re-pricing studies (link energy, amortization) never
+re-simulate at all.
+
+Set ``REPRO_SWEEP_PROCESSES`` to control parallelism (default: half the
+cores, capped at 12); ``REPRO_CACHE_DIR`` to relocate the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.results import RunRecord
+from repro.gpu.config import GpuConfig
+from repro.gpu.simulator import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec
+
+#: Bump when simulator semantics change, invalidating every cached record.
+RESULTS_VERSION = 3
+
+
+def _default_cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / ".cache" / "sweeps"
+
+
+def _default_processes() -> int:
+    override = os.environ.get("REPRO_SWEEP_PROCESSES")
+    if override:
+        return max(1, int(override))
+    return max(1, min(12, (os.cpu_count() or 2) - 1))
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """Execution knobs for a sweep."""
+
+    cache_dir: Path = field(default_factory=_default_cache_dir)
+    processes: int = field(default_factory=_default_processes)
+    use_cache: bool = True
+
+
+def _config_fingerprint(config: GpuConfig) -> dict:
+    return {
+        "num_gpms": config.num_gpms,
+        "gpm": asdict(config.gpm),
+        "interconnect": (
+            None if config.interconnect is None
+            else {
+                "kind": config.interconnect.kind.value,
+                "bw": config.interconnect.per_gpm_bandwidth_gbps,
+                "lat": config.interconnect.link_latency_cycles,
+            }
+        ),
+        "domain": config.integration_domain.value,
+        "placement": config.placement_policy.value,
+        # Only fingerprint compression when configured, so plain configs
+        # keep their cache identity across library versions.
+        **(
+            {}
+            if config.compression is None
+            else {
+                "compression": {
+                    "ratio": config.compression.data_ratio,
+                    "lat": config.compression.codec_latency_cycles,
+                    "min": config.compression.min_payload_bytes,
+                }
+            }
+        ),
+    }
+
+
+def _cache_key(spec: WorkloadSpec, config: GpuConfig) -> str:
+    blob = json.dumps(
+        {
+            "version": RESULTS_VERSION,
+            "spec": {
+                key: (value if not isinstance(value, dict) else
+                      {opcode.value: weight for opcode, weight in value.items()})
+                for key, value in asdict(spec).items()
+                if key != "compute_mix"
+            }
+            | {"mix": {op.value: w for op, w in spec.compute_mix.items()}},
+            "config": _config_fingerprint(config),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def run_pair(spec: WorkloadSpec, config: GpuConfig) -> RunRecord:
+    """Simulate one (workload, configuration) pair (no caching)."""
+    workload = build_workload(spec)
+    result = simulate(workload, config)
+    return RunRecord(
+        workload=spec.abbr,
+        category=spec.category.value,
+        config_label=config.label(),
+        num_gpms=config.num_gpms,
+        seconds=result.seconds,
+        counters=result.counters,
+    )
+
+
+def _run_pair_star(args: tuple[WorkloadSpec, GpuConfig]) -> RunRecord:
+    return run_pair(*args)
+
+
+class SweepRunner:
+    """Executes (workload, configuration) grids with caching."""
+
+    def __init__(self, settings: SweepSettings | None = None):
+        self.settings = settings or SweepSettings()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------ cache
+
+    def _cache_path(self, key: str) -> Path:
+        return self.settings.cache_dir / f"{key}.json"
+
+    def _load_cached(self, key: str) -> RunRecord | None:
+        if not self.settings.use_cache:
+            return None
+        path = self._cache_path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open() as handle:
+                return RunRecord.from_json(json.load(handle))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # A corrupt cache entry must never poison an experiment.
+            path.unlink(missing_ok=True)
+            return None
+
+    def _store(self, key: str, record: RunRecord) -> None:
+        if not self.settings.use_cache:
+            return
+        self.settings.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(key)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as handle:
+            json.dump(record.to_json(), handle)
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------- runs
+
+    def run(
+        self, pairs: list[tuple[WorkloadSpec, GpuConfig]]
+    ) -> list[RunRecord]:
+        """Run every pair, serving cached results and simulating the rest.
+
+        Results come back in input order.
+        """
+        if not pairs:
+            raise ExperimentError("an empty sweep is almost certainly a bug")
+        records: list[RunRecord | None] = []
+        missing: list[tuple[int, tuple[WorkloadSpec, GpuConfig]]] = []
+        keys: list[str] = []
+        for index, (spec, config) in enumerate(pairs):
+            key = _cache_key(spec, config)
+            keys.append(key)
+            cached = self._load_cached(key)
+            if cached is None:
+                records.append(None)
+                missing.append((index, (spec, config)))
+                self.cache_misses += 1
+            else:
+                records.append(cached)
+                self.cache_hits += 1
+
+        if missing:
+            jobs = [pair for _index, pair in missing]
+            if self.settings.processes > 1 and len(jobs) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.settings.processes, len(jobs))
+                ) as pool:
+                    for (index, _pair), record in zip(
+                        missing, pool.map(_run_pair_star, jobs)
+                    ):
+                        records[index] = record
+                        self._store(keys[index], record)
+            else:
+                # Store as each simulation completes, so an interrupted sweep
+                # resumes where it stopped.
+                for index, (spec, config) in missing:
+                    record = run_pair(spec, config)
+                    records[index] = record
+                    self._store(keys[index], record)
+
+        return [record for record in records if record is not None]
+
+    def run_grid(
+        self, specs: list[WorkloadSpec], configs: list[GpuConfig]
+    ) -> dict[str, dict[str, RunRecord]]:
+        """Cartesian sweep; returns ``results[config_label][workload]``."""
+        pairs = [(spec, config) for config in configs for spec in specs]
+        records = self.run(pairs)
+        grid: dict[str, dict[str, RunRecord]] = {}
+        for record in records:
+            grid.setdefault(record.config_label, {})[record.workload] = record
+        return grid

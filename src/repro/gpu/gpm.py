@@ -1,0 +1,75 @@
+"""One GPU module: SMs, memory path, and its kernel driver."""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.gpu.config import GpmConfig
+from repro.gpu.counters import CounterSet
+from repro.isa.kernel import Kernel
+from repro.memory.dram import DramChannel
+from repro.memory.hierarchy import GpmMemory
+from repro.memory.pages import PagePlacement
+from repro.sim.engine import Engine
+from repro.sm.scheduler import CtaSlotScheduler
+from repro.sm.smcore import SmCore
+
+
+class Gpm:
+    """A GPU module: the replicated building block of the multi-module GPU."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        gpm_id: int,
+        config: GpmConfig,
+        placement: PagePlacement,
+        counters: CounterSet,
+    ):
+        self.engine = engine
+        self.gpm_id = gpm_id
+        self.config = config
+        self.counters = counters
+        self.dram = DramChannel(engine, config.dram, name=f"gpm{gpm_id}.dram")
+        self.memory = GpmMemory(
+            engine=engine,
+            gpm_id=gpm_id,
+            num_sms=config.num_sms,
+            l1_config=config.l1_config,
+            l2_config=config.l2_config,
+            dram=self.dram,
+            placement=placement,
+            counters=counters,
+            latencies=config.latencies,
+        )
+        self.sms = [
+            SmCore(
+                engine=engine,
+                sm_id=gpm_id * config.num_sms + local,
+                gpm_id=gpm_id,
+                local_index=local,
+                issue_rate=config.issue_rate,
+                memory=self.memory,
+                counters=counters,
+            )
+            for local in range(config.num_sms)
+        ]
+        self.scheduler = CtaSlotScheduler(self.sms, config.slots_per_sm)
+
+    def run_kernel(self, kernel: Kernel, cta_ids: list[int]) -> Generator:
+        """Process generator executing this GPM's share of one kernel."""
+        if not cta_ids:
+            return
+            yield  # pragma: no cover - keeps this a generator for empty shares
+        yield from self.scheduler.run_kernel(kernel, cta_ids)
+
+    def busy_cycles(self) -> float:
+        """Summed SM issue-stage busy cycles."""
+        return sum(sm.busy_cycles() for sm in self.sms)
+
+    def idle_cycles(self, elapsed: float) -> float:
+        """Summed SM issue-stage idle cycles over an elapsed window."""
+        return sum(sm.idle_cycles(elapsed) for sm in self.sms)
+
+    def __repr__(self) -> str:
+        return f"Gpm(id={self.gpm_id}, sms={self.config.num_sms})"

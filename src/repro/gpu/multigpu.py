@@ -1,0 +1,153 @@
+"""The assembled multi-module GPU and its workload driver.
+
+``MultiGpu`` owns the shared simulation engine, the GPMs, the inter-GPM
+network, the global page table, and the software-coherence protocol.  Running
+a workload executes its kernels back-to-back: each kernel is partitioned
+across GPMs (distributed CTA scheduling), every GPM drains its share, a
+global barrier closes the kernel, and the coherence protocol flash-invalidates
+remote-homed L2 lines before the next launch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.config import GpuConfig, TopologyKind
+from repro.gpu.counters import CounterSet
+from repro.gpu.cta_scheduler import CtaPartitioning, partition_ctas
+from repro.gpu.gpm import Gpm
+from repro.interconnect.compression import CompressedTopology
+from repro.interconnect.mesh import MeshTopology
+from repro.interconnect.ring import RingTopology
+from repro.interconnect.switch import SwitchTopology
+from repro.interconnect.topology import Topology
+from repro.isa.kernel import Workload
+from repro.memory.coherence import SoftwareCoherence
+from repro.memory.pages import PagePlacement
+from repro.sim.engine import AllOf, Engine
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel timing recorded by the driver."""
+
+    name: str
+    start_cycle: float
+    end_cycle: float
+
+    @property
+    def cycles(self) -> float:
+        return self.end_cycle - self.start_cycle
+
+
+class MultiGpu:
+    """A 1..32-module GPU instance bound to one simulation engine."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+    ):
+        self.config = config
+        self.partitioning = partitioning
+        self.engine = Engine()
+        self.counters = CounterSet()
+        self.placement = PagePlacement(
+            num_gpms=config.num_gpms, policy=config.placement_policy
+        )
+        self.gpms = [
+            Gpm(self.engine, gpm_id, config.gpm, self.placement, self.counters)
+            for gpm_id in range(config.num_gpms)
+        ]
+        self.topology = self._build_topology()
+        peers = [gpm.memory for gpm in self.gpms]
+        for gpm in self.gpms:
+            gpm.memory.connect(self.topology, peers)
+        self.coherence = SoftwareCoherence()
+        if config.num_gpms > 1:
+            for gpm in self.gpms:
+                self.coherence.register_l2(gpm.gpm_id, gpm.memory.l2)
+        self.kernel_stats: list[KernelStats] = []
+
+    def _build_topology(self) -> Topology | None:
+        config = self.config
+        if config.num_gpms == 1:
+            return None
+        interconnect = config.interconnect
+        if interconnect is None:  # pragma: no cover - GpuConfig already guards
+            raise ConfigError("multi-GPM config lost its interconnect")
+        if interconnect.kind is TopologyKind.MESH:
+            topology: Topology = MeshTopology(
+                self.engine,
+                config.num_gpms,
+                per_gpm_bandwidth_gbps=interconnect.per_gpm_bandwidth_gbps,
+                link_latency_cycles=interconnect.link_latency_cycles,
+                energy_pj_per_bit=interconnect.energy_pj_per_bit,
+            )
+        elif interconnect.kind is TopologyKind.RING:
+            topology = RingTopology(
+                self.engine,
+                config.num_gpms,
+                per_gpm_bandwidth_gbps=interconnect.per_gpm_bandwidth_gbps,
+                link_latency_cycles=interconnect.link_latency_cycles,
+                energy_pj_per_bit=interconnect.energy_pj_per_bit,
+            )
+        else:
+            topology = SwitchTopology(
+                self.engine,
+                config.num_gpms,
+                per_gpm_bandwidth_gbps=interconnect.per_gpm_bandwidth_gbps,
+                link_latency_cycles=interconnect.link_latency_cycles,
+                energy_pj_per_bit=interconnect.energy_pj_per_bit,
+            )
+        if config.compression is not None:
+            topology = CompressedTopology(topology, config.compression)
+        return topology
+
+    # ------------------------------------------------------------------ driver
+
+    def _workload_body(self, workload: Workload) -> Generator:
+        for kernel in workload.kernels:
+            start = self.engine.now
+            partitions = partition_ctas(
+                kernel.num_ctas, self.config.num_gpms, self.partitioning
+            )
+            processes = [
+                self.engine.process(
+                    gpm.run_kernel(kernel, cta_ids),
+                    name=f"gpm{gpm.gpm_id}.{kernel.name}",
+                )
+                for gpm, cta_ids in zip(self.gpms, partitions)
+                if cta_ids
+            ]
+            yield AllOf([process.done for process in processes])
+            self.kernel_stats.append(
+                KernelStats(kernel.name, start_cycle=start, end_cycle=self.engine.now)
+            )
+            if self.config.num_gpms > 1:
+                self.coherence.kernel_boundary()
+
+    def run(self, workload: Workload, max_events: int | None = None) -> CounterSet:
+        """Execute ``workload`` to completion and return the filled counters."""
+        self.placement.set_interleaved_from(workload.interleaved_base)
+        driver = self.engine.process(self._workload_body(workload), name="driver")
+        self.engine.run(max_events=max_events)
+        if not driver.done.triggered:
+            raise ConfigError(
+                f"workload {workload.name!r} deadlocked: driver never finished"
+            )
+        elapsed = self.engine.now
+        counters = self.counters
+        counters.elapsed_cycles = elapsed
+        counters.sm_busy_cycles = sum(gpm.busy_cycles() for gpm in self.gpms)
+        counters.sm_idle_cycles = sum(gpm.idle_cycles(elapsed) for gpm in self.gpms)
+        if self.topology is not None:
+            traffic = self.topology.traffic
+            counters.inter_gpm_bytes = traffic.bytes_injected
+            counters.inter_gpm_byte_hops = traffic.byte_hops
+            counters.switch_byte_traversals = traffic.switch_byte_traversals
+            if isinstance(self.topology, CompressedTopology):
+                counters.compression_codec_bytes = self.topology.codec_bytes
+        return counters

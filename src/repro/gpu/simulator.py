@@ -1,0 +1,88 @@
+"""Simulator facade: one call from (workload, config) to counters and time.
+
+This is the integration point the rest of the package uses: GPUJoule consumes
+the returned :class:`~repro.gpu.counters.CounterSet` and execution time, the
+EDPSE analysis consumes the derived speedups, and the experiment drivers never
+touch engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.counters import CounterSet
+from repro.gpu.cta_scheduler import CtaPartitioning
+from repro.gpu.multigpu import KernelStats, MultiGpu
+from repro.isa.kernel import Workload
+from repro.units import cycles_to_seconds
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produces."""
+
+    workload_name: str
+    config_label: str
+    counters: CounterSet
+    kernel_stats: list[KernelStats] = field(default_factory=list)
+    clock_hz: float = 0.0
+
+    @property
+    def cycles(self) -> float:
+        return self.counters.elapsed_cycles
+
+    @property
+    def seconds(self) -> float:
+        return cycles_to_seconds(self.counters.elapsed_cycles, self.clock_hz)
+
+    @property
+    def sm_utilization(self) -> float:
+        """Mean SM issue-stage utilization over the run."""
+        busy = self.counters.sm_busy_cycles
+        total = busy + self.counters.sm_idle_cycles
+        return 0.0 if total == 0 else busy / total
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.workload_name!r} on {self.config_label!r},"
+            f" {self.cycles:.0f} cycles, util={self.sm_utilization:.2f})"
+        )
+
+
+class GpuSimulator:
+    """Reusable entry point binding a configuration to workload runs."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+    ):
+        self.config = config
+        self.partitioning = partitioning
+
+    def run(self, workload: Workload, max_events: int | None = None) -> RunResult:
+        """Simulate ``workload`` on a fresh GPU instance.
+
+        Every run builds a new :class:`MultiGpu`, so results are independent
+        and deterministic: identical (workload, config) pairs produce
+        identical counters.
+        """
+        gpu = MultiGpu(self.config, partitioning=self.partitioning)
+        counters = gpu.run(workload, max_events=max_events)
+        return RunResult(
+            workload_name=workload.name,
+            config_label=self.config.label(),
+            counters=counters,
+            kernel_stats=list(gpu.kernel_stats),
+            clock_hz=self.config.gpm.clock_hz,
+        )
+
+
+def simulate(
+    workload: Workload,
+    config: GpuConfig,
+    partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+) -> RunResult:
+    """Convenience wrapper: simulate one workload on one configuration."""
+    return GpuSimulator(config, partitioning=partitioning).run(workload)

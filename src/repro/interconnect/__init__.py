@@ -1,0 +1,17 @@
+"""Inter-GPM interconnect substrate: links, ring and switch topologies."""
+
+from repro.interconnect.link import Link, LinkConfig
+from repro.interconnect.topology import Topology, TransferResult
+from repro.interconnect.ring import RingTopology
+from repro.interconnect.switch import SwitchTopology
+from repro.interconnect.traffic import TrafficCounters
+
+__all__ = [
+    "Link",
+    "LinkConfig",
+    "Topology",
+    "TransferResult",
+    "RingTopology",
+    "SwitchTopology",
+    "TrafficCounters",
+]

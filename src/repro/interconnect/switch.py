@@ -1,0 +1,71 @@
+"""High-radix switch interconnect (NVSwitch-like).
+
+Section V-C studies replacing the on-board ring with a high-radix switch chip:
+every GPM connects to the crossbar through an uplink and a downlink of the
+full per-GPM I/O bandwidth, so any transfer takes exactly two link hops
+(src uplink, dst downlink) regardless of GPM count.  The payload additionally
+traverses the switch fabric, which the paper charges an extra 10 pJ/bit.
+
+Compared to the ring, the switch removes multi-hop amplification: injected
+bytes consume exactly 2x link bandwidth instead of ~N/4 x, which is why it
+roughly doubles 32-GPM EDPSE in Figure 9 despite identical link bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.interconnect.link import Link, LinkConfig
+from repro.interconnect.topology import Topology
+from repro.sim.engine import Engine
+
+
+class SwitchTopology(Topology):
+    """Single crossbar switch with one full-bandwidth port pair per GPM."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        num_gpms: int,
+        per_gpm_bandwidth_gbps: float,
+        link_latency_cycles: float,
+        energy_pj_per_bit: float,
+        switch_latency_cycles: float = 50.0,
+    ):
+        super().__init__(num_gpms)
+        if per_gpm_bandwidth_gbps <= 0:
+            raise ConfigError("per-GPM I/O bandwidth must be positive")
+        self.per_gpm_bandwidth_gbps = per_gpm_bandwidth_gbps
+        self.switch_latency_cycles = switch_latency_cycles
+        link_config = LinkConfig(
+            bandwidth_gbps=per_gpm_bandwidth_gbps,
+            latency_cycles=link_latency_cycles + switch_latency_cycles / 2.0,
+            energy_pj_per_bit=energy_pj_per_bit,
+        )
+        self._uplinks: list[Link] = [
+            Link(engine, link_config, src=f"gpm{i}", dst="switch")
+            for i in range(num_gpms)
+        ]
+        self._downlinks: list[Link] = [
+            Link(engine, link_config, src="switch", dst=f"gpm{i}")
+            for i in range(num_gpms)
+        ]
+
+    def route(self, src: int, dst: int) -> tuple[list[Link], int]:
+        """Uplink then downlink, always through the crossbar."""
+        return [self._uplinks[src], self._downlinks[dst]], 1
+
+    def links(self) -> list[Link]:
+        """All uplinks and downlinks."""
+        return list(self._uplinks) + list(self._downlinks)
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Always two link hops through the crossbar."""
+        if src == dst:
+            return 0
+        return 2
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchTopology(n={self.num_gpms},"
+            f" port {self.per_gpm_bandwidth_gbps:g} GB/s)"
+        )

@@ -1,0 +1,88 @@
+"""Topology interface shared by the ring and switch networks.
+
+A topology turns a (src GPM, dst GPM, size) transfer into reservations on the
+links along the route.  Transfers use *virtual cut-through* accounting: the
+payload is serialized once on every hop link (each link's FCFS queue applies),
+and the completion time is the latest link-completion plus the accumulated
+per-hop propagation latency.  This costs one event per transfer regardless of
+hop count, which is what keeps 32-GPM ring simulations cheap, while still
+letting congestion emerge from per-link queueing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.interconnect.link import Link
+from repro.interconnect.traffic import TrafficCounters
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one inter-GPM transfer reservation."""
+
+    completion_time: float
+    hops: int
+    switch_traversals: int
+
+
+class Topology(abc.ABC):
+    """Common behaviour for inter-GPM networks."""
+
+    def __init__(self, num_gpms: int):
+        if num_gpms < 2:
+            raise ConfigError(
+                f"an interconnect needs at least 2 GPMs, got {num_gpms}"
+            )
+        self.num_gpms = num_gpms
+        self.traffic = TrafficCounters()
+
+    @abc.abstractmethod
+    def route(self, src: int, dst: int) -> tuple[list[Link], int]:
+        """Return ``(links, switch_traversals)`` for a src->dst transfer."""
+
+    @abc.abstractmethod
+    def links(self) -> list[Link]:
+        """Every link in the network (diagnostics and tests)."""
+
+    def transfer(
+        self, src: int, dst: int, nbytes: int, earliest: float | None = None
+    ) -> TransferResult:
+        """Reserve a transfer of ``nbytes`` from GPM ``src`` to GPM ``dst``.
+
+        ``earliest`` bounds when injection may begin (payload availability).
+        Returns the completion time; the caller's process sleeps until then.
+        """
+        self._check_endpoints(src, dst)
+        links, switch_traversals = self.route(src, dst)
+        if not links:
+            raise ConfigError(f"route {src}->{dst} has no links")
+        finish = 0.0
+        latency = 0.0
+        for link in links:
+            done = link.reserve(nbytes, earliest=earliest)
+            if done > finish:
+                finish = done
+            latency += link.config.latency_cycles
+        hops = len(links)
+        self.traffic.record(nbytes, hops, switch_traversals)
+        return TransferResult(
+            completion_time=finish + latency,
+            hops=hops,
+            switch_traversals=switch_traversals,
+        )
+
+    def _check_endpoints(self, src: int, dst: int) -> None:
+        if not 0 <= src < self.num_gpms or not 0 <= dst < self.num_gpms:
+            raise ConfigError(
+                f"transfer endpoints ({src}, {dst}) out of range"
+                f" [0, {self.num_gpms})"
+            )
+        if src == dst:
+            raise ConfigError("local transfers must not enter the interconnect")
+
+    def max_utilization(self, elapsed: float) -> float:
+        """Highest per-link utilization (identifies the bottleneck link)."""
+        return max((link.utilization(elapsed) for link in self.links()), default=0.0)

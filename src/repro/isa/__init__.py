@@ -1,0 +1,30 @@
+"""PTX-like instruction-set substrate.
+
+GPUJoule works at the granularity of native ISA (PTX) instructions and memory
+transactions, so the simulator's traces are expressed in the same vocabulary:
+
+* :mod:`~repro.isa.opcodes` — the compute opcodes of Table Ib plus memory ops.
+* :mod:`~repro.isa.instructions` — individual instruction records (used by the
+  microbenchmark builders, which emit literal instruction loops).
+* :mod:`~repro.isa.program` — warp programs as sequences of *segments*, the
+  unit at which the discrete-event simulator advances a warp.
+* :mod:`~repro.isa.kernel` — kernels (grids of CTAs) and whole workloads.
+"""
+
+from repro.isa.opcodes import MemSpace, Opcode, OpClass
+from repro.isa.instructions import Instruction
+from repro.isa.program import MemAccess, Segment, WarpProgram
+from repro.isa.kernel import Kernel, KernelLaunch, Workload
+
+__all__ = [
+    "MemSpace",
+    "Opcode",
+    "OpClass",
+    "Instruction",
+    "MemAccess",
+    "Segment",
+    "WarpProgram",
+    "Kernel",
+    "KernelLaunch",
+    "Workload",
+]

@@ -1,0 +1,64 @@
+"""Individual instruction records.
+
+Warp programs in the performance simulator are segment-based (see
+:mod:`repro.isa.program`), but the microbenchmark builders — the analogue of
+the paper's Algorithm 1 inline-assembly loops — construct literal instruction
+sequences.  :class:`Instruction` is that literal form, convertible into
+segments for execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.isa.opcodes import MemSpace, Opcode
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One warp-level instruction.
+
+    Args:
+        opcode: which operation this is.
+        address: byte address of the (coalesced) warp access — memory ops only.
+        size: bytes moved by the warp access — memory ops only.
+    """
+
+    opcode: Opcode
+    address: int | None = None
+    size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.opcode.is_memory:
+            if self.address is None or self.size is None:
+                raise TraceError(
+                    f"memory instruction {self.opcode} requires address and size"
+                )
+            if self.address < 0:
+                raise TraceError(f"negative address: {self.address!r}")
+            if self.size <= 0:
+                raise TraceError(f"non-positive access size: {self.size!r}")
+        else:
+            if self.address is not None or self.size is not None:
+                raise TraceError(
+                    f"non-memory instruction {self.opcode} cannot carry an address"
+                )
+
+    @property
+    def mem_space(self) -> MemSpace | None:
+        """Address space touched, or None for non-memory instructions."""
+        if self.opcode in (Opcode.LDS, Opcode.STS):
+            return MemSpace.SHARED
+        if self.opcode in (Opcode.LDG, Opcode.STG):
+            return MemSpace.GLOBAL
+        return None
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in (Opcode.STG, Opcode.STS)
+
+    def __repr__(self) -> str:
+        if self.opcode.is_memory:
+            return f"Instruction({self.opcode.name}, addr=0x{self.address:x}, size={self.size})"
+        return f"Instruction({self.opcode.name})"

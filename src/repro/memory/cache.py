@@ -1,0 +1,213 @@
+"""A set-associative, write-through/no-write-allocate cache model.
+
+The model is *functional plus counters*: it tracks tag state exactly (true
+LRU), and reports hits/misses/evictions so the timing layer can charge
+latencies and the energy layer can count transactions.  It does not store
+data — the simulator never needs values, only movement.
+
+Write policy: GPU L1s on the modeled (Kepler-class) machine are write-through
+and no-write-allocate for global stores; L2 is write-back with write-allocate.
+Both behaviours are selectable per instance via :class:`CacheConfig`.
+
+Each cache line remembers the *home GPM* of its page so module-side L2s can
+bulk-invalidate remote lines at kernel boundaries (software coherence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import CACHE_LINE_BYTES, is_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy for one cache instance."""
+
+    capacity_bytes: int
+    line_bytes: int = CACHE_LINE_BYTES
+    associativity: int = 4
+    write_allocate: bool = False
+    write_back: bool = False
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.associativity <= 0:
+            raise ConfigError(f"{self.name}: associativity must be positive")
+        lines = self.capacity_bytes // self.line_bytes
+        if lines == 0:
+            raise ConfigError(f"{self.name}: capacity smaller than one line")
+        if lines % self.associativity != 0:
+            raise ConfigError(
+                f"{self.name}: line count {lines} not divisible by"
+                f" associativity {self.associativity}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters for one cache instance."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return 0.0 if total == 0 else 1.0 - self.misses / total
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another instance's counters into this one."""
+        self.read_hits += other.read_hits
+        self.read_misses += other.read_misses
+        self.write_hits += other.write_hits
+        self.write_misses += other.write_misses
+        self.evictions += other.evictions
+        self.dirty_evictions += other.dirty_evictions
+        self.invalidations += other.invalidations
+
+
+class _Line:
+    """Tag-store entry."""
+
+    __slots__ = ("tag", "dirty", "home")
+
+    def __init__(self, tag: int, home: int):
+        self.tag = tag
+        self.dirty = False
+        self.home = home
+
+
+class Cache:
+    """True-LRU set-associative cache with per-line home-GPM tracking."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
+        self._write_back = config.write_back
+        self._write_allocate = config.write_allocate
+        # Each set is a list ordered MRU-first; lists are tiny (associativity).
+        self._sets: list[list[_Line]] = [[] for _ in range(self._num_sets)]
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_addr = address >> self._line_shift
+        return line_addr % self._num_sets, line_addr
+
+    def probe(self, address: int) -> bool:
+        """Non-mutating presence check (no LRU update, no stats)."""
+        set_index, tag = self._locate(address)
+        return any(line.tag == tag for line in self._sets[set_index])
+
+    def access(
+        self, address: int, is_store: bool = False, home: int = 0
+    ) -> tuple[bool, bool]:
+        """Perform one access.
+
+        Args:
+            address: byte address.
+            is_store: store accesses follow the configured write policy.
+            home: home GPM of the page backing this address (for coherence).
+
+        Returns:
+            ``(hit, dirty_eviction)`` — ``dirty_eviction`` is True when the
+            access displaced a dirty line that must be written downstream.
+        """
+        tag = address >> self._line_shift
+        ways = self._sets[tag % self._num_sets]
+        stats = self.stats
+        position = 0
+        for line in ways:
+            if line.tag == tag:
+                if position:
+                    del ways[position]
+                    ways.insert(0, line)
+                if is_store:
+                    stats.write_hits += 1
+                    if self._write_back:
+                        line.dirty = True
+                else:
+                    stats.read_hits += 1
+                return True, False
+            position += 1
+
+        # Miss path.
+        if is_store:
+            stats.write_misses += 1
+            if not self._write_allocate:
+                return False, False
+        else:
+            stats.read_misses += 1
+
+        dirty_evicted = False
+        if len(ways) >= self._associativity:
+            victim = ways.pop()
+            stats.evictions += 1
+            if victim.dirty:
+                stats.dirty_evictions += 1
+                dirty_evicted = True
+        new_line = _Line(tag, home)
+        if is_store and self._write_back:
+            new_line.dirty = True
+        ways.insert(0, new_line)
+        return False, dirty_evicted
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop every line for which ``predicate(home_gpm) is True``.
+
+        Models the bulk flash-invalidate of software coherence.  Dirty lines
+        are dropped too: the software protocol guarantees writers flushed
+        before the boundary, so no writeback traffic is generated here.
+
+        Returns the number of lines invalidated.
+        """
+        invalidated = 0
+        for ways in self._sets:
+            keep = [line for line in ways if not predicate(line.home)]
+            invalidated += len(ways) - len(keep)
+            ways[:] = keep
+        self.stats.invalidations += invalidated
+        return invalidated
+
+    def flush(self) -> int:
+        """Invalidate everything (kernel-boundary flush of a whole cache)."""
+        return self.invalidate_where(lambda _home: True)
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"Cache({cfg.name!r}, {cfg.capacity_bytes // 1024}KiB,"
+            f" {cfg.associativity}-way, {cfg.line_bytes}B lines)"
+        )

@@ -1,0 +1,101 @@
+"""DRAM channel model with GDDR5 and HBM presets.
+
+A channel is a bandwidth server plus a fixed access latency.  The scaling
+study gives every GPM one HBM stack at 256 GB/s (Table III); the K40
+validation substrate uses a GDDR5 preset at the K40's 280 GB/s (Table Ia).
+Energy per bit differs between the two technologies and is consumed by the
+energy model, not here — the timing layer only reports transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.engine import Engine
+from repro.sim.resources import BandwidthServer
+from repro.units import gbps_to_bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """One DRAM stack/partition attached to a GPM."""
+
+    technology: str
+    bandwidth_gbps: float
+    latency_cycles: float
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if self.latency_cycles < 0:
+            raise ConfigError("DRAM latency must be non-negative")
+        if self.capacity_bytes <= 0:
+            raise ConfigError("DRAM capacity must be positive")
+
+
+#: HBM stack used by every GPM in the scaling study (Table III).
+HBM = DramConfig(
+    technology="HBM",
+    bandwidth_gbps=256.0,
+    latency_cycles=300.0,
+    capacity_bytes=12 * 1024**3,
+)
+
+#: GDDR5 preset matching the Tesla K40 validation platform (Table Ia).
+GDDR5 = DramConfig(
+    technology="GDDR5",
+    bandwidth_gbps=280.0,
+    latency_cycles=350.0,
+    capacity_bytes=12 * 1024**3,
+)
+
+
+class DramChannel:
+    """Timing front-end for one DRAM stack."""
+
+    def __init__(self, engine: Engine, config: DramConfig, name: str = "dram"):
+        self.engine = engine
+        self.config = config
+        self.server = BandwidthServer(
+            engine, gbps_to_bytes_per_cycle(config.bandwidth_gbps), name=name
+        )
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, nbytes: int, earliest: float | None = None) -> float:
+        """Reserve a read; returns the absolute completion time.
+
+        ``earliest`` bounds when channel service may begin (the time the
+        request physically arrives at this stack).
+        """
+        self.reads += 1
+        self.bytes_read += nbytes
+        return self.server.reserve(nbytes, earliest=earliest) + self.config.latency_cycles
+
+    def write(self, nbytes: int, earliest: float | None = None) -> float:
+        """Reserve a write; returns the absolute completion time.
+
+        Writes occupy channel bandwidth but the issuing warp does not wait on
+        them; callers may discard the completion time.
+        """
+        self.writes += 1
+        self.bytes_written += nbytes
+        return self.server.reserve(nbytes, earliest=earliest)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def utilization(self, elapsed: float) -> float:
+        """Channel busy fraction over an elapsed window."""
+        return self.server.utilization(elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"DramChannel({self.config.technology},"
+            f" {self.config.bandwidth_gbps:g} GB/s)"
+        )

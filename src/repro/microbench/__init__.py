@@ -1,0 +1,15 @@
+"""Microbenchmarks for EPI/EPT calibration and model validation (Fig. 3)."""
+
+from repro.microbench.compute import ComputeMicrobenchmark
+from repro.microbench.memory import MemoryLevel, MemoryMicrobenchmark
+from repro.microbench.mixed import MixedMicrobenchmark, fig4a_suite
+from repro.microbench.harness import MicrobenchmarkHarness
+
+__all__ = [
+    "ComputeMicrobenchmark",
+    "MemoryLevel",
+    "MemoryMicrobenchmark",
+    "MixedMicrobenchmark",
+    "fig4a_suite",
+    "MicrobenchmarkHarness",
+]

@@ -1,0 +1,92 @@
+"""Single-instruction compute microbenchmarks (the paper's Algorithm 1).
+
+Each benchmark executes one PTX opcode in a tight register-resident loop on
+every SM simultaneously, long enough for the power sensor to observe steady
+state.  Execution is *analytic*: a steady-state loop of one instruction has a
+closed-form schedule (the issue stage is the only bottleneck), so the
+benchmark directly produces the counters and duration that the silicon model
+prices and the sensor observes.  The literal loop body is still materialized
+(:meth:`build_instructions`) as the checkable analogue of the paper's inlined
+assembly.
+
+An ``occupancy`` knob (warps per SM) exists because the refinement loop uses
+*low-occupancy* variants to expose and calibrate the stall-energy term: with
+one warp per SM the issue stage sits idle most of the time, and the measured
+power above the pure-compute prediction is the stalled-pipeline energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.counters import CounterSet
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.units import DEFAULT_CLOCK_HZ
+
+
+@dataclass(frozen=True)
+class ComputeMicrobenchmark:
+    """A steady-state single-opcode loop across all SMs."""
+
+    opcode: Opcode
+    iterations_per_warp: int = 100_000
+    num_sms: int = 15
+    warps_per_sm: int = 32
+    issue_rate: float = 4.0
+    clock_hz: float = DEFAULT_CLOCK_HZ
+
+    def __post_init__(self) -> None:
+        if not self.opcode.is_compute:
+            raise ConfigError(
+                f"compute microbenchmarks need a compute opcode, got {self.opcode}"
+            )
+        if self.iterations_per_warp <= 0:
+            raise ConfigError("iterations_per_warp must be positive")
+        if self.num_sms <= 0 or self.warps_per_sm <= 0:
+            raise ConfigError("num_sms and warps_per_sm must be positive")
+        if self.issue_rate <= 0:
+            raise ConfigError("issue_rate must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"ubench.compute.{self.opcode.name.lower()}"
+
+    @property
+    def total_warp_instructions(self) -> int:
+        return self.iterations_per_warp * self.num_sms * self.warps_per_sm
+
+    def build_instructions(self, unroll: int = 8) -> list[Instruction]:
+        """The literal loop body (Algorithm 1's region of interest)."""
+        if unroll <= 0:
+            raise ConfigError("unroll must be positive")
+        return [Instruction(self.opcode) for _ in range(unroll)]
+
+    def execute(self) -> tuple[CounterSet, float]:
+        """Analytic steady-state execution: (counters, duration in seconds).
+
+        With W warps per SM all issuing the same opcode of weight ``w``, the
+        per-SM issue stage serves ``W * iterations * w`` slot-units at
+        ``issue_rate`` per cycle; SMs run in lockstep so the board-level
+        duration equals the per-SM duration.  Issue-stage idle time is zero
+        at full occupancy and grows as occupancy drops below the pipeline's
+        saturation point.
+        """
+        counters = CounterSet()
+        counters.count_instruction(self.opcode, self.total_warp_instructions)
+
+        weight = self.opcode.issue_weight
+        slots_per_sm = self.warps_per_sm * self.iterations_per_warp * weight
+        busy_cycles_per_sm = slots_per_sm / self.issue_rate
+        # Below saturation occupancy, each warp can only keep one instruction
+        # in flight per `pipeline_depth` cycles; model a simple linear ramp.
+        saturation_warps = 8.0
+        utilization = min(1.0, self.warps_per_sm / saturation_warps)
+        elapsed_cycles = busy_cycles_per_sm / utilization
+        counters.sm_busy_cycles = busy_cycles_per_sm * self.num_sms
+        counters.sm_idle_cycles = (
+            (elapsed_cycles - busy_cycles_per_sm) * self.num_sms
+        )
+        counters.elapsed_cycles = elapsed_cycles
+        return counters, elapsed_cycles / self.clock_hz

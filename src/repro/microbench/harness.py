@@ -1,0 +1,58 @@
+"""Measurement harness: run microbenchmarks on silicon, package measurements.
+
+This is the outer loop of the Figure 3 flow's boxes 1 and 3: execute a
+benchmark (analytically), observe its power through the sensor, and hand the
+calibration math a :class:`~repro.core.calibration.MeasuredRun` whose event
+count matches what the benchmark stressed.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.calibration import MeasuredRun
+from repro.errors import CalibrationError
+from repro.gpu.counters import CounterSet
+from repro.power.meter import Measurement, PowerMeter
+
+
+class Microbenchmark(Protocol):
+    """Anything the harness can run: named, analytically executable."""
+
+    @property
+    def name(self) -> str: ...  # noqa: E704 - protocol stub
+
+    def execute(self) -> tuple[CounterSet, float]: ...  # noqa: E704
+
+
+class MicrobenchmarkHarness:
+    """Runs microbenchmarks against one silicon instance."""
+
+    def __init__(self, meter: PowerMeter):
+        self.meter = meter
+        self.log: list[tuple[str, Measurement]] = []
+
+    def run(self, benchmark: Microbenchmark) -> tuple[CounterSet, Measurement]:
+        """Execute and measure one benchmark."""
+        counters, exec_time_s = benchmark.execute()
+        if exec_time_s <= 0:
+            raise CalibrationError(
+                f"benchmark {benchmark.name!r} reported a non-positive duration"
+            )
+        measurement = self.meter.measure(counters, exec_time_s)
+        self.log.append((benchmark.name, measurement))
+        return counters, measurement
+
+    def measured_run(
+        self, benchmark: Microbenchmark, event_count: int
+    ) -> tuple[CounterSet, MeasuredRun]:
+        """Execute, measure, and package for Eq. 5 with the given event count."""
+        if event_count <= 0:
+            raise CalibrationError("event_count must be positive")
+        counters, measurement = self.run(benchmark)
+        return counters, MeasuredRun(
+            power_active_w=measurement.power_active_w,
+            power_idle_w=measurement.power_idle_w,
+            exec_time_s=measurement.exec_time_s,
+            event_count=event_count,
+        )

@@ -1,0 +1,154 @@
+"""Mixed-instruction validation microbenchmarks (Figure 4a).
+
+The Figure 3 flow validates the calibrated model on *combinations* the
+calibration loops never saw: a compute instruction interleaved with data
+movement at a chosen level (e.g. "FADD64 + L2 Cache").  Any systematic
+interaction energy the per-instruction model misses shows up as signed error
+here, which is what Figure 4a plots (the paper observes +2.5 %/-6 %).
+
+The five benchmarks of Figure 4a are reproduced by :func:`fig4a_suite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+from repro.microbench.memory import (
+    MemoryLevel,
+    MemoryMicrobenchmark,
+    chase_latency_cycles,
+    steps_for_steady_state,
+)
+from repro.units import DEFAULT_CLOCK_HZ
+
+
+@dataclass(frozen=True)
+class MixedMicrobenchmark:
+    """A compute opcode interleaved with pointer chases at given levels."""
+
+    opcode: Opcode
+    levels: tuple[MemoryLevel, ...]
+    compute_per_step: int = 4
+    steps_per_warp: int = 20_000
+    num_sms: int = 15
+    warps_per_sm: int = 32
+    issue_rate: float = 4.0
+    clock_hz: float = DEFAULT_CLOCK_HZ
+    #: Overlapped chase chains per warp (see MemoryMicrobenchmark).
+    independent_chains: int = 4
+    #: Peak DRAM bandwidth (GB/s) bounding DRAM-touching combinations.
+    dram_peak_gbps: float = 280.0
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.opcode.is_compute:
+            raise ConfigError("mixed benchmark needs a compute opcode")
+        if not self.levels:
+            raise ConfigError("mixed benchmark needs at least one memory level")
+        if self.compute_per_step <= 0 or self.steps_per_warp <= 0:
+            raise ConfigError("compute_per_step and steps_per_warp must be positive")
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        levels = "+".join(level.value for level in self.levels)
+        return f"ubench.mixed.{self.opcode.name.lower()}+{levels}"
+
+    def _chase(self, level: MemoryLevel) -> MemoryMicrobenchmark:
+        return MemoryMicrobenchmark(
+            level=level,
+            steps_per_warp=self.steps_per_warp,
+            num_sms=self.num_sms,
+            warps_per_sm=self.warps_per_sm,
+            issue_rate=self.issue_rate,
+            clock_hz=self.clock_hz,
+        )
+
+    def execute(self) -> tuple[CounterSet, float]:
+        """Analytic execution: interleave compute bursts with chase steps.
+
+        Per step the warp issues ``compute_per_step`` instructions of the
+        mixed opcode, then one dependent access per level.  Chase latency
+        dominates; the compute overlaps under it (latency hiding within the
+        warp's own ILP window), so the duration is the sum of the per-level
+        chase times plus any compute overhang beyond them.
+        """
+        counters = CounterSet()
+        n_warps = self.num_sms * self.warps_per_sm
+        total_steps = self.steps_per_warp * n_warps
+        counters.count_instruction(self.opcode, self.compute_per_step * total_steps)
+        counters.count_instruction(Opcode.IADD32, total_steps * len(self.levels))
+
+        chase_cycles = 0.0
+        for level in self.levels:
+            chase = self._chase(level)
+            step = chase.transactions_per_step()
+            counters.shared_rf_txns += step.shared_rf_txns * total_steps
+            counters.l1_rf_txns += step.l1_rf_txns * total_steps
+            counters.l2_l1_txns += step.l2_l1_txns * total_steps
+            counters.dram_l2_txns += step.dram_l2_txns * total_steps
+            chase_cycles += chase.chase_latency_cycles
+        chase_cycles /= self.independent_chains
+
+        compute_cycles = (
+            self.compute_per_step * self.opcode.issue_weight / self.issue_rate
+        ) * self.warps_per_sm
+        per_step_cycles = max(chase_cycles, compute_cycles)
+        elapsed_cycles = self.steps_per_warp * per_step_cycles
+        if MemoryLevel.DRAM in self.levels:
+            from repro.units import CACHE_LINE_BYTES, gbps_to_bytes_per_cycle
+
+            bytes_per_cycle = gbps_to_bytes_per_cycle(
+                self.dram_peak_gbps, self.clock_hz
+            )
+            bandwidth_bound = total_steps * CACHE_LINE_BYTES / bytes_per_cycle
+            elapsed_cycles = max(elapsed_cycles, bandwidth_bound)
+
+        issue_slots_per_sm = (
+            self.warps_per_sm
+            * self.steps_per_warp
+            * (
+                self.compute_per_step * self.opcode.issue_weight
+                + 2.0 * len(self.levels)
+            )
+        )
+        busy_per_sm = min(issue_slots_per_sm / self.issue_rate, elapsed_cycles)
+        counters.sm_busy_cycles = busy_per_sm * self.num_sms
+        counters.sm_idle_cycles = (elapsed_cycles - busy_per_sm) * self.num_sms
+        counters.elapsed_cycles = elapsed_cycles
+        return counters, elapsed_cycles / self.clock_hz
+
+
+def fig4a_suite(
+    num_sms: int = 15, warps_per_sm: int = 32
+) -> list[MixedMicrobenchmark]:
+    """The five Figure 4a validation benchmarks: FADD64 + one or two levels.
+
+    Step counts are sized per combination so each run outlasts the power
+    sensor's refresh window — validation, like calibration, measures steady
+    state.
+    """
+    combos: list[tuple[str, tuple[MemoryLevel, ...]]] = [
+        ("FADD64 + Shared Memory", (MemoryLevel.SHARED,)),
+        ("FADD64 + L1D Cache", (MemoryLevel.L1,)),
+        ("FADD64 + L2 Cache", (MemoryLevel.L2,)),
+        ("FADD64 + DRAM", (MemoryLevel.DRAM,)),
+        ("FADD64 + L2 Cache + DRAM", (MemoryLevel.L2, MemoryLevel.DRAM)),
+    ]
+    suite = []
+    for label, levels in combos:
+        per_step = sum(chase_latency_cycles(level) for level in levels)
+        bench = MixedMicrobenchmark(
+            opcode=Opcode.FADD64,
+            levels=levels,
+            label=label,
+            num_sms=num_sms,
+            warps_per_sm=warps_per_sm,
+        )
+        steps = steps_for_steady_state(per_step / bench.independent_chains)
+        suite.append(replace(bench, steps_per_warp=steps))
+    return suite

@@ -1,0 +1,24 @@
+"""Silicon measurement substrate.
+
+The paper calibrates and validates GPUJoule against a physical Tesla K40 read
+through NVML's on-board power sensor.  Offline we substitute a synthetic
+*silicon* model — a ground-truth energy behaviour that is richer than the
+top-down model (per-opcode perturbations, an interaction term the model does
+not capture, a memory-subsystem utilization floor) — observed through an
+NVML-like sensor with the real sensor's 15 ms refresh period.  The same
+calibration code path the authors ran against hardware runs here against the
+substitute, including its documented failure modes (Fig. 4b outliers).
+"""
+
+from repro.power.silicon import SiliconEffects, SiliconGpu
+from repro.power.sensor import PowerSensor, SensorConfig
+from repro.power.meter import Measurement, PowerMeter
+
+__all__ = [
+    "SiliconEffects",
+    "SiliconGpu",
+    "PowerSensor",
+    "SensorConfig",
+    "Measurement",
+    "PowerMeter",
+]

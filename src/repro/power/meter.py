@@ -1,0 +1,77 @@
+"""Steady-state power measurement harness.
+
+Bridges a workload's counters (from the performance simulator or a
+microbenchmark's analytic execution) to a sensor reading, producing the
+:class:`~repro.core.calibration.MeasuredRun` records the calibration math
+consumes.  This is the substitute for "run the binary, poll NVML".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.calibration import MeasuredRun
+from repro.errors import CalibrationError
+from repro.gpu.counters import CounterSet
+from repro.power.sensor import PowerSensor
+from repro.power.silicon import SiliconGpu
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A completed power/energy measurement of one run."""
+
+    power_active_w: float
+    power_idle_w: float
+    exec_time_s: float
+
+    @property
+    def energy_j(self) -> float:
+        """Total wall-plug energy over the run as the sensor saw it."""
+        return self.power_active_w * self.exec_time_s
+
+    @property
+    def dynamic_energy_j(self) -> float:
+        """Energy above the idle floor (what calibration divides by counts)."""
+        return (self.power_active_w - self.power_idle_w) * self.exec_time_s
+
+
+class PowerMeter:
+    """Measures runs on a :class:`SiliconGpu` through a :class:`PowerSensor`."""
+
+    def __init__(self, silicon: SiliconGpu, sensor: PowerSensor | None = None):
+        self.silicon = silicon
+        self.sensor = sensor or PowerSensor()
+
+    def measure(self, counters: CounterSet, exec_time_s: float) -> Measurement:
+        """Measure one run's steady-state power through the sensor.
+
+        Short runs (relative to the sensor refresh period) blend with the
+        surrounding idle power — deliberately reproducing the on-board
+        sensor's resolution limits.
+        """
+        if exec_time_s <= 0:
+            raise CalibrationError("cannot measure a zero-duration run")
+        true_power = self.silicon.true_power_w(counters, exec_time_s)
+        observed = self.sensor.measure_roi(
+            roi_duration_s=exec_time_s,
+            roi_power_w=true_power,
+            surrounding_power_w=self.silicon.idle_power_w,
+        )
+        return Measurement(
+            power_active_w=observed,
+            power_idle_w=self.silicon.idle_power_w,
+            exec_time_s=exec_time_s,
+        )
+
+    def measured_run(
+        self, counters: CounterSet, exec_time_s: float, event_count: int
+    ) -> MeasuredRun:
+        """Package a measurement for the Eq. 5 calibration math."""
+        measurement = self.measure(counters, exec_time_s)
+        return MeasuredRun(
+            power_active_w=measurement.power_active_w,
+            power_idle_w=measurement.power_idle_w,
+            exec_time_s=measurement.exec_time_s,
+            event_count=event_count,
+        )

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+The performance simulator is built on a small, dependency-free discrete-event
+kernel:
+
+* :class:`~repro.sim.engine.Engine` — the event heap and simulation clock.
+* :class:`~repro.sim.engine.Process` — generator-based coroutines that model
+  warps, CTA dispatchers, and other active agents.
+* :mod:`~repro.sim.resources` — analytic FCFS bandwidth servers and latency
+  stations used for SM issue slots, DRAM channels, and interconnect links.
+* :mod:`~repro.sim.stats` — lightweight online statistics used by counters.
+"""
+
+from repro.sim.engine import AllOf, Engine, Event, Process, Timeout
+from repro.sim.resources import BandwidthServer, LatencyStation, ThroughputServer
+from repro.sim.stats import Accumulator, Histogram, UtilizationTracker
+
+__all__ = [
+    "AllOf",
+    "Engine",
+    "Event",
+    "Process",
+    "Timeout",
+    "BandwidthServer",
+    "LatencyStation",
+    "ThroughputServer",
+    "Accumulator",
+    "Histogram",
+    "UtilizationTracker",
+]

@@ -1,0 +1,221 @@
+"""A minimal generator-coroutine discrete-event engine.
+
+The engine is intentionally small: a binary-heap event queue, a monotonically
+advancing clock measured in core cycles, and processes expressed as Python
+generators.  A process yields *commands* and is resumed when the command
+completes:
+
+``yield Timeout(delay)``
+    Resume the process ``delay`` cycles from now.
+
+``yield event``  (an :class:`Event`)
+    Resume when the event succeeds.  Multiple processes may wait on one event.
+
+``yield AllOf([event, ...])``
+    Resume when every listed event has succeeded.
+
+Resources (see :mod:`repro.sim.resources`) return absolute completion times;
+processes convert those into timeouts via :meth:`Engine.wait_until`.
+
+The design trades generality for speed: there is no process interruption, no
+event cancellation, and no priority levels — none of which the GPU model
+needs — so the hot path is a heap push/pop plus a generator ``send``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class Timeout:
+    """Command object: suspend the yielding process for ``delay`` cycles."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    Events succeed exactly once, optionally carrying a value that is delivered
+    to every waiter.  Waiting on an already-succeeded event resumes the waiter
+    immediately (on the next engine step), which makes completion races benign.
+    """
+
+    __slots__ = ("engine", "_callbacks", "triggered", "value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._callbacks: list[Any] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, resuming every waiter at the current time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        for callback in self._callbacks:
+            self.engine.schedule(0.0, callback, value)
+        self._callbacks.clear()
+
+    def add_callback(self, callback: Any) -> None:
+        """Register ``callback(value)``; fires now if already triggered."""
+        if self.triggered:
+            self.engine.schedule(0.0, callback, self.value)
+        else:
+            self._callbacks.append(callback)
+
+
+class AllOf:
+    """Command object: wait for every event in ``events`` to succeed."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+    def __repr__(self) -> str:
+        return f"AllOf(<{len(self.events)} events>)"
+
+
+class Process:
+    """A running generator coroutine bound to an engine.
+
+    The process body is a generator yielding :class:`Timeout`, :class:`Event`,
+    or :class:`AllOf` commands.  When the generator returns, the process's
+    :attr:`done` event succeeds with the generator's return value.
+    """
+
+    __slots__ = ("engine", "_generator", "done", "name")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        self.engine = engine
+        self._generator = generator
+        self.done = Event(engine)
+        self.name = name
+        engine.schedule(0.0, self._step, None)
+
+    def _step(self, value: Any) -> None:
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self.engine.schedule(command.delay, self._step, None)
+        elif isinstance(command, Event):
+            command.add_callback(self._step)
+        elif isinstance(command, AllOf):
+            self._wait_all(command.events)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unknown command {command!r}"
+            )
+
+    def _wait_all(self, events: list[Event]) -> None:
+        pending = [event for event in events if not event.triggered]
+        if not pending:
+            self.engine.schedule(0.0, self._step, None)
+            return
+        remaining = len(pending)
+
+        def _one_done(_value: Any, _state: list[int] = [remaining]) -> None:
+            _state[0] -= 1
+            if _state[0] == 0:
+                self._step(None)
+
+        for event in pending:
+            event.add_callback(_one_done)
+
+
+class Engine:
+    """Event heap plus simulation clock.
+
+    Time is a float measured in cycles.  Events scheduled at identical times
+    run in FIFO order (a monotonic sequence number breaks heap ties), keeping
+    runs fully deterministic.
+    """
+
+    __slots__ = ("_heap", "_seq", "now", "_events_processed")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any, Any]] = []
+        self._seq = 0
+        self.now = 0.0
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (diagnostic)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Any, value: Any = None) -> None:
+        """Run ``callback(value)`` exactly ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, value))
+        self._seq += 1
+
+    def event(self) -> Event:
+        """Create a fresh one-shot event bound to this engine."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a process from a generator; it starts on the next step."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Create a timeout command (for symmetry with SimPy-style code)."""
+        return Timeout(delay)
+
+    def wait_until(self, when: float) -> Timeout:
+        """Timeout command resuming at absolute time ``when`` (>= now)."""
+        if when < self.now - 1e-9:
+            raise SimulationError(
+                f"wait_until target {when!r} is before current time {self.now!r}"
+            )
+        return Timeout(max(0.0, when - self.now))
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the event heap.
+
+        Args:
+            until: stop once the clock would pass this time (the event stays
+                queued).  ``None`` runs to quiescence.
+            max_events: safety valve against runaway simulations; raises
+                :class:`SimulationError` when exceeded.
+
+        Returns:
+            The final simulation time.
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, callback, value = heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(heap)
+            self.now = when
+            self._events_processed += 1
+            if max_events is not None and self._events_processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now}"
+                )
+            callback(value)
+        return self.now

@@ -1,0 +1,136 @@
+"""Lightweight statistics helpers used by simulator counters and experiments."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+class Accumulator:
+    """Online mean/variance (Welford) plus min/max tracking."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of an empty accumulator")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance."""
+        if self.count == 0:
+            raise ValueError("variance of an empty accumulator")
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "Accumulator(empty)"
+        return (
+            f"Accumulator(n={self.count}, mean={self._mean:.4g},"
+            f" min={self.minimum:.4g}, max={self.maximum:.4g})"
+        )
+
+
+class Histogram:
+    """Fixed-width bucket histogram for diagnostic distributions."""
+
+    def __init__(self, bucket_width: float, name: str = ""):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width!r}")
+        self.bucket_width = bucket_width
+        self.name = name
+        self.buckets: dict[int, int] = {}
+        self.total = 0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` with the given integer weight."""
+        index = int(value // self.bucket_width)
+        self.buckets[index] = self.buckets.get(index, 0) + weight
+        self.total += weight
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (bucket upper edge); q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.total == 0:
+            raise ValueError("quantile of an empty histogram")
+        target = q * self.total
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return (index + 1) * self.bucket_width
+        return (max(self.buckets) + 1) * self.bucket_width
+
+    def __len__(self) -> int:
+        return self.total
+
+
+class UtilizationTracker:
+    """Tracks busy intervals of a unit to derive idle time post-hoc.
+
+    SMs report their cumulative busy cycles; at the end of the run the GPU
+    subtracts busy from elapsed to obtain the idle (stall) cycles that feed the
+    EPStall term of the energy model.
+    """
+
+    __slots__ = ("busy_cycles", "last_start", "active")
+
+    def __init__(self) -> None:
+        self.busy_cycles = 0.0
+        self.last_start = 0.0
+        self.active = False
+
+    def begin(self, now: float) -> None:
+        """Mark the unit busy starting at ``now`` (idempotent)."""
+        if not self.active:
+            self.active = True
+            self.last_start = now
+
+    def end(self, now: float) -> None:
+        """Mark the unit idle at ``now``, accumulating the busy interval."""
+        if self.active:
+            self.busy_cycles += now - self.last_start
+            self.active = False
+
+    def add_busy(self, cycles: float) -> None:
+        """Directly credit busy cycles (used with analytic servers)."""
+        if cycles < 0:
+            raise ValueError(f"negative busy credit: {cycles!r}")
+        self.busy_cycles += cycles
+
+    def idle_cycles(self, elapsed: float) -> float:
+        """Idle cycles over an ``elapsed`` window (clamped at zero)."""
+        return max(0.0, elapsed - self.busy_cycles)

@@ -1,0 +1,7 @@
+"""Streaming-multiprocessor model: warps, schedulers, and the SM core."""
+
+from repro.sm.warp import WarpContext, WarpState
+from repro.sm.scheduler import CtaSlotScheduler
+from repro.sm.smcore import SmCore
+
+__all__ = ["WarpContext", "WarpState", "CtaSlotScheduler", "SmCore"]

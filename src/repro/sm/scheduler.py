@@ -1,0 +1,77 @@
+"""Intra-SM CTA slot scheduling.
+
+Each SM exposes a fixed number of *CTA slots* (occupancy).  A slot runs one
+CTA at a time: it spawns all of the CTA's warps as concurrent processes,
+waits for every warp to retire, then pulls the next CTA from the GPM's work
+queue.  With ``slots`` concurrent CTAs of ``warps_per_cta`` warps each, the SM
+holds ``slots * warps_per_cta`` resident warps — the latency-tolerance pool
+that lets issue bandwidth stay busy while individual warps wait on memory.
+
+The GPM work queue is shared by the GPM's SMs, giving dynamic load balancing
+within a module; *across* modules, CTAs are partitioned statically by the
+distributed scheduler in :mod:`repro.gpu.cta_scheduler` so that first-touch
+placement localizes each partition's pages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.isa.kernel import Kernel
+from repro.sim.engine import AllOf
+from repro.sm.warp import WarpContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sm.smcore import SmCore
+
+
+class CtaSlotScheduler:
+    """Runs a GPM's CTA queue across that GPM's SMs for one kernel."""
+
+    def __init__(self, sms: list["SmCore"], slots_per_sm: int):
+        if not sms:
+            raise ConfigError("scheduler needs at least one SM")
+        if slots_per_sm <= 0:
+            raise ConfigError(f"slots_per_sm must be positive, got {slots_per_sm}")
+        self.sms = sms
+        self.slots_per_sm = slots_per_sm
+        self.ctas_started = 0
+        self.ctas_finished = 0
+
+    def run_kernel(self, kernel: Kernel, cta_ids: list[int]) -> Generator:
+        """Process generator: execute ``cta_ids`` of ``kernel``; returns when done.
+
+        This is itself run as a process by the GPM; it spawns one process per
+        (SM, slot) pair and waits for all of them.
+        """
+        queue: deque[int] = deque(cta_ids)
+        engine = self.sms[0].engine
+        slot_processes = []
+        for sm in self.sms:
+            for slot in range(self.slots_per_sm):
+                process = engine.process(
+                    self._slot_body(sm, kernel, queue),
+                    name=f"sm{sm.sm_id}.slot{slot}",
+                )
+                slot_processes.append(process)
+        yield AllOf([process.done for process in slot_processes])
+
+    def _slot_body(self, sm: "SmCore", kernel: Kernel, queue: deque[int]) -> Generator:
+        engine = sm.engine
+        while queue:
+            cta_id = queue.popleft()
+            self.ctas_started += 1
+            warps = [
+                WarpContext(cta_id, warp_id, kernel.warp_program(cta_id, warp_id))
+                for warp_id in range(kernel.warps_per_cta)
+            ]
+            processes = [
+                engine.process(warp.body(sm), name=f"cta{cta_id}.w{warp.warp_id}")
+                for warp in warps
+            ]
+            yield AllOf([process.done for process in processes])
+            self.ctas_finished += 1
+            sm.ctas_retired += 1

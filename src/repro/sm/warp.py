@@ -1,0 +1,105 @@
+"""Warp execution contexts.
+
+A warp advances segment by segment (see :mod:`repro.isa.program`): it reserves
+issue slots on its SM, prices each of the segment's memory accesses through
+the GPM memory path, then sleeps until the slowest dependency resolves.  Each
+segment costs exactly one simulation event.
+
+The warp records its own issue/stall split for diagnostics; the authoritative
+idle accounting that feeds the EPStall energy term is done at the SM level
+(issue-server busy time vs. elapsed time), because warp-private wait time
+overlaps across warps and must not be double counted.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Generator
+from typing import TYPE_CHECKING
+
+from repro.isa.program import WarpProgram
+from repro.sim.engine import AllOf
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sm.smcore import SmCore
+
+
+class WarpState(enum.Enum):
+    """Lifecycle of a warp context."""
+
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+class WarpContext:
+    """One resident warp: identity, program, and progress statistics."""
+
+    __slots__ = (
+        "cta_id",
+        "warp_id",
+        "program",
+        "state",
+        "instructions_executed",
+        "segments_executed",
+        "wait_cycles",
+    )
+
+    def __init__(self, cta_id: int, warp_id: int, program: WarpProgram):
+        self.cta_id = cta_id
+        self.warp_id = warp_id
+        self.program = program
+        self.state = WarpState.READY
+        self.instructions_executed = 0
+        self.segments_executed = 0
+        self.wait_cycles = 0.0
+
+    def body(self, sm: "SmCore") -> Generator:
+        """Process generator executing this warp on ``sm``.
+
+        Execution is software-pipelined one segment deep, mirroring how GPU
+        compilers hoist the next iteration's loads above the current
+        iteration's consumers: segment ``k+1`` issues while segment ``k``'s
+        memory is still in flight, so a warp tolerates one full memory round
+        trip beyond its per-segment MLP.
+        """
+        engine = sm.engine
+        counters = sm.counters
+        self.state = WarpState.RUNNING
+        prev_completion = 0.0
+        prev_events = None
+        for segment in self.program:
+            issue_done = sm.issue.reserve(segment.issue_slots)
+            counters.count_compute_map(segment.compute)
+            completion = issue_done
+            pending = None
+            for access in segment.accesses:
+                done, events = sm.memory_access(access, earliest=issue_done)
+                if done > completion:
+                    completion = done
+                if events:
+                    if pending is None:
+                        pending = events
+                    else:
+                        pending.extend(events)
+            self.instructions_executed += segment.total_instructions
+            self.segments_executed += 1
+            # Drain the PREVIOUS segment before moving past this one.
+            if prev_completion > engine.now:
+                yield engine.wait_until(prev_completion)
+            if prev_events:
+                yield AllOf(prev_events)
+            self.wait_cycles += max(0.0, engine.now - issue_done)
+            prev_completion = completion
+            prev_events = pending
+        if prev_completion > engine.now:
+            yield engine.wait_until(prev_completion)
+        if prev_events:
+            yield AllOf(prev_events)
+        self.state = WarpState.FINISHED
+
+    def __repr__(self) -> str:
+        return (
+            f"WarpContext(cta={self.cta_id}, warp={self.warp_id},"
+            f" state={self.state.value})"
+        )

@@ -1,0 +1,21 @@
+"""The Table II workload suite as parameterized synthetic traces."""
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import (
+    SCALING_SUBSET,
+    WORKLOAD_SPECS,
+    get_spec,
+    scaling_workloads,
+    validation_workloads,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_workload",
+    "SCALING_SUBSET",
+    "WORKLOAD_SPECS",
+    "get_spec",
+    "scaling_workloads",
+    "validation_workloads",
+]

@@ -1,0 +1,232 @@
+"""Turns a :class:`WorkloadSpec` into executable kernels and warp programs.
+
+Address-space layout (per workload)::
+
+    [0, footprint)                      CTA-partitioned arrays: CTA i owns
+                                        the slice [i*region, (i+1)*region)
+    [shared_base, +shared_footprint)    globally shared region (tables,
+                                        graph edges, reduction targets)
+
+Because CTAs are distributed in contiguous chunks and pages are placed first
+touch, a CTA's own slice lands in its GPM's DRAM stack and halo accesses land
+on the same GPM except at partition boundaries.  The shared region is marked
+for page *interleaving* (``Workload.interleaved_base``): multi-GPU systems
+stripe shared allocations across memories so no single module hotspots, and
+under striping ~(N-1)/N of shared-region traffic is remote — the gather/graph
+traffic class of the NUMA-GPU papers.
+
+Address streams are generated **vectorized per warp** with SplitMix64 over
+structured keys: a warp's program is a pure function of (workload seed,
+kernel, CTA, warp), identical across runs and GPM counts — strong scaling
+must present the same memory behaviour to every configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.isa.kernel import Kernel, Workload
+from repro.isa.opcodes import MemSpace, Opcode
+from repro.isa.program import MemAccess, Segment, WarpProgram
+from repro.units import CACHE_LINE_BYTES, PAGE_BYTES
+from repro.workloads.patterns import mix_key, splitmix64_array
+from repro.workloads.spec import WorkloadSpec
+
+_U64 = float(1 << 64)
+_LINE = CACHE_LINE_BYTES
+
+
+def _apportion_mix(mix: dict[Opcode, float], total: int) -> dict[Opcode, int]:
+    """Largest-remainder apportionment of ``total`` instructions over a mix."""
+    if total == 0:
+        return {}
+    weight_sum = sum(mix.values())
+    shares = {
+        opcode: total * weight / weight_sum for opcode, weight in mix.items()
+    }
+    counts = {opcode: int(share) for opcode, share in shares.items()}
+    shortfall = total - sum(counts.values())
+    by_remainder = sorted(
+        mix, key=lambda opcode: shares[opcode] - counts[opcode], reverse=True
+    )
+    for opcode in by_remainder[:shortfall]:
+        counts[opcode] += 1
+    return {opcode: count for opcode, count in counts.items() if count > 0}
+
+
+def shared_region_base(spec: WorkloadSpec) -> int:
+    """Start address of the workload's shared (interleaved) region."""
+    footprint_pages = (spec.footprint_bytes + PAGE_BYTES - 1) // PAGE_BYTES
+    return (footprint_pages + 1) * PAGE_BYTES
+
+
+class WarpProgramBuilder:
+    """``program_factory`` for one kernel of one workload.
+
+    Instances are lightweight and stateless across calls; one is attached to
+    each :class:`~repro.isa.kernel.Kernel` and invoked lazily per warp.
+    """
+
+    def __init__(self, spec: WorkloadSpec, kernel_index: int):
+        self.spec = spec
+        self.kernel_index = kernel_index
+        self._compute_counts = _apportion_mix(
+            spec.compute_mix, spec.compute_per_segment
+        )
+        self._shared_base = shared_region_base(spec)
+        def threshold(fraction: float) -> np.uint64:
+            """Cumulative-fraction threshold for strict `key < t` selection."""
+            return np.uint64(min(int(fraction * _U64), (1 << 64) - 1))
+
+        self._t_stream = threshold(spec.frac_stream)
+        self._t_reuse = threshold(spec.frac_stream + spec.frac_reuse)
+        self._t_halo = threshold(
+            spec.frac_stream + spec.frac_reuse + spec.frac_halo
+        )
+        self._t_store = threshold(spec.store_fraction)
+        self._t_lds = threshold(spec.shared_mem_fraction)
+        n = spec.segments_per_warp * spec.accesses_per_segment
+        self._seg = np.arange(n, dtype=np.uint64) // np.uint64(
+            max(1, spec.accesses_per_segment)
+        )
+        self._slot = np.arange(n, dtype=np.uint64) % np.uint64(
+            max(1, spec.accesses_per_segment)
+        )
+
+    def _addresses(self, cta_id: int, warp_id: int):
+        """Vectorized address/flag synthesis for one warp's whole program.
+
+        Returns (addresses, is_store, is_lds) aligned arrays of length
+        segments_per_warp * accesses_per_segment.
+        """
+        spec = self.spec
+        base_key = np.uint64(
+            mix_key(spec.seed, self.kernel_index, cta_id, warp_id)
+        )
+        lane = splitmix64_array(
+            base_key
+            ^ (self._seg * np.uint64(0x9E3779B97F4A7C15))
+            ^ (self._slot * np.uint64(0xC2B2AE3D27D4EB4F))
+        )
+        pick = splitmix64_array(lane)
+        store_key = splitmix64_array(lane ^ np.uint64(0x5A5A5A5A5A5A5A5A))
+        lds_key = splitmix64_array(lane ^ np.uint64(0xA5A5A5A5A5A5A5A5))
+
+        region = spec.cta_region_bytes
+        region_lines = max(1, region // _LINE)
+        base = cta_id * region
+
+        position = (
+            (
+                np.uint64(self.kernel_index * spec.segments_per_warp)
+                + self._seg
+            )
+            * np.uint64(max(1, spec.accesses_per_segment))
+            + self._slot
+        ) * np.uint64(spec.warps_per_cta) + np.uint64(warp_id)
+
+        # Class 1: strided stream through the CTA's own slice.
+        stream_offsets = (
+            (position * np.uint64(spec.stride_lines)) % np.uint64(region_lines)
+        ) * np.uint64(_LINE)
+        stream_addr = np.uint64(base) + stream_offsets
+
+        # Class 2: hot-block reuse within the slice.
+        hot_lines = max(1, min(spec.hot_block_bytes, region) // _LINE)
+        hot_idx = ((lane >> np.uint64(32)) * np.uint64(hot_lines)) >> np.uint64(32)
+        reuse_addr = np.uint64(base) + hot_idx * np.uint64(_LINE)
+
+        # Class 3: halo — adjacent CTA's slice at the same stream position.
+        direction = np.where((lane & np.uint64(2)) == 0, 1, -1)
+        partner = cta_id + direction
+        partner = np.where(
+            (partner < 0) | (partner >= spec.total_ctas),
+            cta_id - direction,
+            partner,
+        ).astype(np.uint64)
+        halo_offsets = (position % np.uint64(region_lines)) * np.uint64(_LINE)
+        halo_addr = partner * np.uint64(region) + halo_offsets
+
+        # Class 4: uniform random over the shared (interleaved) region.
+        shared_lines = max(1, spec.shared_footprint_bytes // _LINE)
+        shared_idx = (
+            (splitmix64_array(lane ^ np.uint64(0x3C6EF372FE94F82B)) >> np.uint64(32))
+            * np.uint64(shared_lines)
+        ) >> np.uint64(32)
+        shared_addr = np.uint64(self._shared_base) + shared_idx * np.uint64(_LINE)
+
+        addresses = np.where(
+            pick < self._t_stream,
+            stream_addr,
+            np.where(
+                pick < self._t_reuse,
+                reuse_addr,
+                np.where(pick < self._t_halo, halo_addr, shared_addr),
+            ),
+        )
+        is_store = (store_key < self._t_store) & (pick < self._t_stream)
+        is_lds = lds_key < self._t_lds
+        return addresses, is_store, is_lds
+
+    def __call__(self, cta_id: int, warp_id: int) -> WarpProgram:
+        spec = self.spec
+        acc = spec.accesses_per_segment
+        segments: list[Segment] = []
+        if acc == 0:
+            segment = Segment(compute=self._compute_counts)
+            return WarpProgram([segment] * spec.segments_per_warp)
+
+        addresses, is_store, is_lds = self._addresses(cta_id, warp_id)
+        addr_list = addresses.tolist()
+        store_list = is_store.tolist()
+        lds_list = is_lds.tolist()
+        index = 0
+        for _segment in range(spec.segments_per_warp):
+            accesses = []
+            for _slot in range(acc):
+                if lds_list[index]:
+                    accesses.append(
+                        MemAccess(
+                            address=int(addr_list[index]) % (64 * 1024),
+                            size=_LINE,
+                            space=MemSpace.SHARED,
+                        )
+                    )
+                else:
+                    accesses.append(
+                        MemAccess(
+                            address=int(addr_list[index]),
+                            size=_LINE,
+                            is_store=bool(store_list[index]),
+                        )
+                    )
+                index += 1
+            segments.append(
+                Segment(compute=self._compute_counts, accesses=tuple(accesses))
+            )
+        return WarpProgram(segments)
+
+
+def build_workload(spec: WorkloadSpec) -> Workload:
+    """Materialize a workload's kernel launch sequence from its spec."""
+    if spec.kernels <= 0:
+        raise TraceError(f"{spec.name}: needs at least one kernel")
+    kernels = [
+        Kernel(
+            name=f"{spec.abbr}.k{index}",
+            num_ctas=spec.total_ctas,
+            warps_per_cta=spec.warps_per_cta,
+            program_factory=WarpProgramBuilder(spec, index),
+        )
+        for index in range(spec.kernels)
+    ]
+    tags = ("short-kernels",) if spec.short_kernels else ()
+    return Workload(
+        name=spec.abbr,
+        kernels=kernels,
+        category=spec.category,
+        description=spec.description,
+        tags=tags,
+        interleaved_base=shared_region_base(spec),
+    )

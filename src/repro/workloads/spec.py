@@ -1,0 +1,147 @@
+"""Workload specifications: the macro-characteristics knobs of each trace.
+
+A :class:`WorkloadSpec` captures everything the scaling study actually depends
+on about an application: its instruction mix, memory intensity, working-set
+footprint, temporal locality, inter-CTA sharing (which becomes inter-GPM
+traffic under distributed scheduling + first-touch placement), and its kernel
+launch structure.  The generator turns a spec into concrete warp programs.
+
+Access-type fractions partition every warp's global accesses:
+
+* ``frac_stream`` — sequential sweep of the CTA's own partition (compulsory
+  misses; perfectly local under first touch).
+* ``frac_reuse`` — re-accesses of a small per-CTA hot block (cache-friendly).
+* ``frac_halo`` — accesses to an adjacent CTA's partition (stencil halos);
+  remote only when the neighbor CTA landed on another GPM, so the remote
+  share of halo traffic is ~2/num_ctas_per_gpm — growing with GPM count
+  exactly like a surface-to-volume ratio.
+* ``frac_shared`` — uniform random accesses into a globally shared region
+  (graph edges, lookup tables, reduction targets); under first touch its
+  pages scatter across GPMs, making ~(N-1)/N of this traffic remote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.isa.kernel import WorkloadCategory
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parametric description of one Table II application."""
+
+    name: str
+    abbr: str
+    category: WorkloadCategory
+    description: str = ""
+    input_label: str = ""
+
+    # -- launch structure -----------------------------------------------------
+    total_ctas: int = 2048
+    warps_per_cta: int = 4
+    kernels: int = 3
+    segments_per_warp: int = 15   # per kernel
+    short_kernels: bool = False   # many sub-sensor-window launches (Fig. 4b)
+
+    # -- compute behaviour ----------------------------------------------------
+    compute_per_segment: int = 8
+    compute_mix: dict[Opcode, float] = field(
+        default_factory=lambda: {Opcode.FFMA32: 1.0}
+    )
+
+    # -- memory behaviour -----------------------------------------------------
+    accesses_per_segment: int = 4
+    footprint_bytes: int = 32 * 1024 * 1024
+    shared_footprint_bytes: int = 4 * 1024 * 1024
+    hot_block_bytes: int = 4 * 1024
+    frac_stream: float = 0.7
+    frac_reuse: float = 0.1
+    frac_halo: float = 0.1
+    frac_shared: float = 0.1
+    store_fraction: float = 0.2
+    shared_mem_fraction: float = 0.0   # of all accesses, diverted to LDS
+    stride_lines: int = 1
+
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_ctas <= 0 or self.warps_per_cta <= 0:
+            raise ConfigError(f"{self.name}: grid dimensions must be positive")
+        if self.kernels <= 0 or self.segments_per_warp <= 0:
+            raise ConfigError(f"{self.name}: kernel structure must be positive")
+        if self.compute_per_segment < 0 or self.accesses_per_segment < 0:
+            raise ConfigError(f"{self.name}: negative per-segment work")
+        if self.compute_per_segment == 0 and self.accesses_per_segment == 0:
+            raise ConfigError(f"{self.name}: segments would be empty")
+        if not self.compute_mix and self.compute_per_segment > 0:
+            raise ConfigError(f"{self.name}: compute mix is empty")
+        for opcode, weight in self.compute_mix.items():
+            if not opcode.is_compute:
+                raise ConfigError(
+                    f"{self.name}: {opcode} is not a compute opcode"
+                )
+            if weight <= 0:
+                raise ConfigError(f"{self.name}: non-positive mix weight")
+        fractions = (
+            self.frac_stream + self.frac_reuse + self.frac_halo + self.frac_shared
+        )
+        if abs(fractions - 1.0) > 1e-9:
+            raise ConfigError(
+                f"{self.name}: access fractions sum to {fractions}, not 1.0"
+            )
+        for frac_name in ("store_fraction", "shared_mem_fraction"):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{self.name}: {frac_name} out of [0, 1]")
+        if self.footprint_bytes < self.total_ctas * 128:
+            raise ConfigError(
+                f"{self.name}: footprint smaller than one line per CTA"
+            )
+        if self.hot_block_bytes <= 0 or self.shared_footprint_bytes <= 0:
+            raise ConfigError(f"{self.name}: region sizes must be positive")
+        if self.stride_lines <= 0:
+            raise ConfigError(f"{self.name}: stride_lines must be positive")
+
+    # ---------------------------------------------------------------- derived
+
+    @property
+    def cta_region_bytes(self) -> int:
+        """Bytes of the partitioned footprint owned by each CTA."""
+        return (self.footprint_bytes // self.total_ctas) // 128 * 128
+
+    @property
+    def total_warp_instructions(self) -> int:
+        """Total dynamic warp instructions across the whole workload."""
+        per_segment = self.compute_per_segment + self.accesses_per_segment
+        return (
+            self.total_ctas
+            * self.warps_per_cta
+            * self.kernels
+            * self.segments_per_warp
+            * per_segment
+        )
+
+    @property
+    def total_accesses(self) -> int:
+        return (
+            self.total_ctas
+            * self.warps_per_cta
+            * self.kernels
+            * self.segments_per_warp
+            * self.accesses_per_segment
+        )
+
+    @property
+    def memory_intensity(self) -> float:
+        """Accesses per instruction — the C/M axis of Table II."""
+        total = self.total_warp_instructions
+        return 0.0 if total == 0 else self.total_accesses / total
+
+    def expected_shared_remote_fraction(self, num_gpms: int) -> float:
+        """Remote share of ``frac_shared`` traffic under first touch."""
+        if num_gpms <= 1:
+            return 0.0
+        return (num_gpms - 1) / num_gpms

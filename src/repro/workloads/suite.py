@@ -1,0 +1,322 @@
+"""The Table II application suite as synthetic workload specifications.
+
+Each spec encodes the macro behaviour of its namesake — instruction mix,
+memory intensity, footprint, temporal locality, inter-CTA sharing, and launch
+structure — at dimensions scaled for pure-Python simulation (DESIGN.md §2).
+Categories (C = compute intensive, M = memory bandwidth intensive) follow
+Table II, as does the 14-workload scaling subset (all but BFS, LuleshUns,
+MnCtct, and Srad-v1, which lack the parallelism to fill a 32x GPU).
+
+Two Fig. 4b mechanisms are encoded here:
+
+* RSBench and CoMD have very low memory-subsystem utilization (1 access per
+  long compute segment), so the silicon's utilization-gated memory power is
+  invisible to the transaction-count model.
+* MiniAMR and BFS launch many very short kernels (``short_kernels=True``),
+  defeating the 15 ms power sensor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.isa.kernel import Workload, WorkloadCategory
+from repro.isa.opcodes import Opcode
+from repro.units import KIB, MIB
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec
+
+C = WorkloadCategory.COMPUTE
+M = WorkloadCategory.MEMORY
+
+WORKLOAD_SPECS: dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    if spec.abbr in WORKLOAD_SPECS:
+        raise ConfigError(f"duplicate workload {spec.abbr!r}")
+    WORKLOAD_SPECS[spec.abbr] = spec
+
+
+# --------------------------------------------------------------------- compute
+
+_register(WorkloadSpec(
+    name="Back Propagation", abbr="BPROP", category=C, input_label="65536",
+    description="Neural-network training sweeps: FMA-dominated layers with "
+    "sigmoid activations, weight blocks reused across layers.",
+    kernels=4, segments_per_warp=1, compute_per_segment=54,
+    accesses_per_segment=3,
+    compute_mix={Opcode.FFMA32: 0.55, Opcode.FADD32: 0.25,
+                 Opcode.EXP232: 0.12, Opcode.RCP32: 0.08},
+    footprint_bytes=32 * MIB, shared_footprint_bytes=2 * MIB,
+    hot_block_bytes=8 * KIB, shared_mem_fraction=0.15,
+    frac_stream=0.30, frac_reuse=0.50, frac_halo=0.10, frac_shared=0.10,
+    store_fraction=0.15, seed=101,
+))
+
+_register(WorkloadSpec(
+    name="B+Tree", abbr="BTREE", category=C, input_label="1 Million",
+    description="Key lookups over a B+tree: integer compares descending a "
+    "shared, heavily cached upper tree into per-CTA leaves.",
+    kernels=2, segments_per_warp=1, compute_per_segment=60,
+    accesses_per_segment=5,
+    compute_mix={Opcode.IADD32: 0.30, Opcode.ISUB32: 0.20, Opcode.AND32: 0.20,
+                 Opcode.IMAD32: 0.15, Opcode.XOR32: 0.15},
+    footprint_bytes=16 * MIB, shared_footprint_bytes=1 * MIB,
+    hot_block_bytes=8 * KIB,
+    frac_stream=0.20, frac_reuse=0.35, frac_halo=0.05, frac_shared=0.40,
+    store_fraction=0.05, seed=102,
+))
+
+_register(WorkloadSpec(
+    name="Classic Molecular Dynamics", abbr="CoMD", category=C,
+    input_label="49 bodies",
+    description="Pair-force computation: long FMA/SQRT bursts per neighbor, "
+    "positions staged through shared memory; memory subsystem nearly idle.",
+    kernels=3, segments_per_warp=1, compute_per_segment=96,
+    accesses_per_segment=2,
+    compute_mix={Opcode.FFMA32: 0.50, Opcode.FMUL32: 0.30,
+                 Opcode.SQRT32: 0.10, Opcode.RCP32: 0.10},
+    footprint_bytes=8 * MIB, shared_footprint_bytes=1 * MIB,
+    hot_block_bytes=8 * KIB, shared_mem_fraction=0.30,
+    frac_stream=0.30, frac_reuse=0.50, frac_halo=0.20, frac_shared=0.00,
+    store_fraction=0.10, seed=103,
+))
+
+_register(WorkloadSpec(
+    name="Hotspot", abbr="Hotspot", category=C, input_label="1024x1024",
+    description="2D thermal stencil: iterative sweeps with halo exchange and "
+    "strong per-tile reuse.",
+    kernels=4, segments_per_warp=1, compute_per_segment=45,
+    accesses_per_segment=3,
+    compute_mix={Opcode.FFMA32: 0.55, Opcode.FADD32: 0.30, Opcode.FMUL32: 0.15},
+    footprint_bytes=16 * MIB, shared_footprint_bytes=1 * MIB,
+    hot_block_bytes=8 * KIB,
+    frac_stream=0.45, frac_reuse=0.35, frac_halo=0.15, frac_shared=0.05,
+    store_fraction=0.25, seed=104,
+))
+
+_register(WorkloadSpec(
+    name="Lulesh (unstructured)", abbr="LuleshUns", category=C,
+    input_label="Unstrc Mesh",
+    description="Shock hydrodynamics on an unstructured mesh: FP64 kernels "
+    "with indirect gathers through a shared connectivity table.",
+    kernels=3, segments_per_warp=1, compute_per_segment=60,
+    accesses_per_segment=4,
+    compute_mix={Opcode.FFMA64: 0.40, Opcode.FADD64: 0.20,
+                 Opcode.FMUL64: 0.10, Opcode.FFMA32: 0.30},
+    footprint_bytes=24 * MIB, shared_footprint_bytes=8 * MIB,
+    hot_block_bytes=8 * KIB,
+    frac_stream=0.30, frac_reuse=0.30, frac_halo=0.10, frac_shared=0.30,
+    store_fraction=0.20, seed=105,
+))
+
+_register(WorkloadSpec(
+    name="Path Finder", abbr="PathF", category=C, input_label="1 Million",
+    description="Dynamic-programming wavefront: integer min-plus updates row "
+    "by row with neighbor reads.",
+    kernels=6, segments_per_warp=1, compute_per_segment=20,
+    accesses_per_segment=2,
+    compute_mix={Opcode.IADD32: 0.40, Opcode.ISUB32: 0.30,
+                 Opcode.IMAD32: 0.20, Opcode.OR32: 0.10},
+    footprint_bytes=8 * MIB, shared_footprint_bytes=1 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.50, frac_reuse=0.30, frac_halo=0.20, frac_shared=0.00,
+    store_fraction=0.30, seed=106,
+))
+
+_register(WorkloadSpec(
+    name="RSBench", abbr="RSBench", category=C, input_label="1 Million",
+    description="Multipole cross-section lookups: transcendental-heavy "
+    "evaluation against small shared resonance tables; DRAM nearly idle.",
+    kernels=2, segments_per_warp=1, compute_per_segment=112,
+    accesses_per_segment=2,
+    compute_mix={Opcode.SIN32: 0.15, Opcode.COS32: 0.15, Opcode.LOG232: 0.15,
+                 Opcode.EXP232: 0.15, Opcode.FFMA32: 0.20, Opcode.FMUL32: 0.20},
+    footprint_bytes=8 * MIB, shared_footprint_bytes=1 * MIB,
+    hot_block_bytes=8 * KIB,
+    frac_stream=0.20, frac_reuse=0.40, frac_halo=0.00, frac_shared=0.40,
+    store_fraction=0.05, seed=107,
+))
+
+_register(WorkloadSpec(
+    name="SRAD (v1)", abbr="Srad-v1", category=C,
+    input_label="100, 0.5, 502x458",
+    description="Speckle-reducing anisotropic diffusion: stencil sweeps with "
+    "exponential/sqrt coefficient evaluation.",
+    kernels=6, segments_per_warp=1, compute_per_segment=28,
+    accesses_per_segment=2,
+    compute_mix={Opcode.FFMA32: 0.50, Opcode.FADD32: 0.30,
+                 Opcode.EXP232: 0.10, Opcode.SQRT32: 0.10},
+    footprint_bytes=12 * MIB, shared_footprint_bytes=1 * MIB,
+    hot_block_bytes=8 * KIB,
+    frac_stream=0.40, frac_reuse=0.35, frac_halo=0.20, frac_shared=0.05,
+    store_fraction=0.25, seed=108,
+))
+
+# --------------------------------------------------------------------- memory
+
+_register(WorkloadSpec(
+    name="Adaptive Mesh Refinement", abbr="MiniAMR", category=M,
+    input_label="15,000",
+    description="3D stencil over adaptively refined blocks: many short "
+    "kernels, block-boundary exchange, scattered refinement metadata.",
+    kernels=12, segments_per_warp=1, compute_per_segment=3,
+    accesses_per_segment=2, short_kernels=True,
+    compute_mix={Opcode.FFMA32: 0.60, Opcode.FADD32: 0.40},
+    footprint_bytes=64 * MIB, shared_footprint_bytes=8 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.50, frac_reuse=0.10, frac_halo=0.20, frac_shared=0.20,
+    store_fraction=0.25, seed=109,
+))
+
+_register(WorkloadSpec(
+    name="Breadth First Search", abbr="BFS", category=M,
+    input_label="Graph1MW",
+    description="Level-synchronous BFS: one short kernel per frontier, "
+    "edge-list gathers scattered across the whole graph.",
+    kernels=10, segments_per_warp=1, compute_per_segment=2,
+    accesses_per_segment=2, short_kernels=True,
+    compute_mix={Opcode.IADD32: 0.50, Opcode.AND32: 0.25, Opcode.OR32: 0.25},
+    footprint_bytes=32 * MIB, shared_footprint_bytes=16 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.25, frac_reuse=0.10, frac_halo=0.05, frac_shared=0.60,
+    store_fraction=0.15, seed=110,
+))
+
+_register(WorkloadSpec(
+    name="Kmeans clustering", abbr="Kmeans", category=M,
+    input_label="819200",
+    description="Distance evaluation: streaming point data against hot "
+    "centroid blocks, cluster assignments written back.",
+    kernels=3, segments_per_warp=1, compute_per_segment=20,
+    accesses_per_segment=6,
+    compute_mix={Opcode.FFMA32: 0.50, Opcode.FADD32: 0.30, Opcode.FMUL32: 0.20},
+    footprint_bytes=48 * MIB, shared_footprint_bytes=2 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.60, frac_reuse=0.25, frac_halo=0.00, frac_shared=0.15,
+    store_fraction=0.10, seed=111,
+))
+
+_register(WorkloadSpec(
+    name="Lulesh", abbr="Lulesh-150", category=M, input_label="size 150",
+    description="Structured shock hydrodynamics: FP64 element kernels "
+    "streaming nodal arrays with indirect neighbor gathers.",
+    kernels=4, segments_per_warp=1, compute_per_segment=18,
+    accesses_per_segment=5,
+    compute_mix={Opcode.FFMA64: 0.35, Opcode.FADD64: 0.25, Opcode.FFMA32: 0.40},
+    footprint_bytes=48 * MIB, shared_footprint_bytes=8 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.50, frac_reuse=0.10, frac_halo=0.15, frac_shared=0.25,
+    store_fraction=0.25, seed=112,
+))
+
+_register(WorkloadSpec(
+    name="Lulesh", abbr="Lulesh-190", category=M, input_label="size 190",
+    description="Lulesh at a larger mesh: the same kernels over a working "
+    "set twice the size, raising bandwidth pressure.",
+    kernels=4, segments_per_warp=1, compute_per_segment=18,
+    accesses_per_segment=6,
+    compute_mix={Opcode.FFMA64: 0.35, Opcode.FADD64: 0.25, Opcode.FFMA32: 0.40},
+    footprint_bytes=96 * MIB, shared_footprint_bytes=12 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.50, frac_reuse=0.10, frac_halo=0.15, frac_shared=0.25,
+    store_fraction=0.25, seed=113,
+))
+
+_register(WorkloadSpec(
+    name="Nekbone solver", abbr="Nekbone-12", category=M,
+    input_label="size 12",
+    description="Spectral-element conjugate gradient: FP64 matrix-free "
+    "operators with element-boundary exchanges staged in shared memory.",
+    kernels=3, segments_per_warp=1, compute_per_segment=28,
+    accesses_per_segment=6,
+    compute_mix={Opcode.FFMA64: 0.50, Opcode.FADD64: 0.20, Opcode.FFMA32: 0.30},
+    footprint_bytes=32 * MIB, shared_footprint_bytes=2 * MIB,
+    hot_block_bytes=4 * KIB, shared_mem_fraction=0.20,
+    frac_stream=0.50, frac_reuse=0.20, frac_halo=0.25, frac_shared=0.05,
+    store_fraction=0.20, seed=114,
+))
+
+_register(WorkloadSpec(
+    name="Nekbone solver", abbr="Nekbone-18", category=M,
+    input_label="size 18",
+    description="Nekbone at a larger polynomial order: bigger elements, "
+    "the same exchange structure, higher bandwidth demand.",
+    kernels=3, segments_per_warp=1, compute_per_segment=28,
+    accesses_per_segment=8,
+    compute_mix={Opcode.FFMA64: 0.50, Opcode.FADD64: 0.20, Opcode.FFMA32: 0.30},
+    footprint_bytes=64 * MIB, shared_footprint_bytes=4 * MIB,
+    hot_block_bytes=4 * KIB, shared_mem_fraction=0.20,
+    frac_stream=0.50, frac_reuse=0.20, frac_halo=0.25, frac_shared=0.05,
+    store_fraction=0.20, seed=115,
+))
+
+_register(WorkloadSpec(
+    name="Mini Contact", abbr="MnCtct", category=M, input_label="Mas1_2",
+    description="Contact-search mini-app: candidate-pair gathers scattered "
+    "across a shared surface table.",
+    kernels=4, segments_per_warp=1, compute_per_segment=12,
+    accesses_per_segment=4,
+    compute_mix={Opcode.IADD32: 0.30, Opcode.FFMA32: 0.40, Opcode.ISUB32: 0.30},
+    footprint_bytes=48 * MIB, shared_footprint_bytes=12 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.30, frac_reuse=0.10, frac_halo=0.20, frac_shared=0.40,
+    store_fraction=0.15, seed=116,
+))
+
+_register(WorkloadSpec(
+    name="SRAD (v2)", abbr="Srad-v2", category=M, input_label="2048x2048",
+    description="SRAD at a bandwidth-bound image size: streaming stencil "
+    "sweeps with halo rows, little temporal reuse.",
+    kernels=4, segments_per_warp=1, compute_per_segment=12,
+    accesses_per_segment=4,
+    compute_mix={Opcode.FFMA32: 0.50, Opcode.FADD32: 0.35, Opcode.FMUL32: 0.15},
+    footprint_bytes=64 * MIB, shared_footprint_bytes=2 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.65, frac_reuse=0.10, frac_halo=0.20, frac_shared=0.05,
+    store_fraction=0.30, seed=117,
+))
+
+_register(WorkloadSpec(
+    name="Stream Triad", abbr="Stream", category=M, input_label="2^26 elements",
+    description="The bandwidth yardstick: pure streaming triad, one store "
+    "per two loads, no reuse, no sharing.",
+    kernels=3, segments_per_warp=1, compute_per_segment=6,
+    accesses_per_segment=6,
+    compute_mix={Opcode.FFMA32: 0.60, Opcode.FADD32: 0.40},
+    footprint_bytes=128 * MIB, shared_footprint_bytes=1 * MIB,
+    hot_block_bytes=4 * KIB,
+    frac_stream=0.95, frac_reuse=0.00, frac_halo=0.00, frac_shared=0.05,
+    store_fraction=0.33, seed=118,
+))
+
+# ------------------------------------------------------------------- selection
+
+#: Workloads excluded from the scaling study (Section V-A): insufficient
+#: parallelism to fill a 32x GPU.
+EXCLUDED_FROM_SCALING: tuple[str, ...] = ("BFS", "LuleshUns", "MnCtct", "Srad-v1")
+
+#: The 14-workload scaling subset, in Table II order.
+SCALING_SUBSET: tuple[str, ...] = tuple(
+    abbr for abbr in WORKLOAD_SPECS if abbr not in EXCLUDED_FROM_SCALING
+)
+
+
+def get_spec(abbr: str) -> WorkloadSpec:
+    """Look up one workload spec by its Table II abbreviation."""
+    spec = WORKLOAD_SPECS.get(abbr)
+    if spec is None:
+        raise ConfigError(
+            f"unknown workload {abbr!r}; known: {sorted(WORKLOAD_SPECS)}"
+        )
+    return spec
+
+
+def scaling_workloads() -> list[Workload]:
+    """Build the 14 workloads of the multi-module scaling study."""
+    return [build_workload(WORKLOAD_SPECS[abbr]) for abbr in SCALING_SUBSET]
+
+
+def validation_workloads() -> list[Workload]:
+    """Build all 18 workloads of the Figure 4b validation suite."""
+    return [build_workload(spec) for spec in WORKLOAD_SPECS.values()]

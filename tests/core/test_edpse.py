@@ -1,0 +1,112 @@
+"""EDPSE metric definitions (Section III)."""
+
+import pytest
+
+from repro.core.edpse import (
+    ScalingPoint,
+    edipse,
+    edp,
+    edpse,
+    parallel_efficiency,
+)
+from repro.errors import ValidationError
+
+
+class TestParallelEfficiency:
+    def test_ideal_scaling_is_100(self):
+        assert parallel_efficiency(t1=10.0, tn=2.5, n=4) == pytest.approx(100.0)
+
+    def test_sublinear(self):
+        assert parallel_efficiency(t1=10.0, tn=5.0, n=4) == pytest.approx(50.0)
+
+    def test_superlinear_exceeds_100(self):
+        assert parallel_efficiency(t1=10.0, tn=2.0, n=4) > 100.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            parallel_efficiency(0.0, 1.0, 2)
+
+
+class TestEdp:
+    def test_basic(self):
+        assert edp(energy_j=2.0, delay_s=3.0) == pytest.approx(6.0)
+
+    def test_ed2p(self):
+        assert edp(2.0, 3.0, delay_exponent=2) == pytest.approx(18.0)
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValidationError):
+            edp(1.0, 1.0, delay_exponent=0)
+
+
+class TestEdpse:
+    def test_ideal_scaling(self):
+        """N-fold delay reduction at constant energy -> 100% (Eq. 2)."""
+        edp1 = edp(100.0, 10.0)
+        edpn = edp(100.0, 10.0 / 4)
+        assert edpse(edp1, edpn, n=4) == pytest.approx(100.0)
+
+    def test_energy_doubling_halves_edpse(self):
+        edp1 = edp(100.0, 10.0)
+        edpn = edp(200.0, 10.0 / 4)
+        assert edpse(edp1, edpn, n=4) == pytest.approx(50.0)
+
+    def test_sublinear_speedup_reduces_edpse(self):
+        edp1 = edp(100.0, 10.0)
+        edpn = edp(100.0, 5.0)  # only 2x speedup on 4x resources
+        assert edpse(edp1, edpn, n=4) == pytest.approx(50.0)
+
+    def test_super_linear_can_exceed_100(self):
+        edp1 = edp(100.0, 10.0)
+        edpn = edp(90.0, 10.0 / 5)  # energy decreased, 5x speedup on 4 nodes
+        assert edpse(edp1, edpn, n=4) > 100.0
+
+
+class TestEdipse:
+    def test_i1_matches_edpse(self):
+        assert edipse(60.0, 10.0, n=2, i=1) == pytest.approx(
+            edpse(60.0, 10.0, n=2)
+        )
+
+    def test_i2_weights_delay_quadratically(self):
+        """With ED2P, ideal scaling divides the metric by N^2 (Eq. 3)."""
+        ed2p1 = edp(100.0, 10.0, 2)
+        ed2pn = edp(100.0, 10.0 / 4, 2)
+        assert edipse(ed2p1, ed2pn, n=4, i=2) == pytest.approx(100.0)
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValidationError):
+            edipse(1.0, 1.0, n=2, i=0)
+
+
+class TestScalingPoint:
+    def test_derived_metrics(self):
+        base = ScalingPoint(n=1, delay_s=10.0, energy_j=100.0)
+        scaled = ScalingPoint(n=4, delay_s=3.0, energy_j=130.0)
+        assert scaled.speedup_over(base) == pytest.approx(10.0 / 3.0)
+        assert scaled.energy_ratio_over(base) == pytest.approx(1.3)
+        expected = edpse(base.edp(), scaled.edp(), 4)
+        assert scaled.edpse_over(base) == pytest.approx(expected)
+
+    def test_parallel_efficiency_over(self):
+        base = ScalingPoint(n=1, delay_s=8.0, energy_j=1.0)
+        scaled = ScalingPoint(n=4, delay_s=2.0, energy_j=1.0)
+        assert scaled.parallel_efficiency_over(base) == pytest.approx(100.0)
+        assert scaled.edpse_over(base) == pytest.approx(100.0)
+
+    def test_non_multiple_resources_rejected(self):
+        base = ScalingPoint(n=3, delay_s=1.0, energy_j=1.0)
+        scaled = ScalingPoint(n=4, delay_s=1.0, energy_j=1.0)
+        with pytest.raises(ValidationError):
+            scaled.edpse_over(base)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ScalingPoint(n=0, delay_s=1.0, energy_j=1.0)
+        with pytest.raises(ValidationError):
+            ScalingPoint(n=1, delay_s=-1.0, energy_j=1.0)
+
+    def test_ed2p_baseline(self):
+        base = ScalingPoint(n=1, delay_s=10.0, energy_j=100.0)
+        scaled = ScalingPoint(n=2, delay_s=5.0, energy_j=100.0)
+        assert scaled.edpse_over(base, i=2) == pytest.approx(100.0)

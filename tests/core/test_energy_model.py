@@ -1,0 +1,195 @@
+"""GPUJoule Eq. 4 evaluation and pricing parameters."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel, EnergyParams
+from repro.core.epi_tables import (
+    EPI_TABLE_NJ,
+    EnergyConstants,
+    ON_BOARD_LINK_PJ_PER_BIT,
+    ON_PACKAGE_LINK_PJ_PER_BIT,
+    hbm_ept_joules,
+)
+from repro.errors import ConfigError
+from repro.gpu.config import (
+    BandwidthSetting,
+    IntegrationDomain,
+    table_iii_config,
+)
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+from repro.units import WARP_SIZE, nj, pj_per_bit_to_joules_per_byte
+
+
+def counters_with(**kwargs) -> CounterSet:
+    counters = CounterSet()
+    for key, value in kwargs.items():
+        if key == "instructions":
+            for opcode, count in value.items():
+                counters.count_instruction(opcode, count)
+        else:
+            setattr(counters, key, value)
+    return counters
+
+
+class TestComputeTerm:
+    def test_epi_times_count_times_warp(self):
+        params = EnergyParams(constants=EnergyConstants(const_power_w=0.0))
+        model = EnergyModel(params)
+        counters = counters_with(instructions={Opcode.FFMA32: 1000})
+        breakdown = model.evaluate(counters, exec_time_s=0.0)
+        expected = nj(EPI_TABLE_NJ[Opcode.FFMA32] * 1000 * WARP_SIZE)
+        assert breakdown.sm_busy == pytest.approx(expected)
+        assert breakdown.total == pytest.approx(expected)
+
+    def test_unknown_opcode_rejected(self):
+        params = EnergyParams(epi_nj={Opcode.FADD32: 0.06})
+        model = EnergyModel(params)
+        counters = counters_with(instructions={Opcode.FFMA32: 1})
+        with pytest.raises(ConfigError):
+            model.evaluate(counters, 1.0)
+
+    def test_mixed_instructions_sum(self):
+        params = EnergyParams(constants=EnergyConstants(const_power_w=0.0))
+        counters = counters_with(
+            instructions={Opcode.FADD32: 100, Opcode.FADD64: 100}
+        )
+        breakdown = EnergyModel(params).evaluate(counters, 0.0)
+        expected = nj((0.06 + 0.15) * 100 * WARP_SIZE)
+        assert breakdown.sm_busy == pytest.approx(expected)
+
+
+class TestTransactionTerms:
+    def test_per_level_pricing(self):
+        params = EnergyParams(constants=EnergyConstants(const_power_w=0.0))
+        counters = counters_with(
+            shared_rf_txns=10, l1_rf_txns=20, l2_l1_txns=30, dram_l2_txns=40
+        )
+        breakdown = EnergyModel(params).evaluate(counters, 0.0)
+        assert breakdown.shared_to_rf == pytest.approx(10 * nj(5.45))
+        assert breakdown.l1_to_rf == pytest.approx(20 * nj(5.99))
+        assert breakdown.l2_to_l1 == pytest.approx(30 * nj(3.96))
+        assert breakdown.dram_to_l2 == pytest.approx(40 * hbm_ept_joules())
+
+    def test_hbm_default_for_scaling_study(self):
+        # 21.1 pJ/bit * 256 bits = ~5.40 nJ per 32 B sector.
+        assert hbm_ept_joules() == pytest.approx(5.4016e-9, rel=1e-3)
+
+
+class TestStallAndConstant:
+    def test_stall_term(self):
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=0.0, ep_stall_nj=2.0)
+        )
+        counters = counters_with(sm_idle_cycles=1e6)
+        breakdown = EnergyModel(params).evaluate(counters, 0.0)
+        assert breakdown.sm_idle == pytest.approx(nj(2.0 * 1e6))
+
+    def test_constant_power_times_time(self):
+        params = EnergyParams(constants=EnergyConstants(const_power_w=50.0))
+        breakdown = EnergyModel(params).evaluate(CounterSet(), exec_time_s=2.0)
+        assert breakdown.constant == pytest.approx(100.0)
+
+    def test_negative_time_rejected(self):
+        model = EnergyModel(EnergyParams())
+        with pytest.raises(ConfigError):
+            model.evaluate(CounterSet(), -1.0)
+
+
+class TestConstantAmortization:
+    def test_on_board_scales_linearly(self):
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=50.0),
+            num_gpms=32,
+            constant_growth_per_gpm=1.0,
+        )
+        assert params.total_constant_power_w == pytest.approx(1600.0)
+
+    def test_on_package_amortizes_half(self):
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=50.0),
+            num_gpms=32,
+            constant_growth_per_gpm=0.5,
+        )
+        assert params.total_constant_power_w == pytest.approx(50 * 16.5)
+
+    def test_full_amortization(self):
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=50.0),
+            num_gpms=8,
+            constant_growth_per_gpm=0.0,
+        )
+        assert params.total_constant_power_w == pytest.approx(50.0)
+
+    def test_with_amortization_clone(self):
+        params = EnergyParams(num_gpms=4)
+        clone = params.with_amortization(0.75)
+        assert clone.constant_growth_per_gpm == 0.75
+        assert params.constant_growth_per_gpm == 1.0  # original untouched
+
+    def test_invalid_growth_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(constant_growth_per_gpm=1.5)
+
+
+class TestInterconnectTerm:
+    def test_byte_hops_priced(self):
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=0.0),
+            link_pj_per_bit=10.0,
+        )
+        counters = counters_with(inter_gpm_byte_hops=1000)
+        breakdown = EnergyModel(params).evaluate(counters, 0.0)
+        assert breakdown.inter_gpm == pytest.approx(
+            1000 * pj_per_bit_to_joules_per_byte(10.0)
+        )
+
+    def test_switch_traversals_extra(self):
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=0.0),
+            link_pj_per_bit=10.0,
+            switch_pj_per_bit=10.0,
+        )
+        counters = counters_with(
+            inter_gpm_byte_hops=1000, switch_byte_traversals=500
+        )
+        breakdown = EnergyModel(params).evaluate(counters, 0.0)
+        assert breakdown.inter_gpm == pytest.approx(
+            (1000 + 500) * pj_per_bit_to_joules_per_byte(10.0)
+        )
+
+    def test_with_link_energy_repricing(self):
+        """The §V-C point study: re-price without re-simulating."""
+        counters = counters_with(inter_gpm_byte_hops=10_000)
+        base = EnergyParams(constants=EnergyConstants(const_power_w=0.0),
+                            link_pj_per_bit=10.0)
+        quadrupled = base.with_link_energy(40.0)
+        e1 = EnergyModel(base).evaluate(counters, 0.0).inter_gpm
+        e4 = EnergyModel(quadrupled).evaluate(counters, 0.0).inter_gpm
+        assert e4 == pytest.approx(4 * e1)
+
+
+class TestForConfig:
+    def test_on_package_defaults(self):
+        config = table_iii_config(8, BandwidthSetting.BW_2X)
+        params = EnergyParams.for_config(config)
+        assert params.num_gpms == 8
+        assert params.constant_growth_per_gpm == 0.5
+        assert params.link_pj_per_bit == pytest.approx(ON_PACKAGE_LINK_PJ_PER_BIT)
+
+    def test_on_board_defaults(self):
+        config = table_iii_config(8, BandwidthSetting.BW_1X)
+        params = EnergyParams.for_config(config)
+        assert params.constant_growth_per_gpm == 1.0
+        assert params.link_pj_per_bit == pytest.approx(ON_BOARD_LINK_PJ_PER_BIT)
+
+    def test_breakdown_as_dict_covers_total(self):
+        params = EnergyParams()
+        counters = counters_with(
+            instructions={Opcode.FFMA32: 10},
+            l1_rf_txns=5,
+            sm_idle_cycles=100.0,
+        )
+        breakdown = EnergyModel(params).evaluate(counters, 1.0)
+        assert sum(breakdown.as_dict().values()) == pytest.approx(breakdown.total)
+        assert breakdown.fraction("constant") > 0

@@ -1,0 +1,57 @@
+"""Codec-energy pricing in the energy model (compression extension)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.energy_model import EnergyModel, EnergyParams
+from repro.core.epi_tables import EnergyConstants
+from repro.gpu.counters import CounterSet
+
+
+class TestCodecPricing:
+    def test_codec_bytes_priced_into_inter_gpm(self):
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=0.0),
+            codec_pj_per_byte=2.0,
+        )
+        counters = CounterSet()
+        counters.compression_codec_bytes = 1_000_000
+        breakdown = EnergyModel(params).evaluate(counters, 0.0)
+        assert breakdown.inter_gpm == pytest.approx(2e-12 * 1_000_000)
+
+    def test_default_codec_cost_is_zero(self):
+        params = EnergyParams(constants=EnergyConstants(const_power_w=0.0))
+        counters = CounterSet()
+        counters.compression_codec_bytes = 1_000_000
+        breakdown = EnergyModel(params).evaluate(counters, 0.0)
+        assert breakdown.inter_gpm == 0.0
+
+    def test_compression_tradeoff_arithmetic(self):
+        """Wire-energy saved must exceed codec energy when
+        ratio * link_pj_per_bit * 8 * hops > codec_pj_per_byte-ish —
+        trivially true at on-board energies, marginal on-package."""
+        on_board = EnergyParams(
+            constants=EnergyConstants(const_power_w=0.0),
+            link_pj_per_bit=10.0, codec_pj_per_byte=2.0,
+        )
+        # Uncompressed: 1 MB over 8 hops.
+        plain = CounterSet()
+        plain.inter_gpm_byte_hops = 8_000_000
+        # 2x compressed: half the wire bytes, plus codec on the original MB.
+        compressed = CounterSet()
+        compressed.inter_gpm_byte_hops = 4_000_000
+        compressed.compression_codec_bytes = 1_000_000
+        model = EnergyModel(on_board)
+        e_plain = model.evaluate(plain, 0.0).inter_gpm
+        e_comp = model.evaluate(compressed, 0.0).inter_gpm
+        assert e_comp < e_plain  # 320 uJ saved vs 2 uJ codec
+
+    def test_counters_merge_and_scale_codec(self):
+        a = CounterSet()
+        a.compression_codec_bytes = 100
+        b = CounterSet()
+        b.compression_codec_bytes = 50
+        a.merge(b)
+        assert a.compression_codec_bytes == 150
+        assert a.scaled(2.0).compression_codec_bytes == 300

@@ -1,0 +1,109 @@
+"""Table Ib constants and derived conversions."""
+
+import pytest
+
+from repro.core.epi_tables import (
+    EPI_TABLE_NJ,
+    EPT_TABLE,
+    GDDR5_PJ_PER_BIT,
+    HBM_PJ_PER_BIT,
+    ON_BOARD_LINK_PJ_PER_BIT,
+    ON_PACKAGE_LINK_PJ_PER_BIT,
+    SWITCH_HOP_PJ_PER_BIT,
+    EnergyConstants,
+    TransactionKind,
+    ept_joules,
+    hbm_ept_joules,
+)
+from repro.isa.opcodes import TABLE_1B_COMPUTE_OPCODES, Opcode
+from repro.units import CACHE_LINE_BYTES, SECTOR_BYTES
+
+
+class TestTableValues:
+    def test_every_table_opcode_has_an_epi(self):
+        for opcode in TABLE_1B_COMPUTE_OPCODES:
+            assert opcode in EPI_TABLE_NJ
+            assert EPI_TABLE_NJ[opcode] > 0
+
+    def test_spot_values_match_paper(self):
+        assert EPI_TABLE_NJ[Opcode.FADD32] == 0.06
+        assert EPI_TABLE_NJ[Opcode.FFMA32] == 0.05
+        assert EPI_TABLE_NJ[Opcode.IMAD32] == 0.15
+        assert EPI_TABLE_NJ[Opcode.FFMA64] == 0.16
+        assert EPI_TABLE_NJ[Opcode.RCP32] == 0.31
+        assert EPI_TABLE_NJ[Opcode.SQRT32] == 0.02
+
+    def test_fp64_costs_more_than_fp32(self):
+        assert EPI_TABLE_NJ[Opcode.FADD64] > EPI_TABLE_NJ[Opcode.FADD32]
+        assert EPI_TABLE_NJ[Opcode.FFMA64] > EPI_TABLE_NJ[Opcode.FFMA32]
+
+    def test_ept_rows_match_paper(self):
+        assert EPT_TABLE[TransactionKind.SHARED_TO_RF][0] == 5.45
+        assert EPT_TABLE[TransactionKind.L1_TO_RF][0] == 5.99
+        assert EPT_TABLE[TransactionKind.L2_TO_L1][0] == 3.96
+        assert EPT_TABLE[TransactionKind.DRAM_TO_L2][0] == 7.82
+
+    def test_per_bit_energy_increases_down_the_hierarchy(self):
+        """The paper's observation: farther levels cost more per bit."""
+        shared = EPT_TABLE[TransactionKind.SHARED_TO_RF][1]
+        l1 = EPT_TABLE[TransactionKind.L1_TO_RF][1]
+        l2 = EPT_TABLE[TransactionKind.L2_TO_L1][1]
+        dram = EPT_TABLE[TransactionKind.DRAM_TO_L2][1]
+        assert shared < l2 < dram
+        assert l1 < l2
+
+    def test_transaction_sizes_self_consistent(self):
+        """EPT / pJ-per-bit must equal the declared transaction width."""
+        for kind, (ept_nj, pj_bit, nbytes) in EPT_TABLE.items():
+            derived_bits = ept_nj * 1e3 / pj_bit  # nJ->pJ over pJ/bit
+            assert derived_bits == pytest.approx(nbytes * 8, rel=0.01), kind
+
+    def test_declared_sizes_match_hierarchy_granularity(self):
+        assert EPT_TABLE[TransactionKind.L1_TO_RF][2] == CACHE_LINE_BYTES
+        assert EPT_TABLE[TransactionKind.DRAM_TO_L2][2] == SECTOR_BYTES
+
+
+class TestDerivedEnergies:
+    def test_ept_joules(self):
+        assert ept_joules(TransactionKind.L1_TO_RF) == pytest.approx(5.99e-9)
+
+    def test_hbm_cheaper_than_gddr5(self):
+        assert HBM_PJ_PER_BIT < GDDR5_PJ_PER_BIT
+        assert hbm_ept_joules() < ept_joules(TransactionKind.DRAM_TO_L2)
+
+    def test_hbm_sector_energy(self):
+        # 21.1 pJ/bit * 256 bits.
+        assert hbm_ept_joules() == pytest.approx(21.1e-12 * 256)
+
+    def test_link_energies_ordered_by_domain(self):
+        """On-package signaling is an order of magnitude cheaper (Section II)."""
+        assert ON_PACKAGE_LINK_PJ_PER_BIT * 10 < ON_BOARD_LINK_PJ_PER_BIT
+        assert SWITCH_HOP_PJ_PER_BIT == ON_BOARD_LINK_PJ_PER_BIT
+
+    def test_dram_vs_compute_energy_gap(self):
+        """Paper: DRAM-to-RF data delivery costs ~80x the FLOP on that data.
+
+        A 128 B line = 32 floats; moving it costs one L1 txn + 4 L2 + 4 DRAM
+        txns; per float that is compared against one FMA."""
+        line_j = (
+            ept_joules(TransactionKind.L1_TO_RF)
+            + 4 * ept_joules(TransactionKind.L2_TO_L1)
+            + 4 * ept_joules(TransactionKind.DRAM_TO_L2)
+        )
+        per_float = line_j / 32
+        fma = EPI_TABLE_NJ[Opcode.FFMA32] * 1e-9
+        assert 20 < per_float / fma < 120
+
+
+class TestEnergyConstants:
+    def test_defaults_positive(self):
+        constants = EnergyConstants()
+        assert constants.const_power_w > 0
+        assert constants.ep_stall_nj > 0
+        assert constants.warp_size == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyConstants(const_power_w=-1.0)
+        with pytest.raises(ValueError):
+            EnergyConstants(warp_size=0)

@@ -1,0 +1,105 @@
+"""The Figure 3 calibration campaign end to end.
+
+These are the package's most important correctness tests: they assert that
+the whole measure -> calibrate -> refine -> validate loop recovers the
+silicon's ground truth through the sensor, and that skipping the refinement
+step fails — the paper's motivation for the iterative flow.
+"""
+
+import pytest
+
+from repro.core.epi_tables import TransactionKind
+from repro.core.refinement import CalibrationCampaign
+from repro.errors import CalibrationError
+from repro.isa.opcodes import TABLE_1B_COMPUTE_OPCODES
+from repro.microbench.mixed import fig4a_suite
+
+
+@pytest.fixture(scope="module")
+def campaign_and_model():
+    from repro.power.meter import PowerMeter
+    from repro.power.silicon import SiliconGpu
+
+    silicon = SiliconGpu(seed=40)
+    campaign = CalibrationCampaign(PowerMeter(silicon))
+    model = campaign.calibrate(refine=True)
+    return silicon, campaign, model
+
+
+class TestEpiCalibration:
+    def test_every_table_opcode_calibrated(self, campaign_and_model):
+        _silicon, _campaign, model = campaign_and_model
+        for opcode in TABLE_1B_COMPUTE_OPCODES:
+            assert opcode in model.epi_nj
+            assert model.epi_nj[opcode] > 0
+
+    def test_epis_recover_silicon_truth(self, campaign_and_model):
+        silicon, _campaign, model = campaign_and_model
+        for opcode in TABLE_1B_COMPUTE_OPCODES:
+            assert model.epi_nj[opcode] == pytest.approx(
+                silicon.true_epi_nj(opcode), rel=0.05
+            ), opcode
+
+    def test_stall_energy_recovered(self, campaign_and_model):
+        silicon, _campaign, model = campaign_and_model
+        assert model.ep_stall_nj == pytest.approx(
+            silicon.effects.true_stall_nj, rel=0.05
+        )
+
+
+class TestEptCalibration:
+    def test_epts_recover_silicon_truth(self, campaign_and_model):
+        silicon, _campaign, model = campaign_and_model
+        for kind in TransactionKind:
+            assert model.ept_nj[kind] == pytest.approx(
+                silicon.true_ept_nj(kind), rel=0.05
+            ), kind
+
+    def test_naive_pass_overestimates_epts(self, campaign_and_model):
+        """Without background subtraction, stall energy lands in the EPTs."""
+        silicon, campaign, _model = campaign_and_model
+        naive = campaign.calibrate(refine=False)
+        for kind in TransactionKind:
+            assert naive.ept_nj[kind] > 1.25 * silicon.true_ept_nj(kind), kind
+        assert naive.ep_stall_nj == 0.0
+
+
+class TestValidation:
+    def test_refined_model_passes_fig4a(self, campaign_and_model):
+        _silicon, campaign, model = campaign_and_model
+        report = campaign.validate(model, fig4a_suite())
+        assert report.mean_absolute_error < 6.0
+        assert report.within(-8.0, 4.0)
+
+    def test_naive_model_fails_fig4a(self, campaign_and_model):
+        _silicon, campaign, _model = campaign_and_model
+        naive = campaign.calibrate(refine=False)
+        report = campaign.validate(naive, fig4a_suite())
+        assert report.mean_absolute_error > 10.0
+
+    def test_refinement_improves_over_naive(self, campaign_and_model):
+        _silicon, campaign, model = campaign_and_model
+        naive = campaign.calibrate(refine=False)
+        suite = fig4a_suite()
+        refined_mae = campaign.validate(model, suite).mean_absolute_error
+        naive_mae = campaign.validate(naive, suite).mean_absolute_error
+        assert refined_mae < naive_mae / 3
+
+
+class TestModelPackaging:
+    def test_to_energy_params(self, campaign_and_model):
+        silicon, _campaign, model = campaign_and_model
+        params = model.to_energy_params()
+        assert params.constants.const_power_w == pytest.approx(
+            silicon.idle_power_w
+        )
+        assert params.constants.ep_stall_nj == pytest.approx(
+            model.ep_stall_nj
+        )
+        assert params.num_gpms == 1
+
+    def test_incomplete_model_rejected(self):
+        from repro.core.refinement import CalibratedModel
+
+        with pytest.raises(CalibrationError):
+            CalibratedModel().to_energy_params()

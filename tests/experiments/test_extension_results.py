@@ -1,0 +1,74 @@
+"""Extension-study result classes on synthetic data (no simulation)."""
+
+import pytest
+
+from repro.experiments.amortization_study import AmortizationResult
+from repro.experiments.compression_study import CompressionResult
+from repro.experiments.config_tables import ConfigTablesResult
+from repro.experiments.powergate_study import PowerGateResult
+
+
+class TestCompressionResult:
+    def test_render_marks_off_row_and_gain(self):
+        result = CompressionResult(by_ratio={
+            1.0: (8.5, 2.85, 16.4),
+            1.5: (9.6, 2.5, 20.1),
+            2.0: (10.4, 2.3, 23.0),
+        })
+        text = result.render()
+        assert "off" in text
+        assert "1.5x" in text and "2x" in text
+        assert "EDPSE gain" in text
+
+
+class TestPowerGateResult:
+    def test_render_labels(self):
+        result = PowerGateResult(by_setting={
+            (0.0, False): (2.85, 16.4),
+            (0.5, False): (2.5, 18.0),
+            (0.5, True): (2.1, 21.0),
+            (0.9, False): (2.3, 19.5),
+            (0.9, True): (1.7, 25.0),
+        })
+        text = result.render()
+        assert "none" in text
+        assert "50% stall" in text
+        assert "GPM sleep" in text
+        assert "zero wake latency" in text  # the stated caveat
+
+
+class TestAmortizationResult:
+    def test_render_savings_math(self):
+        result = AmortizationResult(by_rate={
+            0.0: (2.0, 20.0),
+            0.25: (1.8, 22.0),
+            0.5: (1.5, 26.0),
+        })
+        text = result.render()
+        assert "0%" in text and "25%" in text and "50%" in text
+        # 1.5/2.0 -> 25% saved appears in the rendered table.
+        assert "25.00" in text
+
+
+class TestConfigTables:
+    def test_all_four_tables_render(self):
+        result = ConfigTablesResult()
+        text = result.render()
+        for title in ("Table Ia", "Table II", "Table III", "Table IV"):
+            assert title in text
+
+    def test_table_ia_matches_library_k40(self):
+        text = ConfigTablesResult().render_table_ia()
+        assert "GDDR5" in text
+        assert "280" in text
+        assert "15" in text
+
+    def test_table_iv_ratios(self):
+        text = ConfigTablesResult().render_table_iv()
+        assert "1:2" in text and "1:1" in text and "2:1" in text
+        assert "on-board" in text and "on-package" in text
+
+    def test_table_ii_has_all_apps(self):
+        text = ConfigTablesResult().render_table_ii()
+        for abbr in ("BPROP", "Stream", "RSBench", "MnCtct"):
+            assert abbr in text

@@ -1,0 +1,78 @@
+"""RunRecord pricing and serialization."""
+
+import pytest
+
+from repro.core.energy_model import EnergyParams
+from repro.experiments.results import RunRecord, ScalingRow
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+
+
+def make_record(num_gpms=2, seconds=1e-4) -> RunRecord:
+    counters = CounterSet()
+    counters.count_instruction(Opcode.FFMA32, 10_000)
+    counters.l1_rf_txns = 5_000
+    counters.dram_l2_txns = 2_000
+    counters.inter_gpm_byte_hops = 100_000
+    counters.sm_idle_cycles = 50_000.0
+    counters.elapsed_cycles = seconds * 745e6
+    return RunRecord(
+        workload="X",
+        category="M",
+        config_label=f"{num_gpms}-GPM",
+        num_gpms=num_gpms,
+        seconds=seconds,
+        counters=counters,
+    )
+
+
+class TestPricing:
+    def test_energy_positive(self):
+        record = make_record()
+        breakdown = record.energy(EnergyParams(num_gpms=2))
+        assert breakdown.total > 0
+        assert breakdown.inter_gpm > 0
+
+    def test_scaling_point(self):
+        record = make_record(num_gpms=4)
+        point = record.scaling_point(EnergyParams(num_gpms=4))
+        assert point.n == 4
+        assert point.delay_s == record.seconds
+        assert point.energy_j == pytest.approx(
+            record.energy(EnergyParams(num_gpms=4)).total
+        )
+
+    def test_repricing_changes_energy_not_record(self):
+        record = make_record()
+        cheap = record.energy(EnergyParams(num_gpms=2, link_pj_per_bit=0.54))
+        costly = record.energy(EnergyParams(num_gpms=2, link_pj_per_bit=40.0))
+        assert costly.total > cheap.total
+        assert costly.sm_busy == pytest.approx(cheap.sm_busy)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        record = make_record()
+        clone = RunRecord.from_json(record.to_json())
+        assert clone.workload == record.workload
+        assert clone.category == record.category
+        assert clone.num_gpms == record.num_gpms
+        assert clone.counters.instructions == record.counters.instructions
+        assert clone.counters.inter_gpm_byte_hops == (
+            record.counters.inter_gpm_byte_hops
+        )
+
+    def test_json_is_plain_data(self):
+        import json
+
+        record = make_record()
+        text = json.dumps(record.to_json())
+        assert "ffma32" in text  # opcodes serialized by value, not repr
+
+
+class TestScalingRow:
+    def test_getitem(self):
+        row = ScalingRow(num_gpms=4, label="4-GPM", values={"edpse": 88.5})
+        assert row["edpse"] == 88.5
+        with pytest.raises(KeyError):
+            _ = row["missing"]

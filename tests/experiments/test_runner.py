@@ -1,0 +1,110 @@
+"""Sweep runner: caching, determinism, grid shapes."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import SweepRunner, SweepSettings, run_pair
+from repro.experiments.results import RunRecord
+from repro.gpu.config import BandwidthSetting, table_iii_config
+from repro.isa.kernel import WorkloadCategory
+from repro.isa.opcodes import Opcode
+from repro.workloads.spec import WorkloadSpec
+
+
+def tiny_spec(seed=1, **overrides) -> WorkloadSpec:
+    base = dict(
+        name="Tiny", abbr="Tiny", category=WorkloadCategory.COMPUTE,
+        total_ctas=64, warps_per_cta=1, kernels=1, segments_per_warp=1,
+        compute_per_segment=4, accesses_per_segment=1,
+        compute_mix={Opcode.FFMA32: 1.0},
+        footprint_bytes=64 * 4096,
+        seed=seed,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return SweepRunner(SweepSettings(cache_dir=tmp_path, processes=1))
+
+
+class TestRunPair:
+    def test_produces_record(self):
+        record = run_pair(tiny_spec(), table_iii_config(1))
+        assert record.workload == "Tiny"
+        assert record.num_gpms == 1
+        assert record.seconds > 0
+        assert record.counters.total_instructions > 0
+
+
+class TestCaching:
+    def test_cache_roundtrip(self, runner, tmp_path):
+        pair = (tiny_spec(), table_iii_config(1))
+        first = runner.run([pair])[0]
+        assert runner.cache_misses == 1
+        second = runner.run([pair])[0]
+        assert runner.cache_hits == 1
+        assert second.seconds == first.seconds
+        assert second.counters.instructions == first.counters.instructions
+        assert list(tmp_path.glob("*.json"))
+
+    def test_different_config_different_key(self, runner):
+        spec = tiny_spec()
+        runner.run([(spec, table_iii_config(1))])
+        runner.run([(spec, table_iii_config(2, BandwidthSetting.BW_2X))])
+        assert runner.cache_misses == 2
+
+    def test_different_spec_different_key(self, runner):
+        config = table_iii_config(1)
+        runner.run([(tiny_spec(seed=1), config)])
+        runner.run([(tiny_spec(seed=2), config)])
+        assert runner.cache_misses == 2
+
+    def test_corrupt_cache_entry_resimulated(self, runner, tmp_path):
+        pair = (tiny_spec(), table_iii_config(1))
+        runner.run([pair])
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        fresh = SweepRunner(SweepSettings(cache_dir=tmp_path, processes=1))
+        record = fresh.run([pair])[0]
+        assert fresh.cache_misses == 1
+        assert record.seconds > 0
+
+    def test_cache_disabled(self, tmp_path):
+        runner = SweepRunner(
+            SweepSettings(cache_dir=tmp_path, processes=1, use_cache=False)
+        )
+        pair = (tiny_spec(), table_iii_config(1))
+        runner.run([pair])
+        runner.run([pair])
+        assert runner.cache_misses == 2
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestGrid:
+    def test_grid_shape(self, runner):
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2, abbr="Tiny2", name="T2")]
+        configs = [table_iii_config(1), table_iii_config(2)]
+        grid = runner.run_grid(specs, configs)
+        assert set(grid) == {configs[0].label(), configs[1].label()}
+        for label in grid:
+            assert set(grid[label]) == {"Tiny", "Tiny2"}
+
+    def test_empty_sweep_rejected(self, runner):
+        with pytest.raises(ExperimentError):
+            runner.run([])
+
+
+class TestSerialization:
+    def test_record_json_roundtrip(self):
+        record = run_pair(tiny_spec(), table_iii_config(1))
+        clone = RunRecord.from_json(record.to_json())
+        assert clone.workload == record.workload
+        assert clone.seconds == record.seconds
+        assert clone.counters.instructions == record.counters.instructions
+        assert clone.counters.sm_idle_cycles == pytest.approx(
+            record.counters.sm_idle_cycles
+        )

@@ -1,0 +1,137 @@
+"""Table III/IV configuration builders."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import (
+    BandwidthSetting,
+    GpmConfig,
+    GpuConfig,
+    IntegrationDomain,
+    InterconnectConfig,
+    TABLE_III_GPM_COUNTS,
+    TopologyKind,
+    k40_config,
+    monolithic_config,
+    table_iii_config,
+    table_iv_interconnect,
+)
+
+
+class TestGpmConfig:
+    def test_defaults_match_section_va1(self):
+        gpm = GpmConfig()
+        assert gpm.num_sms == 16
+        assert gpm.l1_capacity_bytes == 32 * 1024
+        assert gpm.l2_capacity_bytes == 2 * 1024 * 1024
+        assert gpm.dram.bandwidth_gbps == 256.0
+        assert gpm.dram.technology == "HBM"
+
+    def test_l2_is_write_back(self):
+        assert GpmConfig().l2_config.write_back
+        assert not GpmConfig().l1_config.write_back
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GpmConfig(num_sms=0)
+        with pytest.raises(ConfigError):
+            GpmConfig(issue_rate=0)
+
+
+class TestTableIII:
+    @pytest.mark.parametrize("n", TABLE_III_GPM_COUNTS)
+    def test_totals_scale_linearly(self, n):
+        config = table_iii_config(n)
+        assert config.total_sms == 16 * n
+        assert config.total_l2_bytes == 2 * 1024 * 1024 * n
+        assert config.total_dram_bandwidth_gbps == pytest.approx(256.0 * n)
+
+    def test_single_gpm_has_no_interconnect(self):
+        assert table_iii_config(1).interconnect is None
+
+    def test_multi_gpm_has_interconnect(self):
+        config = table_iii_config(4)
+        assert config.interconnect is not None
+        assert config.interconnect.kind is TopologyKind.RING
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigError):
+            table_iii_config(3)
+
+    def test_multi_gpm_without_interconnect_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(num_gpms=2, interconnect=None)
+
+
+class TestTableIV:
+    def test_bandwidth_ratios(self):
+        assert table_iv_interconnect(
+            BandwidthSetting.BW_1X
+        ).per_gpm_bandwidth_gbps == pytest.approx(128.0)
+        assert table_iv_interconnect(
+            BandwidthSetting.BW_2X
+        ).per_gpm_bandwidth_gbps == pytest.approx(256.0)
+        assert table_iv_interconnect(
+            BandwidthSetting.BW_4X
+        ).per_gpm_bandwidth_gbps == pytest.approx(512.0)
+
+    def test_native_domains(self):
+        config_1x = table_iii_config(2, BandwidthSetting.BW_1X)
+        assert config_1x.integration_domain is IntegrationDomain.ON_BOARD
+        config_2x = table_iii_config(2, BandwidthSetting.BW_2X)
+        assert config_2x.integration_domain is IntegrationDomain.ON_PACKAGE
+
+    def test_signaling_energy_by_domain(self):
+        on_package = table_iv_interconnect(BandwidthSetting.BW_2X)
+        assert on_package.energy_pj_per_bit == pytest.approx(0.54)
+        on_board = table_iv_interconnect(BandwidthSetting.BW_1X)
+        assert on_board.energy_pj_per_bit == pytest.approx(10.0)
+
+    def test_energy_override(self):
+        custom = table_iv_interconnect(
+            BandwidthSetting.BW_1X, energy_pj_per_bit=40.0
+        )
+        assert custom.energy_pj_per_bit == pytest.approx(40.0)
+
+    def test_domain_override(self):
+        config = table_iii_config(
+            2, BandwidthSetting.BW_2X, domain=IntegrationDomain.ON_BOARD
+        )
+        assert config.integration_domain is IntegrationDomain.ON_BOARD
+        assert config.interconnect.energy_pj_per_bit == pytest.approx(10.0)
+
+    def test_interconnect_validation(self):
+        with pytest.raises(ConfigError):
+            InterconnectConfig(
+                kind=TopologyKind.RING,
+                per_gpm_bandwidth_gbps=0.0,
+                link_latency_cycles=1.0,
+                energy_pj_per_bit=1.0,
+            )
+
+
+class TestSpecialConfigs:
+    def test_k40_matches_table_ia(self):
+        config = k40_config()
+        assert config.gpm.num_sms == 15
+        assert config.gpm.l2_capacity_bytes == int(1.5 * 1024 * 1024)
+        assert config.gpm.dram.technology == "GDDR5"
+        assert config.gpm.dram.bandwidth_gbps == pytest.approx(280.0)
+        assert config.num_gpms == 1
+
+    def test_monolithic_aggregates_resources(self):
+        config = monolithic_config(16)
+        assert config.num_gpms == 1
+        assert config.gpm.num_sms == 256
+        assert config.gpm.l2_capacity_bytes == 32 * 1024 * 1024
+        assert config.gpm.dram.bandwidth_gbps == pytest.approx(4096.0)
+        assert config.interconnect is None
+
+    def test_monolithic_validation(self):
+        with pytest.raises(ConfigError):
+            monolithic_config(0)
+
+    def test_labels(self):
+        assert "2-GPM" in table_iii_config(2).label()
+        assert table_iii_config(1).label().startswith("1-GPM")
+        assert monolithic_config(4).label() == "monolithic-4x"

@@ -1,0 +1,91 @@
+"""Integration: the full calibration -> validation -> scaling-model flow.
+
+Exercises the seams between packages that unit tests cover individually:
+silicon chips with different seeds, calibrated models priced against the
+simulator's counters, and the interplay of sensor limits with calibration.
+"""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.epi_tables import TransactionKind
+from repro.core.refinement import CalibrationCampaign
+from repro.gpu.config import k40_config
+from repro.gpu.simulator import simulate
+from repro.power.meter import PowerMeter
+from repro.power.sensor import PowerSensor, SensorConfig
+from repro.power.silicon import SiliconEffects, SiliconGpu
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+import dataclasses
+
+
+class TestChipToChipTransfer:
+    def test_calibration_is_chip_specific(self):
+        """A model calibrated on chip A misfits chip B by about the spread."""
+        chip_a = SiliconGpu(seed=1)
+        chip_b = SiliconGpu(seed=2)
+        model_a = CalibrationCampaign(PowerMeter(chip_a)).calibrate()
+        mismatches = [
+            abs(model_a.ept_nj[kind] - chip_b.true_ept_nj(kind))
+            / chip_b.true_ept_nj(kind)
+            for kind in TransactionKind
+        ]
+        assert max(mismatches) > 0.01  # chips genuinely differ
+
+    def test_spread_zero_recovers_table_exactly(self):
+        """With no silicon spread, calibration recovers Table Ib itself."""
+        from repro.core.epi_tables import EPI_TABLE_NJ
+        from repro.isa.opcodes import Opcode
+
+        chip = SiliconGpu(
+            SiliconEffects(epi_spread=0.0, ept_spread=0.0,
+                           mix_interaction=0.0),
+            seed=0,
+        )
+        model = CalibrationCampaign(PowerMeter(chip)).calibrate()
+        for opcode in (Opcode.FADD32, Opcode.FFMA64, Opcode.RCP32):
+            assert model.epi_nj[opcode] == pytest.approx(
+                EPI_TABLE_NJ[opcode], rel=0.02
+            )
+
+
+class TestSensorInfluence:
+    def test_coarser_sensor_degrades_calibration(self):
+        chip = SiliconGpu(seed=40)
+        fine = PowerMeter(chip, PowerSensor(SensorConfig(quantization_w=0.0)))
+        coarse = PowerMeter(
+            chip, PowerSensor(SensorConfig(quantization_w=20.0))
+        )
+        model_fine = CalibrationCampaign(fine).calibrate()
+        model_coarse = CalibrationCampaign(coarse).calibrate()
+        error_fine = abs(
+            model_fine.ept_nj[TransactionKind.DRAM_TO_L2]
+            - chip.true_ept_nj(TransactionKind.DRAM_TO_L2)
+        )
+        error_coarse = abs(
+            model_coarse.ept_nj[TransactionKind.DRAM_TO_L2]
+            - chip.true_ept_nj(TransactionKind.DRAM_TO_L2)
+        )
+        assert error_coarse >= error_fine
+
+
+class TestCalibratedModelOnSimulatorCounters:
+    def test_calibrated_model_prices_a_real_simulation(self):
+        """The end-to-end seam: simulator counters priced by a model that was
+        calibrated entirely through the measurement substrate."""
+        chip = SiliconGpu(seed=40)
+        model = CalibrationCampaign(PowerMeter(chip)).calibrate()
+        spec = get_spec("Kmeans")
+        spec = dataclasses.replace(
+            spec, total_ctas=128, kernels=1,
+            footprint_bytes=spec.footprint_bytes // 16,
+        )
+        result = simulate(build_workload(spec), k40_config())
+        modeled = EnergyModel(model.to_energy_params()).total_energy(
+            result.counters, result.seconds
+        )
+        true = chip.total_energy_j(result.counters, result.seconds)
+        assert modeled == pytest.approx(true, rel=0.25)
+        assert modeled > 0

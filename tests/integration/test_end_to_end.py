@@ -1,0 +1,133 @@
+"""End-to-end integration: simulate -> price -> metric, on real suite specs.
+
+These tests exercise the complete pipeline the experiments use, at reduced
+workload sizes (fewer CTAs/kernels via dataclasses.replace) so each runs in
+well under a second.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.edpse import ScalingPoint
+from repro.core.energy_model import EnergyModel, EnergyParams
+from repro.gpu.config import BandwidthSetting, TopologyKind, table_iii_config
+from repro.gpu.simulator import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+
+def shrunk(abbr: str, ctas: int = 128):
+    spec = get_spec(abbr)
+    factor = spec.total_ctas // ctas
+    return dataclasses.replace(
+        spec,
+        total_ctas=ctas,
+        kernels=min(spec.kernels, 2),
+        footprint_bytes=max(spec.footprint_bytes // factor, ctas * 128),
+        shared_footprint_bytes=max(spec.shared_footprint_bytes // factor, 128 * 128),
+    )
+
+
+class TestSimulateAndPrice:
+    @pytest.mark.parametrize("abbr", ["Stream", "CoMD", "Lulesh-150"])
+    def test_pipeline_produces_positive_energy(self, abbr):
+        spec = shrunk(abbr)
+        workload = build_workload(spec)
+        config = table_iii_config(2, BandwidthSetting.BW_2X)
+        result = simulate(workload, config)
+        params = EnergyParams.for_config(config)
+        breakdown = EnergyModel(params).evaluate(result.counters, result.seconds)
+        assert breakdown.total > 0
+        assert breakdown.constant > 0
+        assert breakdown.sm_busy > 0
+
+    def test_memory_workload_energy_is_movement_heavy(self):
+        spec = shrunk("Stream")
+        config = table_iii_config(1)
+        result = simulate(build_workload(spec), config)
+        breakdown = EnergyModel(EnergyParams.for_config(config)).evaluate(
+            result.counters, result.seconds
+        )
+        movement = (
+            breakdown.dram_to_l2 + breakdown.l2_to_l1 + breakdown.l1_to_rf
+        )
+        assert movement > breakdown.sm_busy
+
+    def test_compute_workload_energy_is_compute_heavy(self):
+        spec = shrunk("CoMD")
+        config = table_iii_config(1)
+        result = simulate(build_workload(spec), config)
+        breakdown = EnergyModel(EnergyParams.for_config(config)).evaluate(
+            result.counters, result.seconds
+        )
+        assert breakdown.sm_busy > breakdown.dram_to_l2
+
+    def test_edpse_computable_across_scaling(self):
+        spec = shrunk("Hotspot")
+        workload = build_workload(spec)
+        points = {}
+        for n in (1, 2):
+            config = table_iii_config(n, BandwidthSetting.BW_2X)
+            result = simulate(workload, config)
+            params = EnergyParams.for_config(config)
+            energy = EnergyModel(params).total_energy(
+                result.counters, result.seconds
+            )
+            points[n] = ScalingPoint(
+                n=n, delay_s=result.seconds, energy_j=energy
+            )
+        efficiency = points[2].edpse_over(points[1])
+        assert 20.0 < efficiency < 160.0
+
+
+class TestNumaBehaviour:
+    def test_remote_fraction_grows_with_gpm_count(self):
+        spec = shrunk("Lulesh-150")
+        workload = build_workload(spec)
+        fractions = []
+        for n in (2, 4, 8):
+            result = simulate(
+                workload, table_iii_config(n, BandwidthSetting.BW_2X)
+            )
+            fractions.append(result.counters.remote_fraction)
+        assert fractions[0] < fractions[-1]
+        assert all(f > 0 for f in fractions)
+
+    def test_single_gpm_has_no_remote_traffic(self):
+        spec = shrunk("Lulesh-150")
+        result = simulate(build_workload(spec), table_iii_config(1))
+        assert result.counters.remote_accesses == 0
+        assert result.counters.inter_gpm_bytes == 0
+
+    def test_bandwidth_setting_affects_memory_workload(self):
+        spec = shrunk("Lulesh-150", ctas=256)
+        workload = build_workload(spec)
+        slow = simulate(workload, table_iii_config(8, BandwidthSetting.BW_1X))
+        fast = simulate(workload, table_iii_config(8, BandwidthSetting.BW_4X))
+        assert fast.cycles < slow.cycles
+
+    def test_switch_beats_ring_at_scale(self):
+        spec = shrunk("Lulesh-150", ctas=256)
+        workload = build_workload(spec)
+        ring = simulate(
+            workload,
+            table_iii_config(8, BandwidthSetting.BW_1X,
+                             topology=TopologyKind.RING),
+        )
+        switch = simulate(
+            workload,
+            table_iii_config(8, BandwidthSetting.BW_1X,
+                             topology=TopologyKind.SWITCH),
+        )
+        assert switch.cycles < ring.cycles
+
+    def test_coherence_invalidations_happen_across_kernels(self):
+        spec = shrunk("Lulesh-150")
+        workload = build_workload(spec)
+        from repro.gpu.multigpu import MultiGpu
+
+        gpu = MultiGpu(table_iii_config(4, BandwidthSetting.BW_2X))
+        gpu.run(workload)
+        assert gpu.coherence.boundaries == len(workload.kernels)
+        assert gpu.coherence.lines_invalidated > 0

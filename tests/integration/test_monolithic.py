@@ -1,0 +1,57 @@
+"""The monolithic comparison GPU (Figure 7's NUMA-free reference)."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.config import BandwidthSetting, monolithic_config, table_iii_config
+from repro.gpu.simulator import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+
+def shrunk(abbr: str, ctas: int = 256):
+    spec = get_spec(abbr)
+    factor = spec.total_ctas // ctas
+    return dataclasses.replace(
+        spec,
+        total_ctas=ctas,
+        kernels=1,
+        footprint_bytes=max(spec.footprint_bytes // factor, ctas * 128),
+        shared_footprint_bytes=max(spec.shared_footprint_bytes // factor,
+                                   128 * 128),
+    )
+
+
+class TestMonolithicReference:
+    def test_no_numa_traffic_at_any_scale(self):
+        spec = shrunk("Lulesh-150")
+        result = simulate(build_workload(spec), monolithic_config(4))
+        assert result.counters.remote_accesses == 0
+        assert result.counters.inter_gpm_byte_hops == 0
+
+    def test_monolithic_beats_multi_module_on_memory_workload(self):
+        """Same resources, no NUMA: the monolithic GPU must be at least as
+        fast as the equally-sized multi-module GPU on a sharing workload."""
+        spec = shrunk("Lulesh-150")
+        workload = build_workload(spec)
+        multi = simulate(
+            workload, table_iii_config(4, BandwidthSetting.BW_1X)
+        )
+        mono = simulate(workload, monolithic_config(4))
+        assert mono.cycles <= multi.cycles * 1.05
+
+    def test_monolithic_scales_with_resources(self):
+        spec = shrunk("Stream")
+        workload = build_workload(spec)
+        small = simulate(workload, monolithic_config(2))
+        large = simulate(workload, monolithic_config(4))
+        assert large.cycles < small.cycles
+
+    def test_aggregated_l2_capacity(self):
+        config = monolithic_config(4)
+        from repro.gpu.multigpu import MultiGpu
+
+        gpu = MultiGpu(config)
+        assert gpu.gpms[0].memory.l2.config.capacity_bytes == 8 * 1024 * 1024
+        assert gpu.topology is None

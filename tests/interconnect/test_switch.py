@@ -1,0 +1,70 @@
+"""High-radix switch topology."""
+
+import pytest
+
+from repro.interconnect.switch import SwitchTopology
+from repro.sim.engine import Engine
+from repro.units import gbps_to_bytes_per_cycle
+
+
+def make_switch(num_gpms=8, bw=128.0):
+    return SwitchTopology(
+        Engine(),
+        num_gpms,
+        per_gpm_bandwidth_gbps=bw,
+        link_latency_cycles=10.0,
+        energy_pj_per_bit=10.0,
+    )
+
+
+class TestRouting:
+    def test_always_two_hops(self):
+        switch = make_switch(8)
+        for src in range(8):
+            for dst in range(8):
+                if src == dst:
+                    continue
+                links, traversals = switch.route(src, dst)
+                assert len(links) == 2
+                assert traversals == 1
+        assert switch.hop_count(0, 5) == 2
+        assert switch.hop_count(3, 3) == 0
+
+    def test_full_port_bandwidth(self):
+        switch = make_switch(4, bw=128.0)
+        for link in switch.links():
+            assert link.config.bandwidth_gbps == pytest.approx(128.0)
+
+    def test_link_count(self):
+        assert len(make_switch(8).links()) == 16  # uplink + downlink per GPM
+
+
+class TestTransfers:
+    def test_switch_traversal_counted(self):
+        switch = make_switch(4)
+        switch.transfer(0, 2, 512)
+        assert switch.traffic.switch_byte_traversals == 512
+        assert switch.traffic.byte_hops == 1024  # 2 link hops
+
+    def test_no_multi_hop_amplification(self):
+        """The switch's key property vs the ring: distant pairs pay the same
+        link capacity as adjacent ones."""
+        switch = make_switch(8)
+        near = switch.transfer(0, 1, 4096)
+        far = switch.transfer(2, 6, 4096)
+        assert near.hops == far.hops == 2
+
+    def test_uplink_contention(self):
+        switch = make_switch(4, bw=128.0)
+        rate = gbps_to_bytes_per_cycle(128.0)
+        first = switch.transfer(0, 1, 10_000)
+        second = switch.transfer(0, 2, 10_000)  # same uplink, different downlink
+        assert second.completion_time - first.completion_time == pytest.approx(
+            10_000 / rate
+        )
+
+    def test_distinct_sources_parallel(self):
+        switch = make_switch(4)
+        a = switch.transfer(0, 1, 10_000)
+        b = switch.transfer(2, 3, 10_000)
+        assert b.completion_time == pytest.approx(a.completion_time)

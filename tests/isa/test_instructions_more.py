@@ -1,0 +1,49 @@
+"""Additional instruction-record coverage: reprs, widths, store flags."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestReprs:
+    def test_memory_repr_shows_address(self):
+        instr = Instruction(Opcode.LDG, address=0x1000, size=128)
+        assert "0x1000" in repr(instr)
+        assert "LDG" in repr(instr)
+
+    def test_compute_repr_is_compact(self):
+        assert repr(Instruction(Opcode.FFMA32)) == "Instruction(FFMA32)"
+
+
+class TestStoreClassification:
+    @pytest.mark.parametrize("opcode,expected", [
+        (Opcode.STG, True),
+        (Opcode.STS, True),
+        (Opcode.LDG, False),
+        (Opcode.LDS, False),
+    ])
+    def test_is_store(self, opcode, expected):
+        instr = Instruction(opcode, address=0, size=128)
+        assert instr.is_store is expected
+
+    def test_compute_is_never_store(self):
+        assert not Instruction(Opcode.FADD32).is_store
+
+
+class TestValidationEdges:
+    def test_zero_address_allowed(self):
+        Instruction(Opcode.LDG, address=0, size=128)
+
+    def test_size_only_rejected(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.LDG, size=128)
+
+    def test_address_only_rejected(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.LDG, address=128)
+
+    def test_control_rejects_operands(self):
+        with pytest.raises(TraceError):
+            Instruction(Opcode.BRA, address=0, size=4)

@@ -1,0 +1,76 @@
+"""Compute microbenchmarks (Algorithm 1 analogue)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import Opcode
+from repro.microbench.compute import ComputeMicrobenchmark
+
+
+class TestConstruction:
+    def test_requires_compute_opcode(self):
+        with pytest.raises(ConfigError):
+            ComputeMicrobenchmark(opcode=Opcode.LDG)
+
+    def test_name(self):
+        bench = ComputeMicrobenchmark(opcode=Opcode.FFMA32)
+        assert "ffma32" in bench.name
+
+    def test_loop_body_is_single_opcode(self):
+        bench = ComputeMicrobenchmark(opcode=Opcode.FADD64)
+        body = bench.build_instructions(unroll=8)
+        assert len(body) == 8
+        assert all(instr.opcode is Opcode.FADD64 for instr in body)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ComputeMicrobenchmark(opcode=Opcode.FADD32, iterations_per_warp=0)
+        with pytest.raises(ConfigError):
+            ComputeMicrobenchmark(opcode=Opcode.FADD32, num_sms=0)
+
+
+class TestExecution:
+    def test_counters_match_iteration_count(self):
+        bench = ComputeMicrobenchmark(
+            opcode=Opcode.FADD32, iterations_per_warp=1000,
+            num_sms=2, warps_per_sm=4,
+        )
+        counters, _t = bench.execute()
+        assert counters.instructions[Opcode.FADD32] == 1000 * 2 * 4
+        assert counters.dram_l2_txns == 0  # register-resident loop
+
+    def test_full_occupancy_has_no_idle(self):
+        bench = ComputeMicrobenchmark(
+            opcode=Opcode.FADD32, iterations_per_warp=1000, warps_per_sm=32
+        )
+        counters, _t = bench.execute()
+        assert counters.sm_idle_cycles == pytest.approx(0.0)
+
+    def test_low_occupancy_exposes_idle(self):
+        bench = ComputeMicrobenchmark(
+            opcode=Opcode.FADD32, iterations_per_warp=1000, warps_per_sm=1
+        )
+        counters, _t = bench.execute()
+        assert counters.sm_idle_cycles > 0
+        # 1/8 of saturation: 7/8 of the time idle.
+        assert counters.sm_idle_cycles == pytest.approx(
+            7 * counters.sm_busy_cycles
+        )
+
+    def test_duration_scales_with_issue_weight(self):
+        fast = ComputeMicrobenchmark(opcode=Opcode.FADD32,
+                                     iterations_per_warp=1000)
+        slow = ComputeMicrobenchmark(opcode=Opcode.SQRT32,
+                                     iterations_per_warp=1000)
+        _, t_fast = fast.execute()
+        _, t_slow = slow.execute()
+        assert t_slow == pytest.approx(4 * t_fast)
+
+    def test_duration_positive_and_scales_with_iterations(self):
+        short = ComputeMicrobenchmark(opcode=Opcode.FADD32,
+                                      iterations_per_warp=1000)
+        long = ComputeMicrobenchmark(opcode=Opcode.FADD32,
+                                     iterations_per_warp=2000)
+        _, t_short = short.execute()
+        _, t_long = long.execute()
+        assert t_long == pytest.approx(2 * t_short)

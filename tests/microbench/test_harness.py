@@ -1,0 +1,58 @@
+"""Microbenchmark measurement harness."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.isa.opcodes import Opcode
+from repro.microbench.compute import ComputeMicrobenchmark
+from repro.microbench.harness import MicrobenchmarkHarness
+from repro.units import WARP_SIZE
+
+
+@pytest.fixture
+def harness(meter):
+    return MicrobenchmarkHarness(meter)
+
+
+def steady_bench(opcode=Opcode.FFMA32):
+    return ComputeMicrobenchmark(opcode=opcode, iterations_per_warp=3_000_000)
+
+
+class TestRun:
+    def test_returns_counters_and_measurement(self, harness):
+        bench = steady_bench()
+        counters, measurement = harness.run(bench)
+        assert counters.instructions[Opcode.FFMA32] == bench.total_warp_instructions
+        assert measurement.power_active_w > measurement.power_idle_w
+        assert measurement.exec_time_s > 0.03
+
+    def test_log_records_every_run(self, harness):
+        harness.run(steady_bench())
+        harness.run(steady_bench(Opcode.FADD64))
+        assert len(harness.log) == 2
+        names = [name for name, _measurement in harness.log]
+        assert names[0] != names[1]
+
+
+class TestMeasuredRun:
+    def test_event_count_packaged(self, harness):
+        bench = steady_bench()
+        events = bench.total_warp_instructions * WARP_SIZE
+        _counters, run = harness.measured_run(bench, events)
+        assert run.event_count == events
+
+    def test_bad_event_count_rejected(self, harness):
+        with pytest.raises(CalibrationError):
+            harness.measured_run(steady_bench(), 0)
+
+    def test_epi_recoverable_through_harness(self, harness, silicon):
+        """The full loop: execute -> sense -> Eq. 5 -> true EPI."""
+        from repro.core.calibration import estimate_epi
+
+        bench = steady_bench()
+        events = bench.total_warp_instructions * WARP_SIZE
+        _counters, run = harness.measured_run(bench, events)
+        recovered_nj = estimate_epi(run) / 1e-9
+        assert recovered_nj == pytest.approx(
+            silicon.true_epi_nj(Opcode.FFMA32), rel=0.03
+        )

@@ -1,0 +1,77 @@
+"""Mixed validation microbenchmarks (Figure 4a set)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import Opcode
+from repro.microbench.memory import MemoryLevel
+from repro.microbench.mixed import MixedMicrobenchmark, fig4a_suite
+from repro.units import SECTORS_PER_LINE
+
+
+class TestConstruction:
+    def test_requires_compute_opcode(self):
+        with pytest.raises(ConfigError):
+            MixedMicrobenchmark(opcode=Opcode.LDG, levels=(MemoryLevel.L1,))
+
+    def test_requires_levels(self):
+        with pytest.raises(ConfigError):
+            MixedMicrobenchmark(opcode=Opcode.FADD64, levels=())
+
+    def test_default_name(self):
+        bench = MixedMicrobenchmark(
+            opcode=Opcode.FADD64, levels=(MemoryLevel.L2,)
+        )
+        assert "fadd64" in bench.name and "l2" in bench.name
+
+
+class TestExecution:
+    def test_combines_compute_and_movement(self):
+        bench = MixedMicrobenchmark(
+            opcode=Opcode.FADD64, levels=(MemoryLevel.L2,),
+            compute_per_step=4, steps_per_warp=100,
+            num_sms=1, warps_per_sm=2,
+        )
+        counters, _t = bench.execute()
+        total_steps = 100 * 2
+        assert counters.instructions[Opcode.FADD64] == 4 * total_steps
+        assert counters.l2_l1_txns == SECTORS_PER_LINE * total_steps
+
+    def test_two_level_combination(self):
+        bench = MixedMicrobenchmark(
+            opcode=Opcode.FADD64,
+            levels=(MemoryLevel.L2, MemoryLevel.DRAM),
+            steps_per_warp=10, num_sms=1, warps_per_sm=1,
+        )
+        counters, _t = bench.execute()
+        # One L2 chase + one DRAM chase per step: DRAM chase also moves L2.
+        assert counters.l2_l1_txns == 2 * SECTORS_PER_LINE * 10
+        assert counters.dram_l2_txns == SECTORS_PER_LINE * 10
+
+    def test_dram_combination_bandwidth_clamped(self):
+        bench = MixedMicrobenchmark(
+            opcode=Opcode.FADD64, levels=(MemoryLevel.DRAM,),
+            steps_per_warp=50_000, num_sms=15, warps_per_sm=32,
+        )
+        counters, t = bench.execute()
+        achieved_gbps = counters.l1_rf_txns * 128 / t / 1e9
+        assert achieved_gbps <= 280.0 * 1.001
+
+
+class TestFig4aSuite:
+    def test_five_benchmarks(self):
+        suite = fig4a_suite()
+        assert len(suite) == 5
+        labels = [bench.name for bench in suite]
+        assert labels[0] == "FADD64 + Shared Memory"
+        assert labels[-1] == "FADD64 + L2 Cache + DRAM"
+
+    def test_all_use_fadd64(self):
+        for bench in fig4a_suite():
+            assert bench.opcode is Opcode.FADD64
+
+    def test_durations_span_sensor_windows(self):
+        """Validation, like calibration, must observe steady state."""
+        for bench in fig4a_suite():
+            _counters, t = bench.execute()
+            assert t >= 2 * 15e-3, bench.name

@@ -1,0 +1,58 @@
+"""Power meter measurements over the silicon substrate."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+from repro.power.meter import PowerMeter
+from repro.power.silicon import SiliconGpu
+
+
+def busy_counters(instructions=10**8) -> CounterSet:
+    counters = CounterSet()
+    counters.count_instruction(Opcode.FFMA32, instructions)
+    return counters
+
+
+class TestMeasure:
+    def test_steady_state_measurement(self, silicon, meter):
+        counters = busy_counters()
+        measurement = meter.measure(counters, exec_time_s=0.1)
+        true_power = silicon.true_power_w(counters, 0.1)
+        assert measurement.power_active_w == pytest.approx(true_power, abs=0.3)
+        assert measurement.power_idle_w == silicon.idle_power_w
+        assert measurement.energy_j == pytest.approx(
+            measurement.power_active_w * 0.1
+        )
+
+    def test_short_run_underreads(self, silicon, meter):
+        counters = busy_counters()
+        short = meter.measure(counters, exec_time_s=0.001)
+        long = meter.measure(counters.scaled(100), exec_time_s=0.1)
+        assert short.power_active_w < long.power_active_w
+
+    def test_dynamic_energy(self, meter):
+        measurement = meter.measure(busy_counters(), exec_time_s=0.1)
+        assert measurement.dynamic_energy_j == pytest.approx(
+            (measurement.power_active_w - measurement.power_idle_w) * 0.1
+        )
+
+    def test_zero_duration_rejected(self, meter):
+        with pytest.raises(CalibrationError):
+            meter.measure(CounterSet(), 0.0)
+
+
+class TestMeasuredRun:
+    def test_packaging(self, meter):
+        counters = busy_counters()
+        run = meter.measured_run(counters, exec_time_s=0.1, event_count=10**8)
+        assert run.event_count == 10**8
+        assert run.exec_time_s == pytest.approx(0.1)
+        assert run.power_active_w > run.power_idle_w
+
+    def test_meter_is_stateless_between_measurements(self, silicon):
+        meter = PowerMeter(silicon)
+        first = meter.measure(busy_counters(), 0.1)
+        second = meter.measure(busy_counters(), 0.1)
+        assert first.power_active_w == second.power_active_w

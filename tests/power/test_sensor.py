@@ -1,0 +1,83 @@
+"""NVML-like sensor: windowing, quantization, short-ROI blending."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.sensor import Phase, PowerSensor, SensorConfig
+
+
+class TestWaveformSampling:
+    def test_constant_waveform(self):
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        samples = sensor.sample_waveform([Phase(0.045, 100.0)])
+        assert samples == pytest.approx([100.0, 100.0, 100.0])
+
+    def test_window_averaging(self):
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        # One window: half at 50 W, half at 150 W -> reads 100 W.
+        samples = sensor.sample_waveform(
+            [Phase(0.0075, 50.0), Phase(0.0075, 150.0)]
+        )
+        assert samples == pytest.approx([100.0])
+
+    def test_partial_final_window(self):
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        samples = sensor.sample_waveform([Phase(0.0225, 80.0)])
+        assert len(samples) == 2
+        assert samples == pytest.approx([80.0, 80.0])
+
+    def test_quantization(self):
+        sensor = PowerSensor(SensorConfig(quantization_w=1.0))
+        samples = sensor.sample_waveform([Phase(0.015, 100.4)])
+        assert samples == [100.0]
+
+    def test_empty_waveform_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerSensor().sample_waveform([])
+
+
+class TestRoiMeasurement:
+    def test_long_roi_reads_steady_state(self):
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        reading = sensor.measure_roi(
+            roi_duration_s=0.1, roi_power_w=120.0, surrounding_power_w=25.0
+        )
+        assert reading == pytest.approx(120.0)
+
+    def test_short_roi_blends_with_surroundings(self):
+        """The Fig. 4b BFS/MiniAMR failure mode: a 1 ms kernel inside a 15 ms
+        window reads mostly surrounding power."""
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        reading = sensor.measure_roi(
+            roi_duration_s=0.0015, roi_power_w=120.0, surrounding_power_w=25.0
+        )
+        coverage = 0.0015 / 0.015
+        expected = coverage * 120.0 + (1 - coverage) * 25.0
+        assert reading == pytest.approx(expected)
+        assert reading < 40.0  # far from the true 120 W
+
+    def test_blending_monotonic_in_duration(self):
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        readings = [
+            sensor.measure_roi(duration, 120.0, 25.0)
+            for duration in (0.001, 0.005, 0.012, 0.05)
+        ]
+        assert readings == sorted(readings)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerSensor().measure_roi(0.0, 100.0, 25.0)
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            SensorConfig(refresh_period_s=0.0)
+        with pytest.raises(ConfigError):
+            SensorConfig(quantization_w=-1.0)
+
+    def test_bad_phase(self):
+        with pytest.raises(ConfigError):
+            Phase(-1.0, 100.0)
+        with pytest.raises(ConfigError):
+            Phase(1.0, -5.0)

@@ -1,0 +1,58 @@
+"""Sensor waveform properties (energy conservation of window averaging)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power.sensor import Phase, PowerSensor, SensorConfig
+
+phases = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-4, max_value=0.05),
+        st.floats(min_value=0.0, max_value=300.0),
+    ).map(lambda t: Phase(duration_s=t[0], power_w=t[1])),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestWaveformProperties:
+    @given(phases)
+    @settings(max_examples=50, deadline=None)
+    def test_window_averaging_conserves_energy(self, waveform):
+        """Unquantized samples, weighted by window coverage, integrate to the
+        waveform's true energy — the sensor averages, it does not lose."""
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        samples = sensor.sample_waveform(waveform)
+        total_time = sum(p.duration_s for p in waveform)
+        period = sensor.config.refresh_period_s
+        full_windows = int(total_time / period + 1e-12)
+        durations = [period] * full_windows
+        tail = total_time - full_windows * period
+        if tail > 1e-12:
+            durations.append(tail)
+        assert len(samples) == len(durations)
+        sensed_energy = sum(
+            sample * duration for sample, duration in zip(samples, durations)
+        )
+        true_energy = sum(p.duration_s * p.power_w for p in waveform)
+        assert sensed_energy == pytest.approx(true_energy, rel=1e-6)
+
+    @given(phases)
+    @settings(max_examples=50, deadline=None)
+    def test_samples_bounded_by_waveform_extremes(self, waveform):
+        sensor = PowerSensor(SensorConfig(quantization_w=0.0))
+        samples = sensor.sample_waveform(waveform)
+        low = min(p.power_w for p in waveform)
+        high = max(p.power_w for p in waveform)
+        for sample in samples:
+            assert low - 1e-9 <= sample <= high + 1e-9
+
+    @given(phases, st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_error_bounded(self, waveform, step):
+        fine = PowerSensor(SensorConfig(quantization_w=0.0))
+        coarse = PowerSensor(SensorConfig(quantization_w=step))
+        for exact, quantized in zip(
+            fine.sample_waveform(waveform), coarse.sample_waveform(waveform)
+        ):
+            assert abs(exact - quantized) <= step / 2 + 1e-9

@@ -1,0 +1,124 @@
+"""Synthetic silicon ground-truth behaviour."""
+
+import pytest
+
+from repro.core.epi_tables import EPI_TABLE_NJ, EPT_TABLE, TransactionKind
+from repro.errors import ConfigError
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+from repro.power.silicon import SiliconEffects, SiliconGpu
+from repro.units import WARP_SIZE, nj
+
+
+class TestDeterminism:
+    def test_same_seed_same_chip(self):
+        a, b = SiliconGpu(seed=7), SiliconGpu(seed=7)
+        for opcode in EPI_TABLE_NJ:
+            assert a.true_epi_nj(opcode) == b.true_epi_nj(opcode)
+        for kind in TransactionKind:
+            assert a.true_ept_nj(kind) == b.true_ept_nj(kind)
+
+    def test_different_seed_different_chip(self):
+        a, b = SiliconGpu(seed=1), SiliconGpu(seed=2)
+        assert any(
+            a.true_epi_nj(op) != b.true_epi_nj(op) for op in EPI_TABLE_NJ
+        )
+
+    def test_true_values_near_nominal(self):
+        silicon = SiliconGpu(seed=40)
+        for opcode, nominal in EPI_TABLE_NJ.items():
+            assert silicon.true_epi_nj(opcode) == pytest.approx(nominal, rel=0.35)
+        for kind in TransactionKind:
+            nominal = EPT_TABLE[kind][0]
+            assert silicon.true_ept_nj(kind) == pytest.approx(nominal, rel=0.35)
+
+
+class TestEnergy:
+    def test_pure_compute_energy(self):
+        silicon = SiliconGpu(seed=40)
+        counters = CounterSet()
+        counters.count_instruction(Opcode.FFMA32, 1_000_000)
+        energy = silicon.dynamic_energy_j(counters, exec_time_s=0.0)
+        expected = nj(
+            silicon.true_epi_nj(Opcode.FFMA32) * 1_000_000 * WARP_SIZE
+        )
+        assert energy == pytest.approx(expected)  # pure loop: no mix overhead
+
+    def test_mix_interaction_increases_energy(self):
+        silicon = SiliconGpu(seed=40)
+        pure = CounterSet()
+        pure.count_instruction(Opcode.FADD32, 2_000_000)
+        mixed = CounterSet()
+        mixed.count_instruction(Opcode.FADD32, 1_000_000)
+        mixed.count_instruction(Opcode.FMUL32, 1_000_000)
+        pure_e = silicon.dynamic_energy_j(pure, 0.0)
+        mixed_e = silicon.dynamic_energy_j(mixed, 0.0)
+        # FMUL is nominally cheaper than FADD, yet interaction raises the mix.
+        per_op_only = nj(
+            (silicon.true_epi_nj(Opcode.FADD32)
+             + silicon.true_epi_nj(Opcode.FMUL32)) * 1_000_000 * WARP_SIZE
+        )
+        assert mixed_e > per_op_only
+
+    def test_stall_energy(self):
+        silicon = SiliconGpu(seed=40)
+        counters = CounterSet()
+        counters.sm_idle_cycles = 1e9
+        energy = silicon.dynamic_energy_j(counters, 0.0)
+        assert energy == pytest.approx(
+            nj(silicon.effects.true_stall_nj * 1e9)
+        )
+
+    def test_low_util_memory_power_gated_on_traffic(self):
+        silicon = SiliconGpu(seed=40)
+        no_traffic = CounterSet()
+        e_none = silicon.dynamic_energy_j(no_traffic, exec_time_s=1.0)
+        assert e_none == pytest.approx(0.0)
+
+        trickle = CounterSet()
+        trickle.dram_l2_txns = 10  # near-zero utilization over 1 s
+        e_trickle = silicon.dynamic_energy_j(trickle, exec_time_s=1.0)
+        assert e_trickle > 0.9 * silicon.effects.low_util_memory_w
+
+    def test_low_util_power_vanishes_at_saturation(self):
+        silicon = SiliconGpu(seed=40)
+        saturated = CounterSet()
+        time_s = 0.01
+        # 280 GB/s of sectors for the full duration.
+        saturated.dram_l2_txns = int(280e9 * time_s / 32)
+        movement = nj(
+            silicon.true_ept_nj(TransactionKind.DRAM_TO_L2)
+            * saturated.dram_l2_txns
+        )
+        energy = silicon.dynamic_energy_j(saturated, time_s)
+        assert energy == pytest.approx(movement, rel=1e-6)
+
+    def test_total_includes_idle_floor(self):
+        silicon = SiliconGpu(seed=40)
+        counters = CounterSet()
+        total = silicon.total_energy_j(counters, exec_time_s=2.0)
+        assert total == pytest.approx(2.0 * silicon.idle_power_w)
+
+    def test_true_power(self):
+        silicon = SiliconGpu(seed=40)
+        counters = CounterSet()
+        assert silicon.true_power_w(counters, 1.0) == pytest.approx(
+            silicon.idle_power_w
+        )
+        with pytest.raises(ConfigError):
+            silicon.true_power_w(counters, 0.0)
+
+    def test_unknown_opcode_rejected(self):
+        silicon = SiliconGpu(seed=40)
+        counters = CounterSet()
+        counters.instructions[Opcode.BRA] = 5  # not an energy-table opcode
+        with pytest.raises(ConfigError):
+            silicon.dynamic_energy_j(counters, 0.0)
+
+
+class TestEffectsValidation:
+    def test_negative_effect_rejected(self):
+        with pytest.raises(ConfigError):
+            SiliconEffects(epi_spread=-0.1)
+        with pytest.raises(ConfigError):
+            SiliconEffects(dram_peak_gbps=0.0)

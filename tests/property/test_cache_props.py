@@ -1,0 +1,105 @@
+"""Property-based tests for the cache model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def build_cache(capacity_lines: int, associativity: int) -> Cache:
+    return Cache(
+        CacheConfig(
+            capacity_bytes=capacity_lines * 128,
+            line_bytes=128,
+            associativity=associativity,
+        )
+    )
+
+
+addresses = st.integers(min_value=0, max_value=1 << 24).map(lambda a: a * 128)
+
+
+class TestCacheInvariants:
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        cache = build_cache(capacity_lines=16, associativity=4)
+        for address in stream:
+            cache.access(address)
+        assert cache.resident_lines <= 16
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_stats_account_every_access(self, stream):
+        cache = build_cache(capacity_lines=16, associativity=4)
+        for address in stream:
+            cache.access(address)
+        assert cache.stats.accesses == len(stream)
+        assert cache.stats.read_hits + cache.stats.read_misses == len(stream)
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, stream):
+        cache = build_cache(capacity_lines=16, associativity=4)
+        for address in stream:
+            cache.access(address)
+            hit, _ = cache.access(address)
+            assert hit
+
+    @given(st.lists(addresses, min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_working_set_within_capacity_never_evicts(self, stream):
+        distinct = list(dict.fromkeys(stream))[:4]
+        cache = build_cache(capacity_lines=64, associativity=64)  # fully assoc
+        for address in distinct:
+            cache.access(address)
+        for address in distinct:
+            hit, _ = cache.access(address)
+            assert hit
+        assert cache.stats.evictions == 0
+
+    @given(
+        st.lists(addresses, min_size=1, max_size=100),
+        st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_probe_agrees_with_future_hit(self, stream, associativity):
+        cache = build_cache(capacity_lines=16, associativity=associativity)
+        for address in stream:
+            cache.access(address)
+        for address in set(stream):
+            present = cache.probe(address)
+            hit, _ = cache.access(address)
+            assert hit == present
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_flush_leaves_cache_empty_and_cold(self, stream):
+        cache = build_cache(capacity_lines=16, associativity=4)
+        for address in stream:
+            cache.access(address)
+        cache.flush()
+        assert cache.resident_lines == 0
+        for address in set(list(stream)[:8]):
+            hit, _ = cache.access(address)
+            assert not hit
+
+    @given(st.lists(st.tuples(addresses, st.booleans()), min_size=1, max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_writeback_cache_dirty_lines_bounded(self, stream):
+        cache = Cache(
+            CacheConfig(
+                capacity_bytes=16 * 128,
+                line_bytes=128,
+                associativity=4,
+                write_allocate=True,
+                write_back=True,
+            )
+        )
+        dirty_evictions = 0
+        stores = 0
+        for address, is_store in stream:
+            stores += is_store
+            _, dirty = cache.access(address, is_store=is_store)
+            dirty_evictions += dirty
+        # Every dirty eviction must correspond to at least one store.
+        assert dirty_evictions <= stores

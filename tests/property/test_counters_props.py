@@ -1,0 +1,140 @@
+"""Property-based tests: counter conservation laws of the simulator.
+
+These run miniature simulations over randomized workload shapes and assert
+the bookkeeping identities that the energy model depends on.  A violation of
+any of these would silently corrupt every figure.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.config import BandwidthSetting, table_iii_config
+from repro.gpu.simulator import simulate
+from repro.isa.kernel import WorkloadCategory
+from repro.isa.opcodes import Opcode
+from repro.units import SECTORS_PER_LINE
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec
+
+spec_shapes = st.fixed_dictionaries(
+    {
+        "total_ctas": st.sampled_from([16, 32]),
+        "warps_per_cta": st.integers(min_value=1, max_value=2),
+        "kernels": st.integers(min_value=1, max_value=2),
+        "segments_per_warp": st.integers(min_value=1, max_value=2),
+        "compute_per_segment": st.integers(min_value=1, max_value=8),
+        "accesses_per_segment": st.integers(min_value=1, max_value=4),
+        "store_fraction": st.sampled_from([0.0, 0.3]),
+        "frac_shared": st.sampled_from([0.0, 0.2]),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "num_gpms": st.sampled_from([1, 2, 4]),
+    }
+)
+
+
+def build(shape) -> tuple:
+    num_gpms = shape.pop("num_gpms")
+    frac_shared = shape.pop("frac_shared")
+    spec = WorkloadSpec(
+        name="Prop", abbr="Prop", category=WorkloadCategory.MEMORY,
+        compute_mix={Opcode.FFMA32: 1.0},
+        footprint_bytes=max(shape["total_ctas"] * 8192, 256 * 1024),
+        shared_footprint_bytes=256 * 1024,
+        frac_stream=0.8 - frac_shared, frac_reuse=0.1, frac_halo=0.1,
+        frac_shared=frac_shared,
+        **shape,
+    )
+    config = table_iii_config(num_gpms, BandwidthSetting.BW_2X)
+    return spec, config
+
+
+class TestConservation:
+    @given(spec_shapes)
+    @settings(max_examples=15, deadline=None)
+    def test_instruction_conservation(self, shape):
+        spec, config = build(dict(shape))
+        result = simulate(build_workload(spec), config)
+        counters = result.counters
+        # Every generated compute instruction retires exactly once.
+        expected_compute = (
+            spec.total_ctas * spec.warps_per_cta * spec.kernels
+            * spec.segments_per_warp * spec.compute_per_segment
+        )
+        assert counters.total_instructions == expected_compute
+
+    @given(spec_shapes)
+    @settings(max_examples=15, deadline=None)
+    def test_access_conservation(self, shape):
+        spec, config = build(dict(shape))
+        result = simulate(build_workload(spec), config)
+        counters = result.counters
+        expected_accesses = spec.total_accesses
+        # Global accesses split exactly into L1 transactions and LDS traffic.
+        assert (
+            counters.l1_rf_txns + counters.shared_rf_txns
+            >= expected_accesses
+        )
+        # Loads partition into hits and misses.
+        loads = counters.l1_hits + counters.l1_misses
+        assert loads <= counters.l1_rf_txns
+        # Locality classification covers every global access.
+        assert (
+            counters.local_accesses + counters.remote_accesses
+            == counters.l1_rf_txns
+        )
+
+    @given(spec_shapes)
+    @settings(max_examples=15, deadline=None)
+    def test_hierarchy_transaction_ordering(self, shape):
+        spec, config = build(dict(shape))
+        result = simulate(build_workload(spec), config)
+        counters = result.counters
+        # Sector traffic only moves in whole-line groups.
+        assert counters.l2_l1_txns % SECTORS_PER_LINE == 0
+        assert counters.dram_l2_txns % SECTORS_PER_LINE == 0
+        # Every DRAM line group has a cause: a local L2 load miss, a dirty
+        # writeback, or a remote access (store drain or home-L2-miss fill).
+        dram_groups = counters.dram_l2_txns // SECTORS_PER_LINE
+        assert dram_groups <= (
+            counters.l2_misses
+            + counters.dirty_writebacks
+            + counters.remote_accesses
+        )
+        # L2 hit/miss partition is bounded by the requests that reach it.
+        assert (
+            counters.l2_hits + counters.l2_misses
+            <= counters.l1_misses + counters.remote_accesses
+        )
+
+    @given(spec_shapes)
+    @settings(max_examples=15, deadline=None)
+    def test_time_and_utilization_sanity(self, shape):
+        spec, config = build(dict(shape))
+        result = simulate(build_workload(spec), config)
+        counters = result.counters
+        assert counters.elapsed_cycles > 0
+        sm_cycles = counters.elapsed_cycles * config.total_sms
+        assert counters.sm_busy_cycles + counters.sm_idle_cycles == \
+            __import__("pytest").approx(sm_cycles)
+        assert 0.0 < result.sm_utilization <= 1.0
+
+    @given(spec_shapes)
+    @settings(max_examples=10, deadline=None)
+    def test_single_gpm_never_remote(self, shape):
+        shape = dict(shape)
+        shape["num_gpms"] = 1
+        spec, config = build(shape)
+        result = simulate(build_workload(spec), config)
+        assert result.counters.remote_accesses == 0
+        assert result.counters.inter_gpm_byte_hops == 0
+
+    @given(spec_shapes)
+    @settings(max_examples=10, deadline=None)
+    def test_determinism_across_runs(self, shape):
+        spec, config = build(dict(shape))
+        first = simulate(build_workload(spec), config)
+        second = simulate(build_workload(spec), config)
+        assert first.cycles == second.cycles
+        assert first.counters.instructions == second.counters.instructions
+        assert first.counters.dram_l2_txns == second.counters.dram_l2_txns

@@ -1,0 +1,72 @@
+"""Property-based tests for the discrete-event engine and servers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Engine, Timeout
+from repro.sim.resources import BandwidthServer
+
+delays = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestEngineInvariants:
+    @given(st.lists(delays, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_time_is_monotonic(self, schedule):
+        engine = Engine()
+        observed = []
+        for delay in schedule:
+            engine.schedule(delay, lambda _v: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(observed)
+        assert engine.now == max(schedule)
+
+    @given(st.lists(delays, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_every_callback_runs_exactly_once(self, schedule):
+        engine = Engine()
+        count = [0]
+        for delay in schedule:
+            engine.schedule(delay, lambda _v: count.__setitem__(0, count[0] + 1))
+        engine.run()
+        assert count[0] == len(schedule)
+
+    @given(st.lists(delays, min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_process_timeouts_accumulate(self, waits):
+        engine = Engine()
+
+        def body():
+            for wait in waits:
+                yield Timeout(wait)
+
+        engine.process(body())
+        engine.run()
+        assert engine.now >= sum(waits) - 1e-6
+
+
+sizes = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestServerInvariants:
+    @given(st.lists(sizes, min_size=1, max_size=50),
+           st.floats(min_value=0.1, max_value=1e3))
+    @settings(max_examples=50, deadline=None)
+    def test_completions_monotonic_and_conserve_work(self, requests, rate):
+        engine = Engine()
+        server = BandwidthServer(engine, rate=rate)
+        finishes = [server.reserve(size) for size in requests]
+        assert finishes == sorted(finishes)
+        # Total busy time is exactly the work divided by the rate.
+        assert abs(server.busy_time - sum(requests) / rate) < 1e-6
+        # The last completion is at least the total service time.
+        assert finishes[-1] >= sum(requests) / rate - 1e-6
+
+    @given(st.lists(st.tuples(sizes, delays), min_size=1, max_size=30),
+           st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_earliest_never_starts_early(self, jobs, rate):
+        engine = Engine()
+        server = BandwidthServer(engine, rate=rate)
+        for size, earliest in jobs:
+            finish = server.reserve(size, earliest=earliest)
+            assert finish >= earliest + size / rate - 1e-9

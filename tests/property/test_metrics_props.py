@@ -1,0 +1,100 @@
+"""Property-based tests for the EDPSE metric family and the energy model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.edpse import ScalingPoint, edp, edpse
+from repro.core.energy_model import EnergyModel, EnergyParams
+from repro.core.epi_tables import EnergyConstants
+from repro.gpu.counters import CounterSet
+from repro.isa.opcodes import Opcode
+
+positive = st.floats(min_value=1e-6, max_value=1e9, allow_nan=False)
+counts = st.integers(min_value=0, max_value=10**9)
+
+
+class TestEdpseProperties:
+    @given(positive, positive, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_ideal_scaling_always_100(self, energy, delay, n):
+        """N-fold speedup at equal energy is 100% regardless of magnitudes."""
+        edp1 = edp(energy, delay)
+        edpn = edp(energy, delay / n)
+        assert abs(edpse(edp1, edpn, n) - 100.0) < 1e-6
+
+    @given(positive, positive, positive,
+           st.integers(min_value=2, max_value=32))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_energy(self, energy, delay, extra, n):
+        """More energy at the scaled point can only reduce EDPSE."""
+        base = edp(energy, delay)
+        better = edpse(base, edp(energy, delay / n), n)
+        worse = edpse(base, edp(energy + extra, delay / n), n)
+        assert worse <= better
+
+    @given(positive, positive, st.integers(min_value=2, max_value=32))
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariance(self, energy, delay, n):
+        """EDPSE is invariant to rescaling energy and delay units."""
+        a = edpse(edp(energy, delay), edp(energy * 1.3, delay / 2), n)
+        b = edpse(
+            edp(energy * 1e3, delay * 1e-3),
+            edp(energy * 1.3e3, delay * 1e-3 / 2),
+            n,
+        )
+        assert abs(a - b) < 1e-6
+
+    @given(positive, positive, positive, positive)
+    @settings(max_examples=100, deadline=None)
+    def test_speedup_energy_decomposition(self, e1, d1, e2, d2):
+        """EDPSE == parallel-efficiency-style speedup term over energy term."""
+        base = ScalingPoint(n=1, delay_s=d1, energy_j=e1)
+        scaled = ScalingPoint(n=4, delay_s=d2, energy_j=e2)
+        direct = scaled.edpse_over(base)
+        decomposed = (
+            scaled.speedup_over(base) / 4
+            / scaled.energy_ratio_over(base)
+            * 100.0
+        )
+        assert abs(direct - decomposed) < max(1e-6 * direct, 1e-9)
+
+
+class TestEnergyModelProperties:
+    @given(counts, counts, counts, st.floats(min_value=0, max_value=1e4))
+    @settings(max_examples=100, deadline=None)
+    def test_energy_nonnegative_and_additive(self, instrs, txns, idle, time_s):
+        params = EnergyParams(constants=EnergyConstants(const_power_w=40.0))
+        model = EnergyModel(params)
+        counters = CounterSet()
+        counters.count_instruction(Opcode.FFMA32, instrs)
+        counters.dram_l2_txns = txns
+        counters.sm_idle_cycles = float(idle)
+        breakdown = model.evaluate(counters, time_s)
+        assert breakdown.total >= 0
+        assert abs(sum(breakdown.as_dict().values()) - breakdown.total) < 1e-12
+
+    @given(counts, st.integers(min_value=2, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_energy_linear_in_counts(self, txns, factor):
+        params = EnergyParams(constants=EnergyConstants(const_power_w=0.0))
+        model = EnergyModel(params)
+        single = CounterSet()
+        single.dram_l2_txns = txns
+        multiple = CounterSet()
+        multiple.dram_l2_txns = txns * factor
+        e1 = model.total_energy(single, 0.0)
+        ek = model.total_energy(multiple, 0.0)
+        assert abs(ek - factor * e1) < 1e-9
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_amortization_bounds(self, n, growth):
+        """Total constant power always lies between 1x and Nx the per-GPM
+        power, monotone in the growth fraction."""
+        params = EnergyParams(
+            constants=EnergyConstants(const_power_w=50.0),
+            num_gpms=n,
+            constant_growth_per_gpm=growth,
+        )
+        total = params.total_constant_power_w
+        assert 50.0 - 1e-9 <= total <= 50.0 * n + 1e-9

@@ -1,0 +1,235 @@
+"""Discrete-event engine behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import AllOf, Engine, Timeout
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_callbacks_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5.0, lambda _v: order.append("b"))
+        engine.schedule(1.0, lambda _v: order.append("a"))
+        engine.schedule(9.0, lambda _v: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 9.0
+
+    def test_ties_run_fifo(self):
+        engine = Engine()
+        order = []
+        for tag in range(5):
+            engine.schedule(3.0, lambda _v, t=tag: order.append(t))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-0.1, lambda _v: None)
+
+    def test_run_until_stops_before_future_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda _v: fired.append(1))
+        engine.run(until=5.0)
+        assert fired == []
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1]
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def reschedule(_v):
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_value_delivery(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, seen.append, value=42)
+        engine.run()
+        assert seen == [42]
+
+
+class TestEvents:
+    def test_event_resumes_waiters_with_value(self):
+        engine = Engine()
+        event = engine.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        engine.process(waiter())
+        engine.schedule(4.0, lambda _v: event.succeed("payload"))
+        engine.run()
+        assert got == ["payload"]
+
+    def test_event_cannot_trigger_twice(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_waiting_on_triggered_event_resumes_immediately(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed(7)
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append((engine.now, value))
+
+        engine.process(waiter())
+        engine.run()
+        assert got == [(0.0, 7)]
+
+    def test_multiple_waiters(self):
+        engine = Engine()
+        event = engine.event()
+        got = []
+
+        def waiter(tag):
+            yield event
+            got.append(tag)
+
+        for tag in "xyz":
+            engine.process(waiter(tag))
+        engine.schedule(1.0, lambda _v: event.succeed())
+        engine.run()
+        assert sorted(got) == ["x", "y", "z"]
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self):
+        engine = Engine()
+        trace = []
+
+        def body():
+            yield Timeout(3.0)
+            trace.append(engine.now)
+            yield Timeout(4.0)
+            trace.append(engine.now)
+
+        engine.process(body())
+        engine.run()
+        assert trace == [3.0, 7.0]
+
+    def test_done_event_carries_return_value(self):
+        engine = Engine()
+
+        def body():
+            yield Timeout(1.0)
+            return "result"
+
+        process = engine.process(body())
+        engine.run()
+        assert process.done.triggered
+        assert process.done.value == "result"
+
+    def test_allof_waits_for_every_event(self):
+        engine = Engine()
+        events = [engine.event() for _ in range(3)]
+        finished = []
+
+        def body():
+            yield AllOf(events)
+            finished.append(engine.now)
+
+        engine.process(body())
+        for delay, event in zip((2.0, 9.0, 5.0), events):
+            engine.schedule(delay, lambda _v, e=event: e.succeed())
+        engine.run()
+        assert finished == [9.0]
+
+    def test_allof_with_already_triggered_events(self):
+        engine = Engine()
+        events = [engine.event() for _ in range(2)]
+        for event in events:
+            event.succeed()
+        finished = []
+
+        def body():
+            yield AllOf(events)
+            finished.append(engine.now)
+
+        engine.process(body())
+        engine.run()
+        assert finished == [0.0]
+
+    def test_allof_empty_resumes(self):
+        engine = Engine()
+        finished = []
+
+        def body():
+            yield AllOf([])
+            finished.append(True)
+
+        engine.process(body())
+        engine.run()
+        assert finished == [True]
+
+    def test_unknown_command_rejected(self):
+        engine = Engine()
+
+        def body():
+            yield "nonsense"
+
+        engine.process(body(), name="bad")
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_wait_until(self):
+        engine = Engine()
+        trace = []
+
+        def body():
+            yield engine.wait_until(6.0)
+            trace.append(engine.now)
+            # waiting for the past (or now) is a zero-delay resume
+            yield engine.wait_until(6.0)
+            trace.append(engine.now)
+
+        engine.process(body())
+        engine.run()
+        assert trace == [6.0, 6.0]
+
+    def test_wait_until_past_rejected(self):
+        engine = Engine()
+
+        def body():
+            yield Timeout(5.0)
+            yield engine.wait_until(1.0)
+
+        engine.process(body())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_nested_process_spawning(self):
+        engine = Engine()
+        results = []
+
+        def child(tag):
+            yield Timeout(2.0)
+            return tag
+
+        def parent():
+            processes = [engine.process(child(t)) for t in ("a", "b")]
+            yield AllOf([p.done for p in processes])
+            results.extend(p.done.value for p in processes)
+
+        engine.process(parent())
+        engine.run()
+        assert results == ["a", "b"]

@@ -1,0 +1,98 @@
+"""Online statistics helpers."""
+
+import pytest
+
+from repro.sim.stats import Accumulator, Histogram, UtilizationTracker
+
+
+class TestAccumulator:
+    def test_mean_and_extrema(self):
+        acc = Accumulator()
+        acc.extend([1.0, 5.0, 3.0])
+        assert acc.mean == pytest.approx(3.0)
+        assert acc.minimum == 1.0
+        assert acc.maximum == 5.0
+        assert len(acc) == 3
+
+    def test_variance_matches_population_formula(self):
+        acc = Accumulator()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        acc.extend(values)
+        assert acc.variance == pytest.approx(4.0)
+        assert acc.stddev == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        acc = Accumulator()
+        with pytest.raises(ValueError):
+            _ = acc.mean
+        with pytest.raises(ValueError):
+            _ = acc.variance
+
+    def test_single_value(self):
+        acc = Accumulator()
+        acc.add(42.0)
+        assert acc.mean == 42.0
+        assert acc.variance == 0.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram(bucket_width=10.0)
+        hist.add(5.0)
+        hist.add(15.0, weight=2)
+        assert hist.total == 3
+        assert hist.buckets == {0: 1, 1: 2}
+
+    def test_quantile(self):
+        hist = Histogram(bucket_width=1.0)
+        for value in range(100):
+            hist.add(float(value))
+        assert hist.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+        assert hist.quantile(1.0) == pytest.approx(100.0, abs=1.0)
+
+    def test_quantile_validation(self):
+        hist = Histogram(bucket_width=1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(0.5)  # empty
+        hist.add(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=0.0)
+
+
+class TestUtilizationTracker:
+    def test_interval_accounting(self):
+        tracker = UtilizationTracker()
+        tracker.begin(10.0)
+        tracker.end(25.0)
+        assert tracker.busy_cycles == pytest.approx(15.0)
+        assert tracker.idle_cycles(elapsed=100.0) == pytest.approx(85.0)
+
+    def test_begin_is_idempotent(self):
+        tracker = UtilizationTracker()
+        tracker.begin(0.0)
+        tracker.begin(5.0)  # ignored; still busy since 0
+        tracker.end(10.0)
+        assert tracker.busy_cycles == pytest.approx(10.0)
+
+    def test_end_without_begin_is_noop(self):
+        tracker = UtilizationTracker()
+        tracker.end(5.0)
+        assert tracker.busy_cycles == 0.0
+
+    def test_direct_credit(self):
+        tracker = UtilizationTracker()
+        tracker.add_busy(30.0)
+        assert tracker.idle_cycles(40.0) == pytest.approx(10.0)
+
+    def test_negative_credit_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTracker().add_busy(-1.0)
+
+    def test_idle_clamped_at_zero(self):
+        tracker = UtilizationTracker()
+        tracker.add_busy(50.0)
+        assert tracker.idle_cycles(elapsed=40.0) == 0.0

@@ -1,0 +1,41 @@
+"""CLI surface: argument handling and experiment registry."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_every_design_md_experiment_is_registered(self):
+        expected = {
+            "table1b", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "interconnect-energy", "amortization", "headline",
+        }
+        assert expected <= set(_EXPERIMENTS)
+
+    def test_extensions_registered(self):
+        assert {"compression", "locality", "powergate", "edip"} <= set(
+            _EXPERIMENTS
+        )
+
+
+class TestArguments:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-an-experiment"])
+        assert excinfo.value.code != 0
+
+    def test_help_shows_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out
+        assert "--no-cache" in out
+
+    def test_multiple_experiments_accepted(self, capsys):
+        # 'tables' needs no simulation, so running it twice (deduplicated)
+        # exercises the multi-experiment path cheaply.
+        assert main(["tables", "tables"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Table III: simulated multi-module GPU") == 1

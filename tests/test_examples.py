@@ -1,0 +1,45 @@
+"""Examples stay runnable: compile them and exercise their helpers.
+
+Full example executions simulate suite-sized workloads (seconds each), so
+tests compile every script and run the cheapest one end to end.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_has_main_guard_and_docstring(self, path):
+        source = path.read_text()
+        assert '__name__ == "__main__"' in source
+        assert source.lstrip().startswith(('"""', '#!/usr/bin/env python3'))
+
+    def test_quickstart_runs(self):
+        """The quickstart is the README's front door; it must actually run."""
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "EDPSE" in result.stdout
+        assert "speedup" in result.stdout

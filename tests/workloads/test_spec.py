@@ -1,0 +1,74 @@
+"""Workload specification validation and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.kernel import WorkloadCategory
+from repro.isa.opcodes import Opcode
+from repro.workloads.spec import WorkloadSpec
+
+
+def spec_with(**overrides) -> WorkloadSpec:
+    base = dict(
+        name="Test", abbr="T", category=WorkloadCategory.COMPUTE,
+        total_ctas=64, warps_per_cta=2, kernels=2, segments_per_warp=2,
+        compute_per_segment=8, accesses_per_segment=2,
+        compute_mix={Opcode.FFMA32: 1.0},
+        footprint_bytes=8 * 1024 * 1024,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            spec_with(frac_stream=0.5, frac_reuse=0.0,
+                      frac_halo=0.0, frac_shared=0.0)
+
+    def test_fraction_sum_tolerance(self):
+        spec = spec_with(frac_stream=0.25, frac_reuse=0.25,
+                         frac_halo=0.25, frac_shared=0.25)
+        assert spec.frac_stream == 0.25
+
+    def test_memory_opcode_in_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_with(compute_mix={Opcode.LDG: 1.0})
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_with(compute_per_segment=0, accesses_per_segment=0)
+
+    def test_store_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            spec_with(store_fraction=1.5)
+
+    def test_footprint_floor(self):
+        with pytest.raises(ConfigError):
+            spec_with(footprint_bytes=1024, total_ctas=64)
+
+
+class TestDerived:
+    def test_cta_region(self):
+        spec = spec_with(footprint_bytes=64 * 65536, total_ctas=64)
+        assert spec.cta_region_bytes == 65536
+
+    def test_region_aligned_to_lines(self):
+        spec = spec_with(footprint_bytes=8 * 1024 * 1024 + 333, total_ctas=64)
+        assert spec.cta_region_bytes % 128 == 0
+
+    def test_instruction_totals(self):
+        spec = spec_with()
+        per_warp = 2 * 2 * (8 + 2)  # kernels * segments * (compute + acc)
+        assert spec.total_warp_instructions == 64 * 2 * per_warp
+        assert spec.total_accesses == 64 * 2 * 2 * 2 * 2
+
+    def test_memory_intensity(self):
+        spec = spec_with(compute_per_segment=8, accesses_per_segment=2)
+        assert spec.memory_intensity == pytest.approx(0.2)
+
+    def test_shared_remote_fraction(self):
+        spec = spec_with()
+        assert spec.expected_shared_remote_fraction(1) == 0.0
+        assert spec.expected_shared_remote_fraction(4) == pytest.approx(0.75)
+        assert spec.expected_shared_remote_fraction(32) == pytest.approx(31 / 32)

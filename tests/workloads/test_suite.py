@@ -1,0 +1,114 @@
+"""The Table II suite: roster, categories, and scaling subset."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.kernel import WorkloadCategory
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import (
+    EXCLUDED_FROM_SCALING,
+    SCALING_SUBSET,
+    WORKLOAD_SPECS,
+    get_spec,
+    scaling_workloads,
+    validation_workloads,
+)
+
+
+class TestRoster:
+    def test_eighteen_workloads(self):
+        assert len(WORKLOAD_SPECS) == 18
+
+    def test_table_ii_names_present(self):
+        expected = {
+            "BPROP", "BTREE", "CoMD", "Hotspot", "LuleshUns", "PathF",
+            "RSBench", "Srad-v1", "MiniAMR", "BFS", "Kmeans", "Lulesh-150",
+            "Lulesh-190", "Nekbone-12", "Nekbone-18", "MnCtct", "Srad-v2",
+            "Stream",
+        }
+        assert set(WORKLOAD_SPECS) == expected
+
+    def test_category_split_matches_table_ii(self):
+        compute = [
+            abbr for abbr, spec in WORKLOAD_SPECS.items()
+            if spec.category is WorkloadCategory.COMPUTE
+        ]
+        memory = [
+            abbr for abbr, spec in WORKLOAD_SPECS.items()
+            if spec.category is WorkloadCategory.MEMORY
+        ]
+        assert len(compute) == 8
+        assert len(memory) == 10
+        assert "CoMD" in compute and "Stream" in memory
+
+    def test_scaling_subset_is_fourteen(self):
+        assert len(SCALING_SUBSET) == 14
+        assert set(EXCLUDED_FROM_SCALING) == {
+            "BFS", "LuleshUns", "MnCtct", "Srad-v1"
+        }
+        assert not set(SCALING_SUBSET) & set(EXCLUDED_FROM_SCALING)
+
+    def test_get_spec(self):
+        assert get_spec("Stream").abbr == "Stream"
+        with pytest.raises(ConfigError):
+            get_spec("NotAWorkload")
+
+
+class TestCharacteristics:
+    def test_memory_workloads_more_memory_intensive(self):
+        compute_intensity = [
+            spec.memory_intensity for spec in WORKLOAD_SPECS.values()
+            if spec.category is WorkloadCategory.COMPUTE
+        ]
+        memory_intensity = [
+            spec.memory_intensity for spec in WORKLOAD_SPECS.values()
+            if spec.category is WorkloadCategory.MEMORY
+        ]
+        assert max(compute_intensity) < min(memory_intensity)
+
+    def test_memory_workloads_have_larger_footprints(self):
+        compute_fp = [
+            spec.footprint_bytes for spec in WORKLOAD_SPECS.values()
+            if spec.category is WorkloadCategory.COMPUTE
+        ]
+        memory_fp = [
+            spec.footprint_bytes for spec in WORKLOAD_SPECS.values()
+            if spec.category is WorkloadCategory.MEMORY
+        ]
+        assert sum(memory_fp) / len(memory_fp) > sum(compute_fp) / len(compute_fp)
+
+    def test_fig4b_outlier_mechanisms_encoded(self):
+        # Sensor-resolution outliers launch many short kernels.
+        assert get_spec("MiniAMR").short_kernels
+        assert get_spec("BFS").short_kernels
+        # Low-utilization outliers barely touch memory.
+        assert get_spec("RSBench").accesses_per_segment <= 2
+        assert get_spec("CoMD").accesses_per_segment <= 2
+        assert get_spec("RSBench").memory_intensity < 0.05
+        assert get_spec("CoMD").memory_intensity < 0.05
+
+    def test_stream_is_purely_streaming(self):
+        stream = get_spec("Stream")
+        assert stream.frac_stream >= 0.9
+        assert stream.frac_reuse == 0.0
+        assert stream.store_fraction == pytest.approx(0.33)
+
+    def test_all_specs_buildable(self):
+        for spec in WORKLOAD_SPECS.values():
+            workload = build_workload(spec)
+            assert workload.kernels
+
+    def test_fixed_problem_size_across_suite(self):
+        """Strong scaling needs enough CTAs to fill a 32x GPU (512 SMs)."""
+        for spec in WORKLOAD_SPECS.values():
+            assert spec.total_ctas >= 512 * 2
+
+
+class TestBuilders:
+    def test_scaling_workloads(self):
+        workloads = scaling_workloads()
+        assert len(workloads) == 14
+        assert [w.name for w in workloads] == list(SCALING_SUBSET)
+
+    def test_validation_workloads(self):
+        assert len(validation_workloads()) == 18
