@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples clean-cache loc
+.PHONY: install test bench reproduce examples trace-smoke clean-cache loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ bench:
 # Regenerate every paper table/figure (fills .cache/ on first run).
 reproduce:
 	$(PYTHON) -m repro all
+
+# Capture a small Chrome trace and validate it (see docs/OBSERVABILITY.md).
+# PYTHONPATH=src keeps this working on boxes that skipped `make install`.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro trace Stream --ctas 32 --gpms 4 --out .cache/trace-smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.tools.validate_trace .cache/trace-smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

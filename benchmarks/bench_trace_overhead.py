@@ -1,0 +1,50 @@
+"""Observability overhead benchmarks (not a paper figure).
+
+The observability layer promises near-zero cost when off: every emission
+site guards on ``tracer.enabled``, so an untraced run pays one attribute
+load and branch per site execution.  These benchmarks pin that promise —
+compare ``test_simulate_untraced`` (implicit NullTracer) against
+``test_simulate_null_tracer`` (explicit NullTracer, identical path) and
+``test_simulate_chrome_tracer`` (full event recording) with::
+
+    pytest benchmarks/bench_trace_overhead.py --benchmark-only \
+        --benchmark-group-by=param
+"""
+
+from repro.gpu.config import table_iii_config
+from repro.gpu.simulator import simulate
+from repro.trace import ChromeTracer, MetricsRegistry, NullTracer
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import shrunken_spec
+
+
+def _pair():
+    return build_workload(shrunken_spec("Lulesh-150", total_ctas=256)), (
+        table_iii_config(4)
+    )
+
+
+def test_simulate_untraced(benchmark):
+    workload, config = _pair()
+    result = benchmark(lambda: simulate(workload, config))
+    assert result.counters.total_instructions > 0
+
+
+def test_simulate_null_tracer(benchmark):
+    workload, config = _pair()
+    result = benchmark(
+        lambda: simulate(workload, config, tracer=NullTracer())
+    )
+    assert result.counters.total_instructions > 0
+
+
+def test_simulate_chrome_tracer(benchmark):
+    workload, config = _pair()
+
+    def run():
+        return simulate(
+            workload, config, tracer=ChromeTracer(), metrics=MetricsRegistry()
+        )
+
+    result = benchmark(run)
+    assert result.counters.total_instructions > 0

@@ -3,6 +3,16 @@
 Runs any of the paper's experiments from the shell and prints the same
 rows/series the paper's table or figure reports.  ``all`` runs everything in
 DESIGN.md's experiment-index order.
+
+Two observability subcommands sit beside the experiments (see
+``docs/OBSERVABILITY.md``):
+
+* ``repro trace <workload>`` — simulate a scaled-down copy of a Table II
+  workload with the Chrome tracer attached and write a ``trace_event`` JSON
+  file viewable at https://ui.perfetto.dev.
+* ``repro profile <workload>`` — simulate the same scaled-down copy and print
+  the component metrics (CTA runtimes, DRAM queueing, remote-access
+  latencies, interconnect transfers) plus a counter summary.
 """
 
 from __future__ import annotations
@@ -54,13 +64,157 @@ _EXPERIMENTS = {
 }
 
 
+def _observed_pair(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """(workload, config) for one trace/profile invocation."""
+    from repro.errors import ConfigError
+    from repro.gpu.config import TopologyKind, table_iii_config
+    from repro.workloads.generator import build_workload
+    from repro.workloads.suite import shrunken_spec
+
+    try:
+        spec = shrunken_spec(
+            args.workload, total_ctas=args.ctas, kernels=args.kernels
+        )
+    except ConfigError as exc:
+        parser.error(str(exc))
+    config = table_iii_config(
+        args.gpms, topology=TopologyKind(args.topology)
+    )
+    return spec, build_workload(spec), config
+
+
+def _add_observe_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.gpu.config import TABLE_III_GPM_COUNTS
+    from repro.workloads.suite import WORKLOAD_SPECS
+
+    parser.add_argument(
+        "workload",
+        choices=sorted(WORKLOAD_SPECS),
+        metavar="workload",
+        help=f"Table II workload abbreviation ({', '.join(sorted(WORKLOAD_SPECS))})",
+    )
+    parser.add_argument(
+        "--gpms",
+        type=int,
+        choices=TABLE_III_GPM_COUNTS,
+        default=4,
+        help="GPU module count (default: 4)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=["ring", "switch", "mesh"],
+        default="ring",
+        help="inter-GPM network for multi-module configs (default: ring)",
+    )
+    parser.add_argument(
+        "--ctas",
+        type=int,
+        default=64,
+        help="shrink the workload grid to this many CTAs (default: 64)",
+    )
+    parser.add_argument(
+        "--kernels",
+        type=int,
+        default=1,
+        help="number of kernel launches to keep (default: 1)",
+    )
+
+
+def _trace_main(argv: list[str]) -> int:
+    """``repro trace``: capture a Chrome trace of one scaled-down workload."""
+    from repro.gpu.simulator import simulate
+    from repro.trace import ChromeTracer
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Simulate a scaled-down workload with event tracing enabled and"
+            " write Chrome trace_event JSON (open it at"
+            " https://ui.perfetto.dev)."
+        ),
+    )
+    _add_observe_arguments(parser)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <workload>_<gpms>gpm.trace.json)",
+    )
+    args = parser.parse_args(argv)
+
+    spec, workload, config = _observed_pair(parser, args)
+    tracer = ChromeTracer(process_name=f"{spec.abbr} on {config.label()}")
+    result = simulate(workload, config, tracer=tracer)
+    out = args.out or f"{spec.abbr.lower()}_{args.gpms}gpm.trace.json"
+    path = tracer.write(out)
+    print(f"{spec.abbr} on {config.label()}: {result.cycles:.0f} cycles,")
+    print(f"  {len(tracer)} trace events on {len(tracer._tids)} tracks -> {path}")
+    print("  open in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
+def _profile_main(argv: list[str]) -> int:
+    """``repro profile``: print component metrics for one workload."""
+    from repro.gpu.simulator import simulate
+    from repro.trace import MetricsRegistry
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Simulate a scaled-down workload and print its component metrics"
+            " and counter summary."
+        ),
+    )
+    _add_observe_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec, workload, config = _observed_pair(parser, args)
+    metrics = MetricsRegistry()
+    result = simulate(workload, config, metrics=metrics)
+    counters = result.counters
+
+    print(f"{spec.abbr} on {config.label()}")
+    print(f"  cycles            {counters.elapsed_cycles:14.0f}")
+    print(f"  instructions      {counters.total_instructions:14d}")
+    print(f"  sm utilization    {result.sm_utilization:14.3f}")
+    print(f"  l1 hit rate       {counters.l1_hit_rate:14.3f}")
+    print(f"  l2 hit rate       {counters.l2_hit_rate:14.3f}")
+    print(f"  remote fraction   {counters.remote_fraction:14.3f}")
+    print(f"  inter-GPM bytes   {counters.inter_gpm_bytes:14d}")
+    print()
+    print(f"  {'metric':<32} {'count':>10} {'mean':>12} {'min':>12} {'max':>12}")
+    for name, row in metrics.snapshot().items():
+        if "mean" in row:
+            print(
+                f"  {name:<32} {row['count']:>10d} {row['mean']:>12.2f}"
+                f" {row['min']:>12.2f} {row['max']:>12.2f}"
+            )
+        else:
+            print(
+                f"  {name:<32} {row['count']:>10d}"
+                f" {'p50=' + format(row['p50'], '.0f'):>12}"
+                f" {'p99=' + format(row['p99'], '.0f'):>12} {'':>12}"
+            )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run experiments, print their rows."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce the experiments of 'Understanding the Future of"
             " Energy Efficiency in Multi-Module GPUs' (HPCA 2019)."
+        ),
+        epilog=(
+            "Observability subcommands: 'repro trace <workload>' captures a"
+            " Perfetto-viewable Chrome trace; 'repro profile <workload>'"
+            " prints component metrics.  See docs/OBSERVABILITY.md."
         ),
     )
     parser.add_argument(

@@ -28,6 +28,10 @@ class RunRecord:
     num_gpms: int
     seconds: float
     counters: CounterSet
+    #: Exact MetricsRegistry state (``MetricsRegistry.to_json()``) captured by
+    #: the simulating worker; ``None`` for records cached before the
+    #: observability layer existed.
+    metrics: dict | None = None
 
     def energy(self, params: EnergyParams) -> EnergyBreakdown:
         """Price this run under the given energy parameters."""
@@ -69,6 +73,7 @@ class RunRecord:
             num_gpms=data["num_gpms"],
             seconds=data["seconds"],
             counters=counters,
+            metrics=data.get("metrics"),
         )
 
 

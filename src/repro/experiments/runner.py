@@ -16,7 +16,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -24,6 +26,8 @@ from repro.errors import ExperimentError
 from repro.experiments.results import RunRecord
 from repro.gpu.config import GpuConfig
 from repro.gpu.simulator import simulate
+from repro.trace.manifest import RunManifest
+from repro.trace.metrics import MetricsRegistry
 from repro.workloads.generator import build_workload
 from repro.workloads.spec import WorkloadSpec
 
@@ -45,6 +49,10 @@ def _default_processes() -> int:
     return max(1, min(12, (os.cpu_count() or 2) - 1))
 
 
+def _default_progress() -> bool:
+    return os.environ.get("REPRO_PROGRESS", "").lower() in {"1", "true", "yes"}
+
+
 @dataclass(frozen=True)
 class SweepSettings:
     """Execution knobs for a sweep."""
@@ -52,6 +60,10 @@ class SweepSettings:
     cache_dir: Path = field(default_factory=_default_cache_dir)
     processes: int = field(default_factory=_default_processes)
     use_cache: bool = True
+    #: Emit per-simulation progress lines on stderr (or REPRO_PROGRESS=1).
+    progress: bool = field(default_factory=_default_progress)
+    #: Write a RunManifest beside every freshly simulated cache entry.
+    write_manifests: bool = True
 
 
 def _config_fingerprint(config: GpuConfig) -> dict:
@@ -84,17 +96,25 @@ def _config_fingerprint(config: GpuConfig) -> dict:
     }
 
 
+def _spec_fingerprint(spec: WorkloadSpec) -> dict:
+    return {
+        key: (value if not isinstance(value, dict) else
+              {opcode.value: weight for opcode, weight in value.items()})
+        for key, value in asdict(spec).items()
+        if key != "compute_mix"
+    } | {"mix": {op.value: w for op, w in spec.compute_mix.items()}}
+
+
+def _spec_hash(spec: WorkloadSpec) -> str:
+    blob = json.dumps(_spec_fingerprint(spec), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
 def _cache_key(spec: WorkloadSpec, config: GpuConfig) -> str:
     blob = json.dumps(
         {
             "version": RESULTS_VERSION,
-            "spec": {
-                key: (value if not isinstance(value, dict) else
-                      {opcode.value: weight for opcode, weight in value.items()})
-                for key, value in asdict(spec).items()
-                if key != "compute_mix"
-            }
-            | {"mix": {op.value: w for op, w in spec.compute_mix.items()}},
+            "spec": _spec_fingerprint(spec),
             "config": _config_fingerprint(config),
         },
         sort_keys=True,
@@ -106,7 +126,8 @@ def _cache_key(spec: WorkloadSpec, config: GpuConfig) -> str:
 def run_pair(spec: WorkloadSpec, config: GpuConfig) -> RunRecord:
     """Simulate one (workload, configuration) pair (no caching)."""
     workload = build_workload(spec)
-    result = simulate(workload, config)
+    metrics = MetricsRegistry()
+    result = simulate(workload, config, metrics=metrics)
     return RunRecord(
         workload=spec.abbr,
         category=spec.category.value,
@@ -114,20 +135,33 @@ def run_pair(spec: WorkloadSpec, config: GpuConfig) -> RunRecord:
         num_gpms=config.num_gpms,
         seconds=result.seconds,
         counters=result.counters,
+        metrics=metrics.to_json(),
     )
 
 
-def _run_pair_star(args: tuple[WorkloadSpec, GpuConfig]) -> RunRecord:
-    return run_pair(*args)
+def _timed_run_pair(
+    args: tuple[WorkloadSpec, GpuConfig]
+) -> tuple[RunRecord, float]:
+    start = time.perf_counter()
+    record = run_pair(*args)
+    return record, time.perf_counter() - start
 
 
 class SweepRunner:
-    """Executes (workload, configuration) grids with caching."""
+    """Executes (workload, configuration) grids with caching.
+
+    Besides the records themselves, the runner aggregates every record's
+    component metrics into :attr:`metrics` (merging per-worker registries via
+    the parallel Welford combine) and writes a provenance manifest beside
+    each freshly simulated cache entry.
+    """
 
     def __init__(self, settings: SweepSettings | None = None):
         self.settings = settings or SweepSettings()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Merged component metrics across every record this runner returned.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------ cache
 
@@ -158,6 +192,32 @@ class SweepRunner:
             json.dump(record.to_json(), handle)
         tmp.replace(path)
 
+    def _store_manifest(
+        self, key: str, spec: WorkloadSpec, config: GpuConfig, wall_time_s: float
+    ) -> None:
+        """Write run provenance beside the cached record (advisory only)."""
+        if not (self.settings.use_cache and self.settings.write_manifests):
+            return
+        manifest = RunManifest(
+            cache_key=key,
+            workload=spec.abbr,
+            config_label=config.label(),
+            results_version=RESULTS_VERSION,
+            spec_hash=_spec_hash(spec),
+            config_fingerprint=_config_fingerprint(config),
+            wall_time_s=wall_time_s,
+        )
+        manifest.write(RunManifest.path_for(self._cache_path(key)))
+
+    def _report(self, done: int, total: int, label: str, wall_time_s: float) -> None:
+        if self.settings.progress:
+            print(
+                f"[sweep] {done}/{total} simulated: {label}"
+                f" ({wall_time_s:.1f}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+
     # ------------------------------------------------------------------- runs
 
     def run(
@@ -184,26 +244,52 @@ class SweepRunner:
                 records.append(cached)
                 self.cache_hits += 1
 
-        if missing:
-            jobs = [pair for _index, pair in missing]
-            if self.settings.processes > 1 and len(jobs) > 1:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.settings.processes, len(jobs))
-                ) as pool:
-                    for (index, _pair), record in zip(
-                        missing, pool.map(_run_pair_star, jobs)
-                    ):
-                        records[index] = record
-                        self._store(keys[index], record)
-            else:
-                # Store as each simulation completes, so an interrupted sweep
-                # resumes where it stopped.
-                for index, (spec, config) in missing:
-                    record = run_pair(spec, config)
-                    records[index] = record
-                    self._store(keys[index], record)
+        total = len(missing)
+        if missing and self.settings.progress:
+            print(
+                f"[sweep] {len(pairs)} pairs: {self.cache_hits} cached,"
+                f" {total} to simulate"
+                f" (processes={min(self.settings.processes, max(total, 1))})",
+                file=sys.stderr,
+                flush=True,
+            )
+        done = 0
 
-        return [record for record in records if record is not None]
+        def _finish(index: int, record: RunRecord, wall_time_s: float) -> None:
+            # Store as each simulation completes, so an interrupted sweep
+            # resumes where it stopped.
+            nonlocal done
+            spec, config = pairs[index]
+            records[index] = record
+            self._store(keys[index], record)
+            self._store_manifest(keys[index], spec, config, wall_time_s)
+            done += 1
+            self._report(
+                done, total, f"{spec.abbr} on {config.label()}", wall_time_s
+            )
+
+        if missing:
+            if self.settings.processes > 1 and len(missing) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.settings.processes, len(missing))
+                ) as pool:
+                    futures = {
+                        pool.submit(_timed_run_pair, pair): index
+                        for index, pair in missing
+                    }
+                    for future in as_completed(futures):
+                        record, wall_time_s = future.result()
+                        _finish(futures[future], record, wall_time_s)
+            else:
+                for index, pair in missing:
+                    record, wall_time_s = _timed_run_pair(pair)
+                    _finish(index, record, wall_time_s)
+
+        results = [record for record in records if record is not None]
+        for record in results:
+            if record.metrics:
+                self.metrics.merge(MetricsRegistry.from_json(record.metrics))
+        return results
 
     def run_grid(
         self, specs: list[WorkloadSpec], configs: list[GpuConfig]

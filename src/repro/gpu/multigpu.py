@@ -49,10 +49,12 @@ class MultiGpu:
         self,
         config: GpuConfig,
         partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+        tracer=None,
+        metrics=None,
     ):
         self.config = config
         self.partitioning = partitioning
-        self.engine = Engine()
+        self.engine = Engine(tracer=tracer, metrics=metrics)
         self.counters = CounterSet()
         self.placement = PagePlacement(
             num_gpms=config.num_gpms, policy=config.placement_policy
@@ -109,11 +111,22 @@ class MultiGpu:
     # ------------------------------------------------------------------ driver
 
     def _workload_body(self, workload: Workload) -> Generator:
+        tracer = self.engine.tracer
         for kernel in workload.kernels:
             start = self.engine.now
             partitions = partition_ctas(
                 kernel.num_ctas, self.config.num_gpms, self.partitioning
             )
+            if tracer.enabled:
+                tracer.begin(
+                    "gpu",
+                    kernel.name,
+                    start,
+                    args={
+                        "ctas": kernel.num_ctas,
+                        "warps_per_cta": kernel.warps_per_cta,
+                    },
+                )
             processes = [
                 self.engine.process(
                     gpm.run_kernel(kernel, cta_ids),
@@ -123,11 +136,15 @@ class MultiGpu:
                 if cta_ids
             ]
             yield AllOf([process.done for process in processes])
+            if tracer.enabled:
+                tracer.end("gpu", self.engine.now)
             self.kernel_stats.append(
                 KernelStats(kernel.name, start_cycle=start, end_cycle=self.engine.now)
             )
             if self.config.num_gpms > 1:
                 self.coherence.kernel_boundary()
+                if tracer.enabled:
+                    tracer.instant("gpu", "coherence.flush", self.engine.now)
 
     def run(self, workload: Workload, max_events: int | None = None) -> CounterSet:
         """Execute ``workload`` to completion and return the filled counters."""

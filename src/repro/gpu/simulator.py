@@ -15,6 +15,8 @@ from repro.gpu.counters import CounterSet
 from repro.gpu.cta_scheduler import CtaPartitioning
 from repro.gpu.multigpu import KernelStats, MultiGpu
 from repro.isa.kernel import Workload
+from repro.trace.metrics import MetricsRegistry
+from repro.trace.tracer import Tracer
 from repro.units import cycles_to_seconds
 
 
@@ -27,6 +29,7 @@ class RunResult:
     counters: CounterSet
     kernel_stats: list[KernelStats] = field(default_factory=list)
     clock_hz: float = 0.0
+    metrics: MetricsRegistry | None = None
 
     @property
     def cycles(self) -> float:
@@ -61,14 +64,28 @@ class GpuSimulator:
         self.config = config
         self.partitioning = partitioning
 
-    def run(self, workload: Workload, max_events: int | None = None) -> RunResult:
+    def run(
+        self,
+        workload: Workload,
+        max_events: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> RunResult:
         """Simulate ``workload`` on a fresh GPU instance.
 
         Every run builds a new :class:`MultiGpu`, so results are independent
         and deterministic: identical (workload, config) pairs produce
-        identical counters.
+        identical counters.  Pass a :class:`~repro.trace.ChromeTracer` to
+        capture the run's event timeline and/or a
+        :class:`~repro.trace.MetricsRegistry` to collect component metrics;
+        both default to the no-op fast path.
         """
-        gpu = MultiGpu(self.config, partitioning=self.partitioning)
+        gpu = MultiGpu(
+            self.config,
+            partitioning=self.partitioning,
+            tracer=tracer,
+            metrics=metrics,
+        )
         counters = gpu.run(workload, max_events=max_events)
         return RunResult(
             workload_name=workload.name,
@@ -76,6 +93,7 @@ class GpuSimulator:
             counters=counters,
             kernel_stats=list(gpu.kernel_stats),
             clock_hz=self.config.gpm.clock_hz,
+            metrics=gpu.engine.metrics,
         )
 
 
@@ -83,6 +101,10 @@ def simulate(
     workload: Workload,
     config: GpuConfig,
     partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """Convenience wrapper: simulate one workload on one configuration."""
-    return GpuSimulator(config, partitioning=partitioning).run(workload)
+    return GpuSimulator(config, partitioning=partitioning).run(
+        workload, tracer=tracer, metrics=metrics
+    )

@@ -38,6 +38,10 @@ class Topology(abc.ABC):
             )
         self.num_gpms = num_gpms
         self.traffic = TrafficCounters()
+        # Metric handles, bound lazily on first transfer (links carry the
+        # engine; the topology itself is constructed before it has one).
+        self._transfer_bytes = None
+        self._transfer_cycles = None
 
     @abc.abstractmethod
     def route(self, src: int, dst: int) -> tuple[list[Link], int]:
@@ -68,8 +72,34 @@ class Topology(abc.ABC):
             latency += link.config.latency_cycles
         hops = len(links)
         self.traffic.record(nbytes, hops, switch_traversals)
+        completion = finish + latency
+
+        engine = links[0].server.engine
+        if self._transfer_bytes is None:
+            self._transfer_bytes = engine.metrics.histogram(
+                "interconnect.transfer_bytes", 32.0
+            )
+            self._transfer_cycles = engine.metrics.accumulator(
+                "interconnect.transfer_cycles"
+            )
+        injected = engine.now if earliest is None else earliest
+        self._transfer_bytes.add(nbytes)
+        self._transfer_cycles.add(max(0.0, completion - injected))
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "interconnect",
+                f"g{src}->g{dst}",
+                injected,
+                max(0.0, completion - injected),
+                args={
+                    "bytes": nbytes,
+                    "hops": hops,
+                    "switch_traversals": switch_traversals,
+                },
+            )
         return TransferResult(
-            completion_time=finish + latency,
+            completion_time=completion,
             hops=hops,
             switch_traversals=switch_traversals,
         )

@@ -58,6 +58,7 @@ class DramChannel:
     def __init__(self, engine: Engine, config: DramConfig, name: str = "dram"):
         self.engine = engine
         self.config = config
+        self.name = name
         self.server = BandwidthServer(
             engine, gbps_to_bytes_per_cycle(config.bandwidth_gbps), name=name
         )
@@ -65,6 +66,23 @@ class DramChannel:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self._queue_cycles = engine.metrics.accumulator("dram.queue_cycles")
+
+    def _service(
+        self, kind: str, nbytes: int, earliest: float | None
+    ) -> float:
+        """Reserve channel service, recording queueing and the trace span."""
+        arrival = self.engine.now if earliest is None else earliest
+        finish = self.server.reserve(nbytes, earliest=earliest)
+        service = nbytes / self.server.rate
+        self._queue_cycles.add(max(0.0, finish - service - arrival))
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                self.name, kind, finish - service, service,
+                args={"bytes": nbytes},
+            )
+        return finish
 
     def read(self, nbytes: int, earliest: float | None = None) -> float:
         """Reserve a read; returns the absolute completion time.
@@ -74,7 +92,7 @@ class DramChannel:
         """
         self.reads += 1
         self.bytes_read += nbytes
-        return self.server.reserve(nbytes, earliest=earliest) + self.config.latency_cycles
+        return self._service("read", nbytes, earliest) + self.config.latency_cycles
 
     def write(self, nbytes: int, earliest: float | None = None) -> float:
         """Reserve a write; returns the absolute completion time.
@@ -84,7 +102,7 @@ class DramChannel:
         """
         self.writes += 1
         self.bytes_written += nbytes
-        return self.server.reserve(nbytes, earliest=earliest)
+        return self._service("write", nbytes, earliest)
 
     @property
     def total_bytes(self) -> int:

@@ -104,6 +104,13 @@ class GpmMemory:
         self.dram = dram
         self.placement = placement
         self.counters = counters
+        self._track = f"gpm{gpm_id}.mem"
+        self._remote_load_cycles = engine.metrics.accumulator(
+            "memory.remote_load_cycles"
+        )
+        self._remote_store_cycles = engine.metrics.accumulator(
+            "memory.remote_store_cycles"
+        )
         # Wired by MultiGpu after all GPMs exist:
         self.topology: Topology | None = None
         self.peers: list["GpmMemory"] = []
@@ -177,6 +184,9 @@ class GpmMemory:
             counters.l1_hits += 1
             return earliest + self.latencies.l1
         counters.l1_misses += 1
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(self._track, "l1.miss", earliest)
         return self._load_miss(line_address, home, earliest)
 
     # ------------------------------------------------------------------ loads
@@ -194,6 +204,11 @@ class GpmMemory:
             counters.l2_hits += 1
             return at_l2 + self.latencies.l2
         counters.l2_misses += 1
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self._track, "l2.miss", at_l2, args={"home": home}
+            )
         after_l2 = at_l2 + self.latencies.l2
 
         if home == self.gpm_id:
@@ -245,6 +260,15 @@ class GpmMemory:
             CACHE_LINE_BYTES * response.switch_traversals
         )
         yield engine.wait_until(response.completion_time)
+        self._remote_load_cycles.add(engine.now - start)
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                self._track,
+                f"remote_load->g{home}",
+                start,
+                engine.now - start,
+            )
 
     # ------------------------------------------------------------------ stores
 
@@ -282,6 +306,15 @@ class GpmMemory:
         yield engine.wait_until(transfer.completion_time)
         counters.dram_l2_txns += SECTORS_PER_LINE
         self.peers[home].dram.write(CACHE_LINE_BYTES)
+        self._remote_store_cycles.add(engine.now - start)
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                self._track,
+                f"remote_store->g{home}",
+                start,
+                engine.now - start,
+            )
 
     def _writeback_local(self, earliest: float) -> None:
         """Drain one dirty local line to local DRAM (fire-and-forget)."""

@@ -99,19 +99,28 @@ class Process:
     :attr:`done` event succeeds with the generator's return value.
     """
 
-    __slots__ = ("engine", "_generator", "done", "name")
+    __slots__ = ("engine", "_generator", "done", "name", "spawned_at")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         self.engine = engine
         self._generator = generator
         self.done = Event(engine)
         self.name = name
+        self.spawned_at = engine.now
         engine.schedule(0.0, self._step, None)
 
     def _step(self, value: Any) -> None:
         try:
             command = self._generator.send(value)
         except StopIteration as stop:
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    "engine",
+                    self.name or "process",
+                    self.spawned_at,
+                    self.engine.now - self.spawned_at,
+                )
             self.done.succeed(stop.value)
             return
         self._dispatch(command)
@@ -152,13 +161,26 @@ class Engine:
     runs fully deterministic.
     """
 
-    __slots__ = ("_heap", "_seq", "now", "_events_processed")
+    __slots__ = ("_heap", "_seq", "now", "_events_processed", "tracer", "metrics")
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Any = None, metrics: Any = None) -> None:
         self._heap: list[tuple[float, int, Any, Any]] = []
         self._seq = 0
         self.now = 0.0
         self._events_processed = 0
+        # Deferred imports keep this hot, dependency-free module from pulling
+        # the observability package at import time (repro.trace.metrics
+        # itself imports repro.sim.stats).
+        if tracer is None:
+            from repro.trace.tracer import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        if metrics is None:
+            from repro.trace.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
 
     @property
     def events_processed(self) -> int:

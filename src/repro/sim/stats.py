@@ -34,6 +34,56 @@ class Accumulator:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        """Fold another accumulator into this one (returns ``self``).
+
+        Uses the parallel Welford combine (Chan et al.), so merging
+        per-process accumulators is equivalent — up to float rounding — to
+        having observed every sample in one process.  This is what lets
+        :class:`~repro.trace.metrics.MetricsRegistry` aggregate sweep-worker
+        metrics without shipping raw samples.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean += delta * (other.count / total)
+        self._m2 += other._m2 + delta * delta * (self.count * other.count / total)
+        self.count = total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
+    def to_json(self) -> dict:
+        """Exact merge state as JSON data (``None`` bounds when empty)."""
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Accumulator":
+        acc = cls()
+        acc.count = int(data["count"])
+        acc._mean = float(data["mean"])
+        acc._m2 = float(data["m2"])
+        if acc.count > 0:
+            acc.minimum = float(data["min"])
+            acc.maximum = float(data["max"])
+        return acc
+
     @property
     def mean(self) -> float:
         if self.count == 0:
@@ -93,6 +143,40 @@ class Histogram:
             if seen >= target:
                 return (index + 1) * self.bucket_width
         return (max(self.buckets) + 1) * self.bucket_width
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram into this one (returns ``self``).
+
+        Both histograms must share a bucket width; merging is exact (integer
+        bucket sums), hence associative and commutative.
+        """
+        if other.bucket_width != self.bucket_width:
+            raise ValueError(
+                f"cannot merge histograms with bucket widths"
+                f" {self.bucket_width} and {other.bucket_width}"
+            )
+        for index, weight in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + weight
+        self.total += other.total
+        return self
+
+    def to_json(self) -> dict:
+        """Exact state as JSON data (bucket indices as string keys)."""
+        return {
+            "bucket_width": self.bucket_width,
+            "buckets": {
+                str(index): weight
+                for index, weight in sorted(self.buckets.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Histogram":
+        histogram = cls(float(data["bucket_width"]))
+        for index, weight in data["buckets"].items():
+            histogram.buckets[int(index)] = int(weight)
+        histogram.total = sum(histogram.buckets.values())
+        return histogram
 
     def __len__(self) -> int:
         return self.total

@@ -53,17 +53,30 @@ class CtaSlotScheduler:
         for sm in self.sms:
             for slot in range(self.slots_per_sm):
                 process = engine.process(
-                    self._slot_body(sm, kernel, queue),
+                    self._slot_body(sm, slot, kernel, queue),
                     name=f"sm{sm.sm_id}.slot{slot}",
                 )
                 slot_processes.append(process)
         yield AllOf([process.done for process in slot_processes])
 
-    def _slot_body(self, sm: "SmCore", kernel: Kernel, queue: deque[int]) -> Generator:
+    def _slot_body(
+        self, sm: "SmCore", slot: int, kernel: Kernel, queue: deque[int]
+    ) -> Generator:
         engine = sm.engine
+        tracer = engine.tracer
+        cta_cycles = engine.metrics.accumulator("sm.cta_cycles")
+        track = f"sm{sm.sm_id}.slot{slot}"
         while queue:
             cta_id = queue.popleft()
             self.ctas_started += 1
+            started = engine.now
+            if tracer.enabled:
+                tracer.begin(
+                    track,
+                    f"{kernel.name}/cta{cta_id}",
+                    started,
+                    args={"warps": kernel.warps_per_cta},
+                )
             warps = [
                 WarpContext(cta_id, warp_id, kernel.warp_program(cta_id, warp_id))
                 for warp_id in range(kernel.warps_per_cta)
@@ -75,3 +88,6 @@ class CtaSlotScheduler:
             yield AllOf([process.done for process in processes])
             self.ctas_finished += 1
             sm.ctas_retired += 1
+            cta_cycles.add(engine.now - started)
+            if tracer.enabled:
+                tracer.end(track, engine.now)

@@ -1,0 +1,215 @@
+"""Regenerate the golden-counter snapshots guarding simulator semantics.
+
+The golden suite (``tests/regression/test_golden_counters.py``) pins the full
+:class:`~repro.gpu.counters.CounterSet` of two tiny deterministic workloads on
+a 1-GPM and a 4-GPM-ring configuration.  Any change to instruction counting,
+cache behaviour, NUMA routing, or timing shows up as a golden diff.
+
+If a diff is *intended* (you changed simulator semantics on purpose):
+
+1. bump ``RESULTS_VERSION`` in ``repro/experiments/runner.py`` so stale sweep
+   caches are invalidated, then
+2. regenerate the snapshots::
+
+       PYTHONPATH=src python -m repro.tools.regen_goldens
+
+and commit the updated JSON along with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from pathlib import Path
+
+from repro.experiments.runner import RESULTS_VERSION
+from repro.gpu.config import (
+    GpmConfig,
+    GpuConfig,
+    IntegrationDomain,
+    InterconnectConfig,
+    TopologyKind,
+)
+from repro.gpu.counters import CounterSet
+from repro.gpu.simulator import simulate
+from repro.isa.kernel import WorkloadCategory
+from repro.isa.opcodes import Opcode
+from repro.units import KIB
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec
+
+#: Where the checked-in snapshots live.
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "regression" / "goldens"
+
+#: Relative tolerance for float counters (cycle totals); integer counters
+#: must match exactly.
+FLOAT_RTOL = 1e-9
+
+
+def _golden_gpm() -> GpmConfig:
+    return GpmConfig(num_sms=2, slots_per_sm=2)
+
+
+#: Two deterministic micro-workloads: a streaming one (local traffic only
+#: under first touch) and a sharing-heavy one that exercises the NUMA path.
+GOLDEN_SPECS: dict[str, WorkloadSpec] = {
+    "stream-micro": WorkloadSpec(
+        name="Golden Stream", abbr="stream-micro",
+        category=WorkloadCategory.MEMORY,
+        total_ctas=32, warps_per_cta=2, kernels=2, segments_per_warp=4,
+        compute_per_segment=4, accesses_per_segment=2,
+        compute_mix={Opcode.FFMA32: 0.7, Opcode.FADD32: 0.3},
+        footprint_bytes=512 * KIB, shared_footprint_bytes=64 * KIB,
+        hot_block_bytes=2 * KIB,
+        frac_stream=0.8, frac_reuse=0.2, frac_halo=0.0, frac_shared=0.0,
+        store_fraction=0.25, seed=7,
+    ),
+    "shared-micro": WorkloadSpec(
+        name="Golden Shared", abbr="shared-micro",
+        category=WorkloadCategory.MEMORY,
+        total_ctas=32, warps_per_cta=2, kernels=2, segments_per_warp=4,
+        compute_per_segment=2, accesses_per_segment=3,
+        compute_mix={Opcode.FFMA32: 0.5, Opcode.FMUL64: 0.5},
+        footprint_bytes=512 * KIB, shared_footprint_bytes=128 * KIB,
+        hot_block_bytes=2 * KIB, shared_mem_fraction=0.1,
+        frac_stream=0.4, frac_reuse=0.1, frac_halo=0.2, frac_shared=0.3,
+        store_fraction=0.3, seed=11,
+    ),
+}
+
+GOLDEN_CONFIGS: dict[str, GpuConfig] = {
+    "1gpm": GpuConfig(gpm=_golden_gpm(), num_gpms=1, name="golden-1gpm"),
+    "4gpm-ring": GpuConfig(
+        gpm=_golden_gpm(),
+        num_gpms=4,
+        interconnect=InterconnectConfig(
+            kind=TopologyKind.RING,
+            per_gpm_bandwidth_gbps=256.0,
+            link_latency_cycles=15.0,
+            energy_pj_per_bit=0.54,
+        ),
+        integration_domain=IntegrationDomain.ON_PACKAGE,
+        name="golden-4gpm-ring",
+    ),
+}
+
+
+def counters_to_json(counters: CounterSet) -> dict:
+    """Canonical JSON form of a CounterSet (opcodes by value, sorted)."""
+    return {
+        "instructions": {
+            opcode.value: count
+            for opcode, count in sorted(
+                counters.instructions.items(), key=lambda item: item[0].value
+            )
+        },
+        "shared_rf_txns": counters.shared_rf_txns,
+        "l1_rf_txns": counters.l1_rf_txns,
+        "l2_l1_txns": counters.l2_l1_txns,
+        "dram_l2_txns": counters.dram_l2_txns,
+        "inter_gpm_bytes": counters.inter_gpm_bytes,
+        "inter_gpm_byte_hops": counters.inter_gpm_byte_hops,
+        "switch_byte_traversals": counters.switch_byte_traversals,
+        "compression_codec_bytes": counters.compression_codec_bytes,
+        "sm_busy_cycles": counters.sm_busy_cycles,
+        "sm_idle_cycles": counters.sm_idle_cycles,
+        "elapsed_cycles": counters.elapsed_cycles,
+        "local_accesses": counters.local_accesses,
+        "remote_accesses": counters.remote_accesses,
+        "l1_hits": counters.l1_hits,
+        "l1_misses": counters.l1_misses,
+        "l2_hits": counters.l2_hits,
+        "l2_misses": counters.l2_misses,
+        "dirty_writebacks": counters.dirty_writebacks,
+    }
+
+
+def golden_counters(spec: WorkloadSpec, config: GpuConfig) -> dict:
+    """Simulate one golden pair and return its canonical counter JSON."""
+    result = simulate(build_workload(spec), config)
+    return counters_to_json(result.counters)
+
+
+def golden_cases() -> list[tuple[str, str, str]]:
+    """(case_name, spec_key, config_key) for every golden combination."""
+    return [
+        (f"{spec_key}_{config_key}", spec_key, config_key)
+        for spec_key in GOLDEN_SPECS
+        for config_key in GOLDEN_CONFIGS
+    ]
+
+
+def diff_counters(expected: dict, actual: dict) -> list[str]:
+    """Human-readable differences between two canonical counter dicts."""
+    diffs: list[str] = []
+    for key in sorted(set(expected) | set(actual)):
+        want, got = expected.get(key), actual.get(key)
+        if key == "instructions":
+            want, got = want or {}, got or {}
+            for opcode in sorted(set(want) | set(got)):
+                if want.get(opcode) != got.get(opcode):
+                    diffs.append(
+                        f"instructions[{opcode}]: golden={want.get(opcode)}"
+                        f" actual={got.get(opcode)}"
+                    )
+            continue
+        if isinstance(want, float) or isinstance(got, float):
+            if want is None or got is None or not math.isclose(
+                want, got, rel_tol=FLOAT_RTOL, abs_tol=1e-9
+            ):
+                diffs.append(f"{key}: golden={want} actual={got}")
+        elif want != got:
+            diffs.append(f"{key}: golden={want} actual={got}")
+    return diffs
+
+
+def golden_path(case_name: str) -> Path:
+    return GOLDEN_DIR / f"{case_name}.json"
+
+
+def regenerate(golden_dir: Path | None = None) -> list[Path]:
+    """Simulate every golden case and (re)write its snapshot file."""
+    target_dir = golden_dir or GOLDEN_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for case_name, spec_key, config_key in golden_cases():
+        snapshot = {
+            "results_version": RESULTS_VERSION,
+            "workload": spec_key,
+            "config": GOLDEN_CONFIGS[config_key].label(),
+            "counters": golden_counters(
+                GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key]
+            ),
+        }
+        path = target_dir / f"{case_name}.json"
+        with path.open("w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.regen_goldens",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--golden-dir",
+        type=Path,
+        default=None,
+        help=f"output directory (default: {GOLDEN_DIR})",
+    )
+    args = parser.parse_args(argv)
+    for path in regenerate(args.golden_dir):
+        print(f"wrote {path}")
+    print(
+        "Remember: if counters changed, bump RESULTS_VERSION in"
+        " repro/experiments/runner.py and commit the new goldens."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Validate a Chrome ``trace_event`` JSON file produced by ``repro trace``.
+
+Checks the structural invariants Perfetto / chrome://tracing rely on:
+
+* top-level object with a ``traceEvents`` list,
+* every event carries ``ph``, ``pid``, ``tid`` and the per-phase required
+  keys (``ts``/``name``/``dur`` as applicable),
+* per-(pid, tid) duration events nest properly — every ``E`` closes an open
+  ``B``, no span ends before it starts, and no track is left with open spans,
+* timestamps within each track's span stack are non-decreasing.
+
+When :mod:`jsonschema` is installed the file is additionally checked against
+a JSON Schema of the event envelope; without it the hand-rolled checks alone
+run (they are the stricter ones anyway).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.validate_trace trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: Phases repro's ChromeTracer emits.  Anything else is flagged.
+KNOWN_PHASES = {"B", "E", "i", "X", "C", "M"}
+
+#: Extra keys each phase must carry beyond ph/pid/tid.
+REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
+    "B": ("name", "ts"),
+    "E": ("ts",),
+    "i": ("name", "ts"),
+    "X": ("name", "ts", "dur"),
+    "C": ("name", "ts", "args"),
+    "M": ("name", "args"),
+}
+
+#: JSON Schema for one trace event (used only when jsonschema is available).
+EVENT_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "ph": {"type": "string", "enum": sorted(KNOWN_PHASES)},
+        "pid": {"type": "integer"},
+        "tid": {"type": "integer"},
+        "name": {"type": "string"},
+        "ts": {"type": "number", "minimum": 0},
+        "dur": {"type": "number", "minimum": 0},
+        "args": {"type": "object"},
+        "s": {"type": "string"},
+        "cat": {"type": "string"},
+    },
+    "required": ["ph", "pid", "tid"],
+}
+
+TRACE_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "traceEvents": {"type": "array", "items": EVENT_SCHEMA},
+        "displayTimeUnit": {"type": "string"},
+    },
+    "required": ["traceEvents"],
+}
+
+
+def _jsonschema_errors(data: object) -> list[str]:
+    try:
+        import jsonschema
+    except ImportError:
+        return []
+    validator = jsonschema.Draft7Validator(TRACE_SCHEMA)
+    return [
+        f"schema: {'/'.join(str(p) for p in error.absolute_path) or '<root>'}:"
+        f" {error.message}"
+        for error in validator.iter_errors(data)
+    ]
+
+
+def validate_trace(data: object) -> list[str]:
+    """Return every invariant violation found in a loaded trace (or [])."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["top level is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+
+    # (pid, tid) -> stack of (name, ts) for open B spans.
+    open_spans: dict[tuple[int, int], list[tuple[str, float]]] = {}
+
+    for position, event in enumerate(events):
+        where = f"event {position}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            errors.append(f"{where} (ph={ph}): pid/tid missing or non-integer")
+            continue
+        missing = [key for key in REQUIRED_KEYS[ph] if key not in event]
+        if missing:
+            errors.append(f"{where} (ph={ph}): missing {', '.join(missing)}")
+            continue
+
+        if ph == "M":
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where} (ph={ph}): bad ts {ts!r}")
+            continue
+
+        track = (event["pid"], event["tid"])
+        stack = open_spans.setdefault(track, [])
+        if ph == "B":
+            if stack and ts < stack[-1][1]:
+                errors.append(
+                    f"{where}: B {event['name']!r} at ts={ts} starts before"
+                    f" its enclosing span {stack[-1][0]!r} (ts={stack[-1][1]})"
+                )
+            stack.append((event["name"], ts))
+        elif ph == "E":
+            if not stack:
+                errors.append(f"{where}: E with no open B on track {track}")
+                continue
+            name, begin_ts = stack.pop()
+            if ts < begin_ts:
+                errors.append(
+                    f"{where}: span {name!r} ends at ts={ts} before its"
+                    f" begin ts={begin_ts}"
+                )
+        elif ph == "X":
+            dur = event["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X {event['name']!r} bad dur {dur!r}")
+
+    for track, stack in open_spans.items():
+        for name, ts in stack:
+            errors.append(
+                f"track {track}: span {name!r} opened at ts={ts} never closed"
+            )
+
+    errors.extend(_jsonschema_errors(data))
+    return errors
+
+
+def validate_trace_file(path: Path) -> list[str]:
+    """Load ``path`` and validate it; parse failures become errors."""
+    try:
+        with path.open() as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: cannot load trace JSON: {exc}"]
+    return validate_trace(data)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.validate_trace",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("trace", type=Path, nargs="+", help="trace JSON file(s)")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.trace:
+        errors = validate_trace_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID ({len(errors)} problems)")
+            for error in errors[:20]:
+                print(f"  {error}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            with path.open() as handle:
+                count = len(json.load(handle).get("traceEvents", []))
+            print(f"{path}: OK ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

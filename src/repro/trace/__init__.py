@@ -1,0 +1,39 @@
+"""Observability layer: tracing, metrics, and run provenance.
+
+Three independent facilities, all opt-in and all near-zero-cost when off:
+
+* :mod:`repro.trace.tracer` — a :class:`Tracer` interface with a no-op
+  :class:`NullTracer` default and a :class:`ChromeTracer` that exports Chrome
+  ``trace_event`` JSON (viewable at https://ui.perfetto.dev).  The simulator's
+  engine, CTA scheduler, memory hierarchy, and interconnect all emit through
+  whatever tracer the engine carries.
+* :mod:`repro.trace.metrics` — a :class:`MetricsRegistry` of named
+  accumulators and histograms that components record into; registries merge
+  losslessly across sweep worker processes.
+* :mod:`repro.trace.manifest` — :class:`RunManifest` provenance records
+  written beside cached sweep results.
+
+See ``docs/OBSERVABILITY.md`` for the capture/inspect workflow.
+"""
+
+from repro.trace.manifest import MANIFEST_SCHEMA_VERSION, RunManifest, host_info
+from repro.trace.metrics import MetricsRegistry
+from repro.trace.tracer import (
+    NULL_TRACER,
+    ChromeTracer,
+    NullTracer,
+    TraceError,
+    Tracer,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "NULL_TRACER",
+    "ChromeTracer",
+    "MetricsRegistry",
+    "NullTracer",
+    "RunManifest",
+    "TraceError",
+    "Tracer",
+    "host_info",
+]

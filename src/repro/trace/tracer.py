@@ -1,0 +1,234 @@
+"""Tracers: opt-in event recording with a zero-cost-when-off null path.
+
+The simulator components never know which tracer is installed; they hold the
+engine's ``tracer`` attribute and guard every emission site with
+``if tracer.enabled:`` so that a disabled run pays exactly one attribute load
+and branch per *instrumentation site execution* — never any argument
+marshalling.  Two tracers ship:
+
+* :class:`NullTracer` — the default.  ``enabled`` is ``False`` and every
+  method is a no-op, so an untraced simulation is byte-identical to a run
+  with no tracer wired at all.
+* :class:`ChromeTracer` — records begin/end/instant/complete/counter events
+  in the Chrome ``trace_event`` JSON format, viewable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+A *track* is a string naming one timeline (e.g. ``"sm3.slot1"``,
+``"gpm0.mem"``, ``"interconnect"``); the Chrome tracer maps each track to a
+stable thread id under a single process, emitting ``thread_name`` metadata so
+the viewer labels timelines by track.  Timestamps are simulation *cycles*
+reported in the format's microsecond field — one viewer microsecond equals
+one simulated cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+class TraceError(ValueError):
+    """Raised when trace emission violates the event-stream discipline."""
+
+
+class Tracer:
+    """Interface shared by all tracers; the base class itself records nothing.
+
+    Subclasses that record must set :attr:`enabled` to ``True``; emission
+    sites in the simulator only build event arguments behind an
+    ``if tracer.enabled:`` guard.
+    """
+
+    enabled: bool = False
+
+    def begin(
+        self, track: str, name: str, ts: float, args: dict | None = None
+    ) -> None:
+        """Open a duration span named ``name`` on ``track`` at time ``ts``."""
+
+    def end(self, track: str, ts: float) -> None:
+        """Close the innermost open span on ``track`` at time ``ts``."""
+
+    def instant(
+        self, track: str, name: str, ts: float, args: dict | None = None
+    ) -> None:
+        """Record a zero-duration marker on ``track``."""
+
+    def complete(
+        self,
+        track: str,
+        name: str,
+        ts: float,
+        dur: float,
+        args: dict | None = None,
+    ) -> None:
+        """Record a closed span of ``dur`` cycles starting at ``ts``."""
+
+    def counter(self, track: str, name: str, ts: float, value: float) -> None:
+        """Record a sampled counter value (rendered as a line chart)."""
+
+
+class NullTracer(Tracer):
+    """The always-off tracer installed by default."""
+
+    __slots__ = ()
+
+
+#: Shared default instance; components compare against ``tracer.enabled``,
+#: never against this identity, so substituting a custom tracer is safe.
+NULL_TRACER = NullTracer()
+
+
+class ChromeTracer(Tracer):
+    """Records Chrome ``trace_event`` JSON for Perfetto.
+
+    Events are kept in emission order; :meth:`events` applies a stable sort by
+    timestamp, which preserves each track's internal ordering because a
+    track's timestamps never decrease (enforced at emission time for spans).
+    """
+
+    enabled = True
+
+    #: pid all tracks live under (one simulated GPU == one trace process).
+    PID = 1
+
+    def __init__(self, process_name: str = "repro-sim"):
+        self.process_name = process_name
+        self._events: list[dict[str, Any]] = []
+        self._tids: dict[str, int] = {}
+        # Per-track open-span stack and last span timestamp, enforcing the
+        # nesting discipline Perfetto needs to render B/E pairs.
+        self._open: dict[str, list[str]] = {}
+        self._last_ts: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ record
+
+    def _tid(self, track: str) -> int:
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[track] = tid
+        return tid
+
+    def _check_ts(self, track: str, ts: float) -> None:
+        last = self._last_ts.get(track)
+        if last is not None and ts < last:
+            raise TraceError(
+                f"track {track!r}: span timestamp {ts} precedes {last}"
+            )
+        self._last_ts[track] = ts
+
+    def begin(
+        self, track: str, name: str, ts: float, args: dict | None = None
+    ) -> None:
+        self._check_ts(track, ts)
+        self._open.setdefault(track, []).append(name)
+        event: dict[str, Any] = {
+            "name": name, "ph": "B", "ts": ts,
+            "pid": self.PID, "tid": self._tid(track),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def end(self, track: str, ts: float) -> None:
+        stack = self._open.get(track)
+        if not stack:
+            raise TraceError(f"track {track!r}: end with no open span")
+        self._check_ts(track, ts)
+        name = stack.pop()
+        self._events.append({
+            "name": name, "ph": "E", "ts": ts,
+            "pid": self.PID, "tid": self._tid(track),
+        })
+
+    def instant(
+        self, track: str, name: str, ts: float, args: dict | None = None
+    ) -> None:
+        event: dict[str, Any] = {
+            "name": name, "ph": "i", "ts": ts, "s": "t",
+            "pid": self.PID, "tid": self._tid(track),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def complete(
+        self,
+        track: str,
+        name: str,
+        ts: float,
+        dur: float,
+        args: dict | None = None,
+    ) -> None:
+        if dur < 0:
+            raise TraceError(f"track {track!r}: negative duration {dur}")
+        event: dict[str, Any] = {
+            "name": name, "ph": "X", "ts": ts, "dur": dur,
+            "pid": self.PID, "tid": self._tid(track),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(self, track: str, name: str, ts: float, value: float) -> None:
+        self._events.append({
+            "name": name, "ph": "C", "ts": ts,
+            "pid": self.PID, "tid": self._tid(track),
+            "args": {"value": value},
+        })
+
+    # ------------------------------------------------------------------ export
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def open_spans(self) -> dict[str, list[str]]:
+        """Tracks with unbalanced begins (should be empty after a run)."""
+        return {track: list(stack) for track, stack in self._open.items() if stack}
+
+    def events(self) -> list[dict[str, Any]]:
+        """Data events, stably sorted by timestamp (metadata excluded)."""
+        return sorted(self._events, key=lambda event: event["ts"])
+
+    def _metadata(self) -> list[dict[str, Any]]:
+        meta: list[dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": self.PID, "tid": 0,
+            "args": {"name": self.process_name},
+        }]
+        for track, tid in sorted(self._tids.items(), key=lambda item: item[1]):
+            meta.append({
+                "name": "thread_name", "ph": "M",
+                "pid": self.PID, "tid": tid, "args": {"name": track},
+            })
+            meta.append({
+                "name": "thread_sort_index", "ph": "M",
+                "pid": self.PID, "tid": tid, "args": {"sort_index": tid},
+            })
+        return meta
+
+    def export(self) -> dict[str, Any]:
+        """The full Chrome trace object (deterministic for identical runs)."""
+        return {
+            "traceEvents": self._metadata() + self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro.trace.ChromeTracer",
+                "time_unit": "1 viewer microsecond == 1 simulated cycle",
+            },
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize the trace to ``path`` and return it."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w") as handle:
+            json.dump(self.export(), handle)
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"ChromeTracer({self.process_name!r}, {len(self._events)} events,"
+            f" {len(self._tids)} tracks)"
+        )

@@ -18,6 +18,8 @@ Two Fig. 4b mechanisms are encoded here:
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.errors import ConfigError
 from repro.isa.kernel import Workload, WorkloadCategory
 from repro.isa.opcodes import Opcode
@@ -310,6 +312,32 @@ def get_spec(abbr: str) -> WorkloadSpec:
             f"unknown workload {abbr!r}; known: {sorted(WORKLOAD_SPECS)}"
         )
     return spec
+
+
+def shrunken_spec(
+    abbr: str, total_ctas: int = 64, kernels: int | None = 1
+) -> WorkloadSpec:
+    """A scaled-down copy of a suite workload for tracing and smoke runs.
+
+    Shrinks the grid to ``total_ctas`` CTAs (and optionally to ``kernels``
+    launches) while scaling the memory footprints proportionally, so the
+    shrunken workload keeps its namesake's locality character but simulates
+    in well under a second.
+    """
+    spec = get_spec(abbr)
+    if total_ctas <= 0:
+        raise ConfigError(f"total_ctas must be positive, got {total_ctas}")
+    total_ctas = min(total_ctas, spec.total_ctas)
+    factor = max(1, spec.total_ctas // total_ctas)
+    return dataclasses.replace(
+        spec,
+        total_ctas=total_ctas,
+        kernels=kernels if kernels is not None else spec.kernels,
+        footprint_bytes=max(spec.footprint_bytes // factor, total_ctas * 128),
+        shared_footprint_bytes=max(
+            spec.shared_footprint_bytes // factor, 128 * 128
+        ),
+    )
 
 
 def scaling_workloads() -> list[Workload]:

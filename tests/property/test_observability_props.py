@@ -1,0 +1,184 @@
+"""Property-based tests for the observability layer.
+
+Three families of invariants:
+
+* ``Accumulator.merge`` / ``MetricsRegistry.merge`` are commutative and
+  associative (up to float rounding) and agree with recomputing the
+  statistics over the concatenated samples — the contract the sweep runner's
+  cross-process metric aggregation depends on.
+* ``ChromeTracer`` output is well-formed: JSON-serializable, valid per the
+  trace validator, with per-track B/E nesting and non-decreasing span
+  timestamps under any legal emission sequence.
+* ``NullTracer`` leaves simulation byte-identical: a traced and an untraced
+  run of the same workload produce the same CounterSet JSON.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.stats import Accumulator
+from repro.trace import ChromeTracer, MetricsRegistry, NullTracer
+from repro.tools.validate_trace import validate_trace
+
+samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, width=32),
+    max_size=60,
+)
+
+
+def _acc(values) -> Accumulator:
+    acc = Accumulator()
+    acc.extend(values)
+    return acc
+
+
+def _close(a: float, b: float, scale: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-6 * max(1.0, scale))
+
+
+class TestAccumulatorMergeProps:
+    @given(samples, samples)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_matches_recomputation(self, left, right):
+        merged = _acc(left).merge(_acc(right))
+        naive = _acc(left + right)
+        assert merged.count == naive.count
+        if merged.count:
+            scale = max(abs(v) for v in left + right) or 1.0
+            assert _close(merged.mean, naive.mean, scale)
+            assert _close(merged.variance, naive.variance, scale * scale)
+            assert merged.minimum == naive.minimum
+            assert merged.maximum == naive.maximum
+
+    @given(samples, samples)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_commutative(self, left, right):
+        ab = _acc(left).merge(_acc(right))
+        ba = _acc(right).merge(_acc(left))
+        assert ab.count == ba.count
+        if ab.count:
+            scale = max(abs(v) for v in left + right) or 1.0
+            assert _close(ab.mean, ba.mean, scale)
+            assert _close(ab.variance, ba.variance, scale * scale)
+
+    @given(samples, samples, samples)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        left_first = _acc(a).merge(_acc(b)).merge(_acc(c))
+        right_first = _acc(a).merge(_acc(b).merge(_acc(c)))
+        assert left_first.count == right_first.count
+        if left_first.count:
+            scale = max(abs(v) for v in a + b + c) or 1.0
+            assert _close(left_first.mean, right_first.mean, scale)
+            assert _close(
+                left_first.variance, right_first.variance, scale * scale
+            )
+
+    @given(samples)
+    @settings(max_examples=100, deadline=None)
+    def test_json_roundtrip_is_exact(self, values):
+        acc = _acc(values)
+        restored = Accumulator.from_json(acc.to_json())
+        assert restored.to_json() == acc.to_json()
+
+
+registry_contents = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), samples, max_size=4
+)
+
+
+class TestRegistryMergeProps:
+    @given(registry_contents, registry_contents)
+    @settings(max_examples=60, deadline=None)
+    def test_registry_merge_is_commutative_on_counts(self, left, right):
+        def build(contents):
+            registry = MetricsRegistry()
+            for name, values in contents.items():
+                registry.accumulator(name).extend(values)
+            return registry
+
+        ab = build(left).merge(build(right))
+        ba = build(right).merge(build(left))
+        assert ab.names() == ba.names()
+        for name in ab.names():
+            assert ab.accumulator(name).count == ba.accumulator(name).count
+
+
+# A legal emission sequence for one track: begin/end operations with
+# non-decreasing timestamps and never more ends than begins.
+operations = st.lists(
+    st.tuples(st.sampled_from(["begin", "end", "instant", "complete"]),
+              st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+    max_size=40,
+)
+
+
+class TestChromeTracerProps:
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_legal_sequences_produce_valid_traces(self, ops):
+        tracer = ChromeTracer()
+        now, depth = 0.0, 0
+        for kind, delta in ops:
+            now += delta
+            if kind == "begin":
+                tracer.begin("track", f"span{depth}", now)
+                depth += 1
+            elif kind == "end":
+                if depth == 0:
+                    continue
+                tracer.end("track", now)
+                depth -= 1
+            elif kind == "instant":
+                tracer.instant("track", "mark", now)
+            else:
+                tracer.complete("other", "xfer", now, delta)
+        while depth:
+            tracer.end("track", now)
+            depth -= 1
+
+        exported = tracer.export()
+        json.dumps(exported)  # serializable
+        assert validate_trace(exported) == []
+        assert tracer.open_spans() == {}
+
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_events_sorted_and_track_order_preserved(self, ops):
+        tracer = ChromeTracer()
+        now = 0.0
+        for index, (kind, delta) in enumerate(ops):
+            now += delta
+            tracer.instant("track", f"mark{index}", now)
+        events = tracer.events()
+        timestamps = [event["ts"] for event in events]
+        assert timestamps == sorted(timestamps)
+        # Stable sort: emission order survives among equal timestamps.
+        names = [int(event["name"][4:]) for event in events]
+        assert names == sorted(names)
+
+
+class TestNullTracerNeutrality:
+    @given(st.integers(min_value=1, max_value=3))
+    @settings(max_examples=3, deadline=None)
+    def test_null_traced_run_is_byte_identical(self, num_gpms):
+        from repro.gpu.config import table_iii_config
+        from repro.gpu.simulator import simulate
+        from repro.tools.regen_goldens import (
+            GOLDEN_SPECS,
+            counters_to_json,
+        )
+        from repro.workloads.generator import build_workload
+
+        config = (
+            table_iii_config(2) if num_gpms > 1
+            else table_iii_config(1)
+        )
+        workload = build_workload(GOLDEN_SPECS["stream-micro"])
+        baseline = simulate(workload, config)
+        traced = simulate(workload, config, tracer=NullTracer())
+        assert json.dumps(counters_to_json(baseline.counters)) == json.dumps(
+            counters_to_json(traced.counters)
+        )

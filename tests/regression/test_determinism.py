@@ -1,0 +1,70 @@
+"""Determinism: identical runs must produce identical counters and traces.
+
+The sweep cache, the golden suite, and cross-process metric merging all
+assume ``simulate()`` is a pure function of (workload spec, config).  These
+tests pin that assumption in-process and across ``ProcessPoolExecutor``
+workers (fresh interpreter state, different hash seeds).
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.gpu.simulator import simulate
+from repro.tools.regen_goldens import (
+    GOLDEN_CONFIGS,
+    GOLDEN_SPECS,
+    counters_to_json,
+)
+from repro.trace import ChromeTracer, MetricsRegistry
+from repro.workloads.generator import build_workload
+
+SPEC = GOLDEN_SPECS["shared-micro"]
+CONFIG = GOLDEN_CONFIGS["4gpm-ring"]
+
+
+def _run_once() -> tuple[dict, list[dict], dict]:
+    """One traced simulation -> (counters, trace events, metrics state)."""
+    tracer = ChromeTracer()
+    metrics = MetricsRegistry()
+    result = simulate(
+        build_workload(SPEC), CONFIG, tracer=tracer, metrics=metrics
+    )
+    return counters_to_json(result.counters), tracer.events(), metrics.to_json()
+
+
+def _worker_counters(_seed: int) -> str:
+    # Top-level so ProcessPoolExecutor can pickle it; the argument only
+    # exists to satisfy map().
+    counters, events, metrics = _run_once()
+    return json.dumps(
+        {"counters": counters, "events": events, "metrics": metrics},
+        sort_keys=True,
+    )
+
+
+class TestInProcessDeterminism:
+    def test_back_to_back_runs_are_identical(self):
+        first = _run_once()
+        second = _run_once()
+        assert first[0] == second[0], "counters differ between identical runs"
+        assert first[1] == second[1], "trace events differ between identical runs"
+        assert first[2] == second[2], "metrics differ between identical runs"
+
+    def test_tracing_does_not_perturb_counters(self):
+        baseline = simulate(build_workload(SPEC), CONFIG)
+        traced = simulate(
+            build_workload(SPEC), CONFIG, tracer=ChromeTracer(),
+            metrics=MetricsRegistry(),
+        )
+        assert counters_to_json(baseline.counters) == counters_to_json(
+            traced.counters
+        )
+
+
+class TestCrossProcessDeterminism:
+    def test_workers_agree_with_each_other_and_the_parent(self):
+        parent = _worker_counters(0)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            worker_results = list(pool.map(_worker_counters, range(2)))
+        assert worker_results[0] == worker_results[1]
+        assert worker_results[0] == parent

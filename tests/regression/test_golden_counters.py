@@ -1,0 +1,136 @@
+"""Golden-counter regression suite.
+
+Pins the full CounterSet of two tiny deterministic workloads on a 1-GPM and
+a 4-GPM-ring configuration against checked-in JSON snapshots.  Any change to
+instruction counting, cache behaviour, NUMA routing, or timing fails here
+with a field-by-field diff.
+
+If the change is intentional: bump RESULTS_VERSION in
+``repro/experiments/runner.py``, run ``python -m repro.tools.regen_goldens``,
+and commit the updated snapshots with the change.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import RESULTS_VERSION
+from repro.tools.regen_goldens import (
+    GOLDEN_CONFIGS,
+    GOLDEN_SPECS,
+    counters_to_json,
+    diff_counters,
+    golden_cases,
+    golden_counters,
+    golden_path,
+)
+
+CASES = golden_cases()
+
+
+def _load_golden(case_name: str) -> dict:
+    path = golden_path(case_name)
+    assert path.exists(), (
+        f"missing golden snapshot {path};"
+        " run `python -m repro.tools.regen_goldens`"
+    )
+    with path.open() as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize(
+    ("case_name", "spec_key", "config_key"),
+    CASES,
+    ids=[case for case, _, _ in CASES],
+)
+class TestGoldenCounters:
+    def test_counters_match_golden(self, case_name, spec_key, config_key):
+        golden = _load_golden(case_name)
+        assert golden["results_version"] == RESULTS_VERSION, (
+            f"golden {case_name} was generated for results version"
+            f" {golden['results_version']} but the simulator is at"
+            f" {RESULTS_VERSION}; run `python -m repro.tools.regen_goldens`"
+        )
+        actual = golden_counters(
+            GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key]
+        )
+        diffs = diff_counters(golden["counters"], actual)
+        assert not diffs, (
+            f"simulator semantics drifted from golden {case_name}:\n  "
+            + "\n  ".join(diffs)
+            + "\nIf intended: bump RESULTS_VERSION in"
+            " repro/experiments/runner.py and run"
+            " `python -m repro.tools.regen_goldens`."
+        )
+
+
+class TestGoldenCoverage:
+    """The goldens must actually exercise what they claim to guard."""
+
+    def test_multi_gpm_golden_has_interconnect_traffic(self):
+        golden = _load_golden("shared-micro_4gpm-ring")
+        counters = golden["counters"]
+        assert counters["remote_accesses"] > 0
+        assert counters["inter_gpm_bytes"] > 0
+        assert counters["inter_gpm_byte_hops"] > 0
+
+    def test_single_gpm_golden_is_all_local(self):
+        golden = _load_golden("stream-micro_1gpm")
+        counters = golden["counters"]
+        assert counters["remote_accesses"] == 0
+        assert counters["inter_gpm_bytes"] == 0
+        assert counters["local_accesses"] > 0
+
+
+class TestDiffDetection:
+    """Test-of-the-test: a perturbed counter must be caught."""
+
+    def test_perturbed_integer_counter_is_detected(self):
+        golden = _load_golden(CASES[0][0])
+        perturbed = json.loads(json.dumps(golden["counters"]))
+        perturbed["l2_misses"] += 1
+        diffs = diff_counters(golden["counters"], perturbed)
+        assert any("l2_misses" in diff for diff in diffs)
+
+    def test_perturbed_float_counter_is_detected(self):
+        golden = _load_golden(CASES[0][0])
+        perturbed = json.loads(json.dumps(golden["counters"]))
+        perturbed["elapsed_cycles"] *= 1.0 + 1e-6
+        diffs = diff_counters(golden["counters"], perturbed)
+        assert any("elapsed_cycles" in diff for diff in diffs)
+
+    def test_perturbed_instruction_count_is_detected(self):
+        golden = _load_golden(CASES[0][0])
+        perturbed = json.loads(json.dumps(golden["counters"]))
+        opcode = next(iter(perturbed["instructions"]))
+        perturbed["instructions"][opcode] += 1
+        diffs = diff_counters(golden["counters"], perturbed)
+        assert any(f"instructions[{opcode}]" in diff for diff in diffs)
+
+    def test_missing_key_is_detected(self):
+        golden = _load_golden(CASES[0][0])
+        perturbed = json.loads(json.dumps(golden["counters"]))
+        del perturbed["dram_l2_txns"]
+        diffs = diff_counters(golden["counters"], perturbed)
+        assert any("dram_l2_txns" in diff for diff in diffs)
+
+    def test_float_noise_within_tolerance_is_ignored(self):
+        golden = _load_golden(CASES[0][0])
+        perturbed = json.loads(json.dumps(golden["counters"]))
+        perturbed["elapsed_cycles"] *= 1.0 + 1e-12
+        assert diff_counters(golden["counters"], perturbed) == []
+
+
+def test_counters_to_json_is_canonical():
+    """Same CounterSet -> byte-identical JSON regardless of insertion order."""
+    from repro.gpu.counters import CounterSet
+    from repro.isa.opcodes import Opcode
+
+    forward, backward = CounterSet(), CounterSet()
+    forward.count_instruction(Opcode.FADD32, 3)
+    forward.count_instruction(Opcode.FFMA32, 5)
+    backward.count_instruction(Opcode.FFMA32, 5)
+    backward.count_instruction(Opcode.FADD32, 3)
+    assert json.dumps(counters_to_json(forward), sort_keys=True) == json.dumps(
+        counters_to_json(backward), sort_keys=True
+    )

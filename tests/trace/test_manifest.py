@@ -1,0 +1,53 @@
+"""Unit tests for run provenance manifests."""
+
+from pathlib import Path
+
+from repro.trace import MANIFEST_SCHEMA_VERSION, RunManifest, host_info
+
+
+def _manifest(**overrides) -> RunManifest:
+    fields = dict(
+        cache_key="abc123",
+        workload="Stream",
+        config_label="4-GPM",
+        results_version=3,
+        spec_hash="deadbeef",
+        config_fingerprint={"num_gpms": 4},
+        wall_time_s=1.25,
+    )
+    fields.update(overrides)
+    return RunManifest(**fields)
+
+
+class TestRunManifest:
+    def test_auto_fills_host_and_timestamp(self):
+        manifest = _manifest()
+        assert manifest.created_at  # ISO timestamp filled in __post_init__
+        assert manifest.host["python"] == host_info()["python"]
+        assert manifest.schema_version == MANIFEST_SCHEMA_VERSION
+
+    def test_json_roundtrip(self):
+        manifest = _manifest()
+        restored = RunManifest.from_json(manifest.to_json())
+        assert restored == manifest
+
+    def test_path_for_replaces_record_suffix(self):
+        record = Path("/cache/sweeps/0123abcd.json")
+        assert RunManifest.path_for(record) == Path(
+            "/cache/sweeps/0123abcd.manifest.json"
+        )
+
+    def test_write_and_read(self, tmp_path):
+        manifest = _manifest()
+        path = manifest.write(tmp_path / "run.manifest.json")
+        assert RunManifest.read(path) == manifest
+        # Atomic write leaves no temp file behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_from_json_tolerates_missing_optional_fields(self):
+        data = _manifest().to_json()
+        for optional in ("host", "created_at", "schema_version"):
+            data.pop(optional)
+        restored = RunManifest.from_json(data)
+        assert restored.cache_key == "abc123"
+        assert restored.schema_version == MANIFEST_SCHEMA_VERSION

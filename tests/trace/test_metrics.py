@@ -1,0 +1,109 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.trace import MetricsRegistry
+
+
+class TestRegistration:
+    def test_accumulator_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.accumulator("sm.cta_cycles")
+        first.add(10.0)
+        second = registry.accumulator("sm.cta_cycles")
+        assert first is second
+        assert second.count == 1
+
+    def test_histogram_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("bytes", 32.0)
+        assert registry.histogram("bytes", 32.0) is first
+
+    def test_histogram_width_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("bytes", 32.0)
+        with pytest.raises(ValueError):
+            registry.histogram("bytes", 64.0)
+
+    def test_names_len_and_bool(self):
+        registry = MetricsRegistry()
+        assert not registry
+        assert len(registry) == 0
+        registry.accumulator("b")
+        registry.accumulator("a")
+        registry.histogram("h", 1.0)
+        assert registry
+        assert len(registry) == 3
+        assert registry.names() == ["a", "b", "h"]
+
+
+class TestMerge:
+    def test_merge_combines_shared_and_adopts_unique(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.accumulator("shared").extend([1.0, 2.0])
+        right.accumulator("shared").extend([3.0, 4.0])
+        right.accumulator("only_right").add(5.0)
+        left.histogram("h", 2.0).add(3.0)
+        right.histogram("h", 2.0).add(7.0)
+
+        left.merge(right)
+        shared = left.accumulator("shared")
+        assert shared.count == 4
+        assert shared.mean == pytest.approx(2.5)
+        assert left.accumulator("only_right").count == 1
+        assert left.histogram("h", 2.0).total == 2
+
+    def test_merge_width_mismatch_raises(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.histogram("h", 2.0)
+        right.histogram("h", 4.0)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_returns_self(self):
+        left = MetricsRegistry()
+        assert left.merge(MetricsRegistry()) is left
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_exact_state(self):
+        registry = MetricsRegistry()
+        registry.accumulator("cycles").extend([1.5, 2.5, 100.0])
+        registry.histogram("bytes", 32.0).add(70.0)
+
+        restored = MetricsRegistry.from_json(registry.to_json())
+        assert restored.to_json() == registry.to_json()
+        acc = restored.accumulator("cycles")
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(registry.accumulator("cycles").mean)
+        assert restored.histogram("bytes", 32.0).total == 1
+
+    def test_from_json_none_or_empty_gives_empty_registry(self):
+        assert len(MetricsRegistry.from_json(None)) == 0
+        assert len(MetricsRegistry.from_json({})) == 0
+
+    def test_roundtrip_then_merge_equals_direct_merge(self):
+        import json
+
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.accumulator("m").extend([1.0, 2.0, 3.0])
+        right.accumulator("m").extend([10.0, 20.0])
+
+        direct = MetricsRegistry().merge(left).merge(right)
+        via_json = MetricsRegistry.from_json(left.to_json()).merge(
+            MetricsRegistry.from_json(right.to_json())
+        )
+        assert json.dumps(direct.to_json()) == json.dumps(via_json.to_json())
+
+
+class TestSnapshot:
+    def test_snapshot_skips_empty_metrics(self):
+        registry = MetricsRegistry()
+        registry.accumulator("empty")
+        registry.accumulator("used").extend([2.0, 4.0])
+        registry.histogram("h", 1.0).add(3.0)
+        snapshot = registry.snapshot()
+        assert "empty" not in snapshot
+        assert snapshot["used"]["mean"] == pytest.approx(3.0)
+        assert snapshot["h"]["count"] == 1
+        assert "p50" in snapshot["h"]

@@ -1,0 +1,144 @@
+"""Unit tests for the tracer hierarchy."""
+
+import json
+
+import pytest
+
+from repro.trace import NULL_TRACER, ChromeTracer, NullTracer, TraceError
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_all_methods_are_noops(self):
+        tracer = NullTracer()
+        tracer.begin("t", "span", 0.0, args={"k": 1})
+        tracer.end("t", 1.0)
+        tracer.instant("t", "marker", 0.5)
+        tracer.complete("t", "span", 0.0, 2.0)
+        tracer.counter("t", "gauge", 0.0, 42.0)
+        # No exception and no per-instance state recorded.
+        assert vars(tracer) == {}
+
+
+class TestChromeTracerDiscipline:
+    def test_end_without_begin_raises(self):
+        tracer = ChromeTracer()
+        with pytest.raises(TraceError):
+            tracer.end("t", 1.0)
+
+    def test_span_timestamp_regression_raises(self):
+        tracer = ChromeTracer()
+        tracer.begin("t", "outer", 10.0)
+        with pytest.raises(TraceError):
+            tracer.begin("t", "inner", 5.0)
+
+    def test_end_before_begin_raises(self):
+        tracer = ChromeTracer()
+        tracer.begin("t", "span", 10.0)
+        with pytest.raises(TraceError):
+            tracer.end("t", 9.0)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(TraceError):
+            ChromeTracer().complete("t", "span", 0.0, -1.0)
+
+    def test_balanced_spans_leave_no_open_spans(self):
+        tracer = ChromeTracer()
+        tracer.begin("t", "outer", 0.0)
+        tracer.begin("t", "inner", 1.0)
+        tracer.end("t", 2.0)
+        tracer.end("t", 3.0)
+        assert tracer.open_spans() == {}
+
+    def test_unbalanced_spans_are_reported(self):
+        tracer = ChromeTracer()
+        tracer.begin("t", "leaked", 0.0)
+        assert tracer.open_spans() == {"t": ["leaked"]}
+
+    def test_end_closes_innermost_span(self):
+        tracer = ChromeTracer()
+        tracer.begin("t", "outer", 0.0)
+        tracer.begin("t", "inner", 1.0)
+        tracer.end("t", 2.0)
+        names = [e["name"] for e in tracer.events() if e["ph"] == "E"]
+        assert names == ["inner"]
+
+    def test_independent_tracks_do_not_interfere(self):
+        tracer = ChromeTracer()
+        tracer.begin("a", "span", 10.0)
+        tracer.begin("b", "span", 1.0)  # earlier ts on another track is fine
+        tracer.end("b", 2.0)
+        tracer.end("a", 11.0)
+        assert tracer.open_spans() == {}
+
+
+class TestChromeTracerExport:
+    def test_tracks_get_stable_distinct_tids(self):
+        tracer = ChromeTracer()
+        tracer.instant("a", "x", 0.0)
+        tracer.instant("b", "x", 0.0)
+        tracer.instant("a", "y", 1.0)
+        tids = {e["tid"] for e in tracer.events()}
+        assert len(tids) == 2
+
+    def test_events_sorted_by_timestamp(self):
+        tracer = ChromeTracer()
+        tracer.complete("a", "late", 5.0, 1.0)
+        tracer.instant("b", "early", 1.0)
+        assert [e["ts"] for e in tracer.events()] == [1.0, 5.0]
+
+    def test_export_includes_thread_metadata(self):
+        tracer = ChromeTracer(process_name="unit-test")
+        tracer.instant("gpm0.mem", "l1.miss", 0.0)
+        exported = tracer.export()
+        meta = [e for e in exported["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name", "thread_sort_index"} <= names
+        thread_names = [
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        ]
+        assert "gpm0.mem" in thread_names
+
+    def test_export_is_json_serializable(self):
+        tracer = ChromeTracer()
+        tracer.begin("t", "span", 0.0, args={"n": 3})
+        tracer.end("t", 4.0)
+        tracer.counter("t", "queue", 2.0, 7.0)
+        json.dumps(tracer.export())  # must not raise
+
+    def test_write_roundtrip(self, tmp_path):
+        tracer = ChromeTracer()
+        tracer.complete("t", "span", 0.0, 2.0, args={"bytes": 128})
+        path = tracer.write(tmp_path / "nested" / "trace.json")
+        with path.open() as handle:
+            data = json.load(handle)
+        assert data["traceEvents"]
+        assert data["otherData"]["source"] == "repro.trace.ChromeTracer"
+
+    def test_len_counts_data_events(self):
+        tracer = ChromeTracer()
+        assert len(tracer) == 0
+        tracer.instant("t", "x", 0.0)
+        tracer.counter("t", "c", 0.0, 1.0)
+        assert len(tracer) == 2
+
+    def test_validator_accepts_exported_trace(self):
+        from repro.tools.validate_trace import validate_trace
+
+        tracer = ChromeTracer()
+        tracer.begin("t", "outer", 0.0)
+        tracer.instant("t", "mark", 1.0)
+        tracer.complete("u", "xfer", 0.5, 3.0)
+        tracer.end("t", 2.0)
+        assert validate_trace(tracer.export()) == []
+
+    def test_validator_flags_leaked_span(self):
+        from repro.tools.validate_trace import validate_trace
+
+        tracer = ChromeTracer()
+        tracer.begin("t", "leaked", 0.0)
+        errors = validate_trace(tracer.export())
+        assert any("never closed" in error for error in errors)
