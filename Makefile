@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples trace-smoke clean-cache loc
+.PHONY: install test bench bench-smoke reproduce examples trace-smoke clean-cache loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,16 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# One fast benchmark per family, timing disabled — a CI-sized check that the
+# bench harness and its paper-shape assertions still hold.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest --benchmark-disable -q \
+	  benchmarks/bench_config_tables.py \
+	  benchmarks/bench_table1b.py \
+	  benchmarks/bench_simulator.py \
+	  benchmarks/bench_trace_overhead.py \
+	  benchmarks/bench_sweetspot.py::test_sweetspot_smoke
 
 # Regenerate every paper table/figure (fills .cache/ on first run).
 reproduce:

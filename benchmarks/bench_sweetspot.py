@@ -1,0 +1,65 @@
+"""Sweet-spot study: EDPSE vs. core frequency and per-workload V/f optima."""
+
+from benchmarks.conftest import publish
+from repro.dvfs.operating_point import K40_VF_CURVE
+from repro.dvfs.sweetspot import SweetSpotSearch
+from repro.experiments import sweetspot_study
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.gpu.config import table_iii_config
+from repro.isa.kernel import WorkloadCategory
+from repro.workloads.suite import WORKLOAD_SPECS, shrunken_spec
+
+
+def test_sweetspot_smoke(benchmark, tmp_path):
+    """Fast smoke: one shrunken memory-bound workload over four points."""
+    runner = SweepRunner(SweepSettings(cache_dir=tmp_path, processes=1))
+    points = tuple(
+        K40_VF_CURVE.point_at(mhz * 1e6) for mhz in (324, 562, 745, 875)
+    )
+    search = SweetSpotSearch(runner, metric="edp", points=points)
+    spec = shrunken_spec("Stream", total_ctas=24, kernels=1)
+    spot = benchmark.pedantic(
+        lambda: search.search_one(spec, table_iii_config(2)),
+        rounds=1,
+        iterations=1,
+    )
+    # The acceptance shape in miniature: a DRAM-bound workload's EDP optimum
+    # sits strictly inside the V/f ladder.
+    assert spot.below_max_clock
+
+
+def test_sweetspot_study(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: sweetspot_study.run(runner), rounds=1, iterations=1
+    )
+    publish(results_dir, "sweetspot_study", result.render())
+
+    counts = sweetspot_study.STUDY_GPM_COUNTS
+    anchor_hz = sweetspot_study.ANCHOR_FREQUENCY_HZ
+    # The baseline is itself: 1-GPM at the anchor is 100% efficient.
+    assert abs(result.edpse[anchor_hz][1] - 100.0) < 1e-6
+    # Acceptance: at least one memory-bound Table II workload has its EDP
+    # optimum strictly below the max clock on every GPM count.
+    memory_bound = [
+        abbr for abbr in result.spots[1]
+        if WORKLOAD_SPECS[abbr].category is WorkloadCategory.MEMORY
+    ]
+    assert any(
+        all(
+            result.spot(abbr, n).below_max_clock
+            for n in counts
+        )
+        for abbr in memory_bound
+    )
+    # Memory-bound workloads settle at or below compute-bound clocks on the
+    # biggest configuration (frequency buys them no delay, only V^2 energy).
+    compute_bound = [
+        abbr for abbr in result.spots[1]
+        if WORKLOAD_SPECS[abbr].category is WorkloadCategory.COMPUTE
+    ]
+    mean_hz = lambda group, n: sum(
+        result.optimal_frequency_hz(abbr, n) for abbr in group
+    ) / len(group)
+    assert mean_hz(memory_bound, counts[-1]) <= mean_hz(
+        compute_bound, counts[-1]
+    )

@@ -13,6 +13,10 @@ Two observability subcommands sit beside the experiments (see
 * ``repro profile <workload>`` — simulate the same scaled-down copy and print
   the component metrics (CTA runtimes, DRAM queueing, remote-access
   latencies, interconnect transfers) plus a counter summary.
+* ``repro dvfs <workload>`` — sweep the same scaled-down copy over the K40
+  V/f ladder, print delay/energy/EDP per operating point, and report the
+  energy sweet spot (see ``docs/POWER.md``); ``--governed`` additionally runs
+  the utilization governor and prints its per-GPM decisions.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from repro.experiments import (
     interconnect_energy_study,
     locality_ablation,
     powergate_study,
+    sweetspot_study,
     table1b_epi_ept,
     topology_study,
 )
@@ -61,6 +66,7 @@ _EXPERIMENTS = {
     "powergate": powergate_study.run,
     "edip": edip_study.run,
     "topology": topology_study.run,
+    "sweetspot": sweetspot_study.run,
 }
 
 
@@ -197,6 +203,105 @@ def _profile_main(argv: list[str]) -> int:
     return 0
 
 
+def _dvfs_main(argv: list[str]) -> int:
+    """``repro dvfs``: sweep one workload over the V/f ladder."""
+    from repro.core.energy_model import EnergyModel, EnergyParams
+    from repro.dvfs.governor import UtilizationGovernor
+    from repro.dvfs.operating_point import K40_VF_CURVE
+    from repro.dvfs.sweetspot import (
+        METRICS,
+        FrequencySample,
+        SweetSpot,
+        with_operating_point,
+    )
+    from repro.gpu.simulator import simulate
+
+    parser = argparse.ArgumentParser(
+        prog="repro dvfs",
+        description=(
+            "Simulate a scaled-down workload at every operating point of the"
+            " K40 V/f ladder and report the energy sweet spot"
+            " (see docs/POWER.md)."
+        ),
+    )
+    _add_observe_arguments(parser)
+    parser.add_argument(
+        "--metric",
+        choices=list(METRICS),
+        default="edp",
+        help="optimization metric for the sweet spot (default: edp)",
+    )
+    parser.add_argument(
+        "--governed",
+        action="store_true",
+        help="also run the utilization governor and print its decisions",
+    )
+    args = parser.parse_args(argv)
+
+    spec, workload, config = _observed_pair(parser, args)
+    anchor_hz = K40_VF_CURVE.anchor.frequency_hz
+    samples = []
+    for point in K40_VF_CURVE.points:
+        pointed = with_operating_point(config, point)
+        result = simulate(workload, pointed)
+        params = EnergyParams.for_operating_point(pointed)
+        energy = EnergyModel(params).evaluate(result.counters, result.seconds)
+        samples.append(
+            FrequencySample(
+                point=point, delay_s=result.seconds, energy_j=energy.total
+            )
+        )
+    spot = SweetSpot(
+        workload=spec.abbr,
+        config_label=config.label(),
+        num_gpms=config.num_gpms,
+        metric=args.metric,
+        samples=tuple(samples),
+    )
+
+    print(f"{spec.abbr} on {config.label()}: V/f sweep ({args.metric})")
+    header = (
+        f"  {'point':<10} {'MHz':>5} {'V':>6} {'delay us':>10}"
+        f" {'energy uJ':>10} {'EDP':>11} {'ED2P':>11}"
+    )
+    print(header)
+    best = spot.best
+    for sample in samples:
+        point = sample.point
+        marker = " <- sweet spot" if sample is best else (
+            "  (anchor)" if point.frequency_hz == anchor_hz else ""
+        )
+        print(
+            f"  {point.label():<10} {point.frequency_hz / 1e6:>5.0f}"
+            f" {point.voltage_v:>6.2f} {sample.delay_s * 1e6:>10.2f}"
+            f" {sample.energy_j * 1e6:>10.2f} {sample.edp:>11.3e}"
+            f" {sample.ed2p:>11.3e}{marker}"
+        )
+    anchor_score = spot.sample_at(anchor_hz).score(args.metric)
+    print(
+        f"  sweet spot: {best.point.label()}"
+        f" ({best.point.frequency_hz / 1e6:.0f} MHz,"
+        f" {args.metric} {best.score(args.metric) / anchor_score:.3f}x"
+        f" the anchor's)"
+    )
+
+    if args.governed:
+        governor = UtilizationGovernor()
+        result = simulate(workload, config, governor=governor)
+        print()
+        print(
+            f"  governed run: {result.cycles:.0f} cycles,"
+            f" {len(governor.trace)} interval decisions"
+        )
+        for decision in governor.trace:
+            print(
+                f"    cycle {decision.at_cycle:>10.0f}  gpm{decision.gpm_id}"
+                f"  util={decision.utilization:.2f}"
+                f"  -> {decision.point.label()}"
+            )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run experiments, print their rows."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -204,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] == "dvfs":
+        return _dvfs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,7 +321,9 @@ def main(argv: list[str] | None = None) -> int:
         epilog=(
             "Observability subcommands: 'repro trace <workload>' captures a"
             " Perfetto-viewable Chrome trace; 'repro profile <workload>'"
-            " prints component metrics.  See docs/OBSERVABILITY.md."
+            " prints component metrics; 'repro dvfs <workload>' sweeps the"
+            " V/f ladder and reports the energy sweet spot.  See"
+            " docs/OBSERVABILITY.md and docs/POWER.md."
         ),
     )
     parser.add_argument(

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core import epi_tables
 from repro.core.epi_tables import EnergyConstants, TransactionKind
+from repro.dvfs.config import DvfsConfig
 from repro.errors import ConfigError
 from repro.gpu.config import GpuConfig, IntegrationDomain
 from repro.gpu.counters import CounterSet
@@ -175,6 +176,77 @@ class EnergyParams:
     def with_amortization(self, growth_per_gpm: float) -> "EnergyParams":
         """Clone with a different constant-energy growth fraction."""
         return replace(self, constant_growth_per_gpm=growth_per_gpm)
+
+    # ------------------------------------------------------------------- dvfs
+
+    @classmethod
+    def for_operating_point(
+        cls,
+        config: GpuConfig,
+        dvfs: "DvfsConfig | None" = None,
+        constants: EnergyConstants | None = None,
+        constant_growth_per_gpm: float | None = None,
+        link_pj_per_bit: float | None = None,
+    ) -> "EnergyParams":
+        """Pricing parameters for a configuration at its DVFS operating point.
+
+        Same derivation as :meth:`for_config`, then rescaled for the V/f
+        points in ``dvfs`` (default: the configuration's own ``dvfs`` field;
+        both ``None`` means the anchor point and no rescaling at all).
+        """
+        params = cls.for_config(
+            config,
+            constants=constants,
+            constant_growth_per_gpm=constant_growth_per_gpm,
+            link_pj_per_bit=link_pj_per_bit,
+        )
+        dvfs = dvfs if dvfs is not None else config.dvfs
+        if dvfs is None:
+            return params
+        return params.scaled_for(dvfs)
+
+    def scaled_for(self, dvfs: DvfsConfig) -> "EnergyParams":
+        """Rescale every per-event cost for a DVFS setting (CMOS model).
+
+        * Dynamic energy per event scales with the square of its domain's
+          voltage ratio: compute EPIs, the stall cost, and the on-module
+          cache EPTs with core V²; the DRAM EPT with DRAM V²; link, switch,
+          and codec energies with interconnect V².
+        * The stall cost additionally scales with the core frequency ratio:
+          the ``sm_idle_cycles`` counter ticks in *anchor* cycles, and a core
+          at ratio ``f`` burns ``f`` idle core cycles per anchor cycle.
+        * Constant power splits into a leakage share (∝ V) and an
+          idle-clocking share (∝ f·V²), governed by
+          ``dvfs.leakage_fraction``.
+
+        With multiple per-GPM core points, core ratios are the equal-weight
+        means across GPMs (counters are global; see ``docs/POWER.md``).
+        """
+        core_f, core_v = dvfs.mean_core_ratios()
+        dram_v = dvfs.curve.voltage_ratio(dvfs.dram)
+        ic_v = dvfs.curve.voltage_ratio(dvfs.interconnect)
+        core_sq = core_v * core_v
+        dram_sq = dram_v * dram_v
+        ic_sq = ic_v * ic_v
+        leak = dvfs.leakage_fraction
+        constant_scale = leak * core_v + (1.0 - leak) * core_f * core_sq
+        constants = replace(
+            self.constants,
+            const_power_w=self.constants.const_power_w * constant_scale,
+            ep_stall_nj=self.constants.ep_stall_nj * core_sq * core_f,
+        )
+        return replace(
+            self,
+            epi_nj={op: e * core_sq for op, e in self.epi_nj.items()},
+            shared_rf_ept_j=self.shared_rf_ept_j * core_sq,
+            l1_rf_ept_j=self.l1_rf_ept_j * core_sq,
+            l2_l1_ept_j=self.l2_l1_ept_j * core_sq,
+            dram_l2_ept_j=self.dram_l2_ept_j * dram_sq,
+            link_pj_per_bit=self.link_pj_per_bit * ic_sq,
+            switch_pj_per_bit=self.switch_pj_per_bit * ic_sq,
+            codec_pj_per_byte=self.codec_pj_per_byte * ic_sq,
+            constants=constants,
+        )
 
 
 class EnergyModel:

@@ -1,0 +1,46 @@
+"""Per-GPM DVFS: operating points, clock domains, governors, sweet spots.
+
+The subsystem opens the V/f axis the paper holds fixed: validated
+:class:`VfCurve` tables anchored at the K40 boost point, a
+:class:`DvfsConfig` threading per-domain (core / DRAM / interconnect)
+operating points through the timing and energy layers, runtime
+:class:`Governor` policies, and the offline sweet-spot search in
+:mod:`repro.dvfs.sweetspot` (imported lazily there — it pulls in the sweep
+runner, which this package root must not).
+
+See ``docs/POWER.md`` for the scaling model and usage.
+"""
+
+from repro.dvfs.config import (
+    ClockDomain,
+    DomainScales,
+    DvfsConfig,
+    IDENTITY_SCALES,
+)
+from repro.dvfs.governor import (
+    Governor,
+    GovernorDecision,
+    StaticGovernor,
+    UtilizationGovernor,
+)
+from repro.dvfs.operating_point import (
+    K40_OPERATING_POINT,
+    K40_VF_CURVE,
+    OperatingPoint,
+    VfCurve,
+)
+
+__all__ = [
+    "ClockDomain",
+    "DomainScales",
+    "DvfsConfig",
+    "Governor",
+    "GovernorDecision",
+    "IDENTITY_SCALES",
+    "K40_OPERATING_POINT",
+    "K40_VF_CURVE",
+    "OperatingPoint",
+    "StaticGovernor",
+    "UtilizationGovernor",
+    "VfCurve",
+]

@@ -1,0 +1,142 @@
+"""DVFS governors: policies that pick core operating points at runtime.
+
+A governor steers each GPM's *core* domain while a workload runs.  The
+driver (:class:`~repro.gpu.multigpu.MultiGpu`) consults it at every kernel
+boundary — the natural synchronization point of the bulk-synchronous
+workloads — handing it the GPM's issue-stage utilization over the interval
+just finished (the same busy/idle counters the ``MetricsRegistry`` profile
+view reports).  The governor answers with the point to run the next interval
+at and keeps a decision trace for analysis.
+
+Two policies ship here:
+
+* :class:`StaticGovernor` pins every GPM to one point (the building block of
+  offline sweeps — :mod:`repro.dvfs.sweetspot` prefers static *configs* so
+  the sweep cache applies, but the governor form exists for runtime use).
+* :class:`UtilizationGovernor` is the classic interval-based ondemand rule:
+  step up the V/f ladder when the SMs are issue-bound, step down when they
+  mostly idle on memory — the behaviour that turns memory-bound phases into
+  energy savings at near-zero delay cost.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.dvfs.operating_point import K40_VF_CURVE, OperatingPoint, VfCurve
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """One governor consultation: what was observed and what was chosen."""
+
+    at_cycle: float
+    gpm_id: int
+    window_cycles: float
+    utilization: float
+    point: OperatingPoint
+
+
+@dataclass
+class Governor(abc.ABC):
+    """Base class for per-GPM core-domain DVFS policies."""
+
+    curve: VfCurve = field(default_factory=lambda: K40_VF_CURVE)
+    trace: list[GovernorDecision] = field(default_factory=list, repr=False)
+
+    @abc.abstractmethod
+    def initial_point(self, gpm_id: int) -> OperatingPoint:
+        """The point a GPM starts the workload at."""
+
+    @abc.abstractmethod
+    def decide(
+        self, gpm_id: int, utilization: float, current: OperatingPoint
+    ) -> OperatingPoint:
+        """Pick the next interval's point from the last interval's load."""
+
+    def on_interval(
+        self,
+        gpm_id: int,
+        utilization: float,
+        current: OperatingPoint,
+        now: float,
+        window_cycles: float,
+    ) -> OperatingPoint:
+        """Driver entry point: decide, record the decision, return the point."""
+        point = self.decide(gpm_id, utilization, current)
+        self.trace.append(
+            GovernorDecision(
+                at_cycle=now,
+                gpm_id=gpm_id,
+                window_cycles=window_cycles,
+                utilization=utilization,
+                point=point,
+            )
+        )
+        return point
+
+    def decisions_for(self, gpm_id: int) -> list[GovernorDecision]:
+        """This GPM's slice of the decision trace, in time order."""
+        return [d for d in self.trace if d.gpm_id == gpm_id]
+
+
+@dataclass
+class StaticGovernor(Governor):
+    """Pin every GPM to one fixed operating point for the whole run."""
+
+    point: OperatingPoint = field(default_factory=lambda: K40_VF_CURVE.anchor)
+
+    def __post_init__(self) -> None:
+        if not self.curve.contains(self.point):
+            raise ConfigError(
+                f"static point {self.point!r} lies outside the governor curve"
+            )
+
+    def initial_point(self, gpm_id: int) -> OperatingPoint:
+        return self.point
+
+    def decide(
+        self, gpm_id: int, utilization: float, current: OperatingPoint
+    ) -> OperatingPoint:
+        return self.point
+
+
+@dataclass
+class UtilizationGovernor(Governor):
+    """Interval-based ondemand policy over the issue-stage utilization.
+
+    When a GPM's SMs were issue-busy at least ``high_watermark`` of the last
+    interval, the core steps one rung up the curve (it is compute-bound:
+    frequency buys delay).  When they were busy at most ``low_watermark``,
+    it steps one rung down (it is memory/stall-bound: frequency buys nothing
+    but V² energy).  In between, the point holds.
+    """
+
+    high_watermark: float = 0.75
+    low_watermark: float = 0.35
+    start: OperatingPoint | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_watermark < self.high_watermark <= 1.0:
+            raise ConfigError(
+                "watermarks must satisfy 0 <= low < high <= 1; got"
+                f" low={self.low_watermark!r} high={self.high_watermark!r}"
+            )
+        if self.start is not None and not self.curve.contains(self.start):
+            raise ConfigError(
+                f"start point {self.start!r} lies outside the governor curve"
+            )
+
+    def initial_point(self, gpm_id: int) -> OperatingPoint:
+        return self.start if self.start is not None else self.curve.anchor
+
+    def decide(
+        self, gpm_id: int, utilization: float, current: OperatingPoint
+    ) -> OperatingPoint:
+        if utilization >= self.high_watermark:
+            return self.curve.step_up(current)
+        if utilization <= self.low_watermark:
+            return self.curve.step_down(current)
+        return current

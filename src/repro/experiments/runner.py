@@ -19,7 +19,7 @@ import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
 from repro.errors import ExperimentError
@@ -92,6 +92,13 @@ def _config_fingerprint(config: GpuConfig) -> dict:
                     "min": config.compression.min_payload_bytes,
                 }
             }
+        ),
+        # Same precedent for DVFS: only off-anchor configurations carry the
+        # operating points in their key.
+        **(
+            {}
+            if config.dvfs is None
+            else {"dvfs": config.dvfs.fingerprint()}
         ),
     }
 
@@ -241,7 +248,16 @@ class SweepRunner:
                 missing.append((index, (spec, config)))
                 self.cache_misses += 1
             else:
-                records.append(cached)
+                # The content-hash key guarantees (spec, config) identity;
+                # the label is derived presentation data, so re-stamp it
+                # rather than replay however the caching run spelled it.
+                records.append(
+                    replace(
+                        cached,
+                        workload=spec.abbr,
+                        config_label=config.label(),
+                    )
+                )
                 self.cache_hits += 1
 
         total = len(missing)
@@ -292,9 +308,32 @@ class SweepRunner:
         return results
 
     def run_grid(
-        self, specs: list[WorkloadSpec], configs: list[GpuConfig]
+        self,
+        specs: list[WorkloadSpec],
+        configs: list[GpuConfig],
+        operating_points=None,
+        curve=None,
     ) -> dict[str, dict[str, RunRecord]]:
-        """Cartesian sweep; returns ``results[config_label][workload]``."""
+        """Cartesian sweep; returns ``results[config_label][workload]``.
+
+        ``operating_points`` adds a third axis: every configuration is
+        expanded to one variant per :class:`~repro.dvfs.OperatingPoint`
+        (chip-wide core domain on ``curve``, default the K40 ladder), and the
+        grid keys carry the point suffix (``...@core@k40-562`` style).
+        """
+        if operating_points is not None:
+            from repro.dvfs.config import DvfsConfig
+            from repro.dvfs.operating_point import K40_VF_CURVE
+
+            vf_curve = curve if curve is not None else K40_VF_CURVE
+            configs = [
+                replace(
+                    config,
+                    dvfs=DvfsConfig.core_only(point, curve=vf_curve),
+                )
+                for config in configs
+                for point in operating_points
+            ]
         pairs = [(spec, config) for config in configs for spec in specs]
         records = self.run(pairs)
         grid: dict[str, dict[str, RunRecord]] = {}

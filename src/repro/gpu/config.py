@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.dvfs.config import DvfsConfig
 from repro.errors import ConfigError
 from repro.interconnect.compression import CompressionConfig
 from repro.memory.cache import CacheConfig
@@ -132,6 +133,10 @@ class GpuConfig:
     ``compression`` optionally inserts a payload-compression stage in front
     of the inter-GPM network (a Section V-E extension; see
     :mod:`repro.interconnect.compression`).
+
+    ``dvfs`` optionally moves the core/DRAM/interconnect clock domains off
+    the anchor K40 operating point (see :mod:`repro.dvfs`); ``None`` means
+    the paper's fixed-clock configuration.
     """
 
     gpm: GpmConfig = field(default_factory=GpmConfig)
@@ -140,6 +145,7 @@ class GpuConfig:
     integration_domain: IntegrationDomain = IntegrationDomain.ON_PACKAGE
     placement_policy: PlacementPolicy = PlacementPolicy.FIRST_TOUCH
     compression: "CompressionConfig | None" = None
+    dvfs: "DvfsConfig | None" = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -149,6 +155,12 @@ class GpuConfig:
             raise ConfigError(
                 f"{self.num_gpms}-GPM configuration requires an interconnect"
             )
+        if self.dvfs is not None and self.dvfs.core_per_gpm:
+            if len(self.dvfs.core_per_gpm) != self.num_gpms:
+                raise ConfigError(
+                    f"dvfs.core_per_gpm has {len(self.dvfs.core_per_gpm)}"
+                    f" points for {self.num_gpms} GPMs"
+                )
 
     @property
     def total_sms(self) -> int:
@@ -164,9 +176,10 @@ class GpuConfig:
 
     def label(self) -> str:
         """Human-readable identity used in reports and cache keys."""
-        if self.name:
-            return self.name
-        return f"{self.num_gpms}-GPM"
+        base = self.name if self.name else f"{self.num_gpms}-GPM"
+        if self.dvfs is not None:
+            return f"{base}@{self.dvfs.label()}"
+        return base
 
 
 #: GPM counts studied in Table III.

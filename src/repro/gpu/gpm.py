@@ -1,14 +1,26 @@
-"""One GPU module: SMs, memory path, and its kernel driver."""
+"""One GPU module: SMs, memory path, and its kernel driver.
+
+Clock domains: the engine's timebase is the *anchor* core clock
+(``config.clock_hz``); a :class:`~repro.dvfs.config.DomainScales` bundle
+rescales this module's rates relative to it — SM issue throughput and cache
+pipeline latencies for the core domain, DRAM bandwidth and access latency
+for the memory domain.  At the anchor point every ratio is exactly 1.0 and
+the arithmetic is IEEE-exact, so un-scaled configurations behave
+bit-identically to a build without DVFS.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Generator
+from dataclasses import replace
 
+from repro.dvfs.config import DomainScales, IDENTITY_SCALES
+from repro.dvfs.operating_point import OperatingPoint, VfCurve
 from repro.gpu.config import GpmConfig
 from repro.gpu.counters import CounterSet
 from repro.isa.kernel import Kernel
 from repro.memory.dram import DramChannel
-from repro.memory.hierarchy import GpmMemory
+from repro.memory.hierarchy import GpmMemory, HierarchyLatencies
 from repro.memory.pages import PagePlacement
 from repro.sim.engine import Engine
 from repro.sm.scheduler import CtaSlotScheduler
@@ -25,12 +37,24 @@ class Gpm:
         config: GpmConfig,
         placement: PagePlacement,
         counters: CounterSet,
+        scales: DomainScales | None = None,
     ):
+        scales = IDENTITY_SCALES if scales is None else scales
         self.engine = engine
         self.gpm_id = gpm_id
         self.config = config
         self.counters = counters
-        self.dram = DramChannel(engine, config.dram, name=f"gpm{gpm_id}.dram")
+        self.scales = scales
+        self.core_scale = scales.core_freq
+        dram_config = replace(
+            config.dram,
+            bandwidth_gbps=config.dram.bandwidth_gbps * scales.dram_freq,
+            latency_cycles=config.dram.latency_cycles / scales.dram_freq,
+        )
+        self.dram = DramChannel(
+            engine, dram_config, name=f"gpm{gpm_id}.dram",
+            clock_hz=config.clock_hz,
+        )
         self.memory = GpmMemory(
             engine=engine,
             gpm_id=gpm_id,
@@ -40,7 +64,7 @@ class Gpm:
             dram=self.dram,
             placement=placement,
             counters=counters,
-            latencies=config.latencies,
+            latencies=self._scaled_latencies(scales.core_freq),
         )
         self.sms = [
             SmCore(
@@ -48,13 +72,38 @@ class Gpm:
                 sm_id=gpm_id * config.num_sms + local,
                 gpm_id=gpm_id,
                 local_index=local,
-                issue_rate=config.issue_rate,
+                issue_rate=config.issue_rate * scales.core_freq,
                 memory=self.memory,
                 counters=counters,
             )
             for local in range(config.num_sms)
         ]
         self.scheduler = CtaSlotScheduler(self.sms, config.slots_per_sm)
+
+    def _scaled_latencies(self, core_ratio: float) -> HierarchyLatencies:
+        """Fixed core-cycle pipeline depths expressed in anchor cycles."""
+        base = self.config.latencies
+        return HierarchyLatencies(
+            shared=base.shared / core_ratio,
+            l1=base.l1 / core_ratio,
+            l2=base.l2 / core_ratio,
+        )
+
+    # -------------------------------------------------------------------- dvfs
+
+    def apply_core_point(self, point: OperatingPoint, curve: VfCurve) -> None:
+        """Retarget this module's core domain to ``point`` (governor hook).
+
+        Takes effect for subsequently issued work: issue reservations use the
+        new rate and cache stages the new latencies; in-flight reservations
+        keep the completion times they were given (the standard horizon-server
+        approximation).
+        """
+        ratio = curve.frequency_ratio(point)
+        self.core_scale = ratio
+        for sm in self.sms:
+            sm.issue.rate = self.config.issue_rate * ratio
+        self.memory.latencies = self._scaled_latencies(ratio)
 
     def run_kernel(self, kernel: Kernel, cta_ids: list[int]) -> Generator:
         """Process generator executing this GPM's share of one kernel."""

@@ -6,6 +6,14 @@ a workload executes its kernels back-to-back: each kernel is partitioned
 across GPMs (distributed CTA scheduling), every GPM drains its share, a
 global barrier closes the kernel, and the coherence protocol flash-invalidates
 remote-homed L2 lines before the next launch.
+
+DVFS enters in two ways.  A static :class:`~repro.dvfs.config.DvfsConfig`
+on the configuration rescales each GPM's core domain and the global DRAM and
+interconnect domains for the whole run (cacheable — part of the config
+fingerprint).  A runtime :class:`~repro.dvfs.governor.Governor` additionally
+re-points each GPM's core domain at every kernel boundary from its
+issue-stage utilization over the interval just closed; governed runs are a
+runtime behaviour, not part of the cacheable configuration.
 """
 
 from __future__ import annotations
@@ -13,6 +21,8 @@ from __future__ import annotations
 from collections.abc import Generator
 from dataclasses import dataclass
 
+from repro.dvfs.config import DomainScales, IDENTITY_SCALES
+from repro.dvfs.governor import Governor
 from repro.errors import ConfigError
 from repro.gpu.config import GpuConfig, TopologyKind
 from repro.gpu.counters import CounterSet
@@ -51,6 +61,7 @@ class MultiGpu:
         partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
         tracer=None,
         metrics=None,
+        governor: Governor | None = None,
     ):
         self.config = config
         self.partitioning = partitioning
@@ -59,8 +70,14 @@ class MultiGpu:
         self.placement = PagePlacement(
             num_gpms=config.num_gpms, policy=config.placement_policy
         )
+        self.scales = [
+            self._gpm_scales(gpm_id) for gpm_id in range(config.num_gpms)
+        ]
         self.gpms = [
-            Gpm(self.engine, gpm_id, config.gpm, self.placement, self.counters)
+            Gpm(
+                self.engine, gpm_id, config.gpm, self.placement, self.counters,
+                scales=self.scales[gpm_id],
+            )
             for gpm_id in range(config.num_gpms)
         ]
         self.topology = self._build_topology()
@@ -72,6 +89,24 @@ class MultiGpu:
             for gpm in self.gpms:
                 self.coherence.register_l2(gpm.gpm_id, gpm.memory.l2)
         self.kernel_stats: list[KernelStats] = []
+        self.governor = governor
+        #: Per-GPM anchor cycles spent at each core point (governed runs).
+        self.dvfs_residency: dict[int, dict[str, float]] = {}
+        if governor is not None:
+            self._core_points = [
+                governor.initial_point(gpm.gpm_id) for gpm in self.gpms
+            ]
+            for gpm, point in zip(self.gpms, self._core_points):
+                gpm.apply_core_point(point, governor.curve)
+            self._interval_utilization = self.engine.metrics.accumulator(
+                "dvfs.interval_utilization"
+            )
+            self._core_mhz = self.engine.metrics.accumulator("dvfs.core_mhz")
+
+    def _gpm_scales(self, gpm_id: int) -> DomainScales:
+        if self.config.dvfs is None:
+            return IDENTITY_SCALES
+        return self.config.dvfs.scales_for_gpm(gpm_id)
 
     def _build_topology(self) -> Topology | None:
         config = self.config
@@ -80,29 +115,39 @@ class MultiGpu:
         interconnect = config.interconnect
         if interconnect is None:  # pragma: no cover - GpuConfig already guards
             raise ConfigError("multi-GPM config lost its interconnect")
+        # The interconnect domain is chip-global: scale link serialization
+        # rate up and propagation down with its frequency ratio (exact no-ops
+        # at the anchor point).
+        ic_scale = self.scales[0].interconnect_freq
+        bandwidth = interconnect.per_gpm_bandwidth_gbps * ic_scale
+        latency = interconnect.link_latency_cycles / ic_scale
+        clock_hz = config.gpm.clock_hz
         if interconnect.kind is TopologyKind.MESH:
             topology: Topology = MeshTopology(
                 self.engine,
                 config.num_gpms,
-                per_gpm_bandwidth_gbps=interconnect.per_gpm_bandwidth_gbps,
-                link_latency_cycles=interconnect.link_latency_cycles,
+                per_gpm_bandwidth_gbps=bandwidth,
+                link_latency_cycles=latency,
                 energy_pj_per_bit=interconnect.energy_pj_per_bit,
+                clock_hz=clock_hz,
             )
         elif interconnect.kind is TopologyKind.RING:
             topology = RingTopology(
                 self.engine,
                 config.num_gpms,
-                per_gpm_bandwidth_gbps=interconnect.per_gpm_bandwidth_gbps,
-                link_latency_cycles=interconnect.link_latency_cycles,
+                per_gpm_bandwidth_gbps=bandwidth,
+                link_latency_cycles=latency,
                 energy_pj_per_bit=interconnect.energy_pj_per_bit,
+                clock_hz=clock_hz,
             )
         else:
             topology = SwitchTopology(
                 self.engine,
                 config.num_gpms,
-                per_gpm_bandwidth_gbps=interconnect.per_gpm_bandwidth_gbps,
-                link_latency_cycles=interconnect.link_latency_cycles,
+                per_gpm_bandwidth_gbps=bandwidth,
+                link_latency_cycles=latency,
                 energy_pj_per_bit=interconnect.energy_pj_per_bit,
+                clock_hz=clock_hz,
             )
         if config.compression is not None:
             topology = CompressedTopology(topology, config.compression)
@@ -110,8 +155,47 @@ class MultiGpu:
 
     # ------------------------------------------------------------------ driver
 
+    def _govern_interval(self, start: float) -> None:
+        """One governor consultation covering the kernel just finished."""
+        governor = self.governor
+        if governor is None:
+            return
+        now = self.engine.now
+        window = now - start
+        num_sms = self.config.gpm.num_sms
+        tracer = self.engine.tracer
+        for gpm in self.gpms:
+            current = self._core_points[gpm.gpm_id]
+            busy_delta = gpm.busy_cycles() - self._busy_snapshot[gpm.gpm_id]
+            self._busy_snapshot[gpm.gpm_id] = gpm.busy_cycles()
+            utilization = (
+                0.0 if window <= 0
+                else min(1.0, busy_delta / (window * num_sms))
+            )
+            residency = self.dvfs_residency.setdefault(gpm.gpm_id, {})
+            residency[current.label()] = (
+                residency.get(current.label(), 0.0) + window
+            )
+            chosen = governor.on_interval(
+                gpm.gpm_id, utilization, current, now, window
+            )
+            self._interval_utilization.add(utilization)
+            self._core_mhz.add(chosen.frequency_hz / 1e6)
+            if chosen != current:
+                self._core_points[gpm.gpm_id] = chosen
+                gpm.apply_core_point(chosen, governor.curve)
+                if tracer.enabled:
+                    tracer.instant(
+                        "gpu",
+                        f"dvfs.g{gpm.gpm_id}->{chosen.label()}",
+                        now,
+                        args={"utilization": round(utilization, 3)},
+                    )
+
     def _workload_body(self, workload: Workload) -> Generator:
         tracer = self.engine.tracer
+        if self.governor is not None:
+            self._busy_snapshot = [gpm.busy_cycles() for gpm in self.gpms]
         for kernel in workload.kernels:
             start = self.engine.now
             partitions = partition_ctas(
@@ -141,6 +225,7 @@ class MultiGpu:
             self.kernel_stats.append(
                 KernelStats(kernel.name, start_cycle=start, end_cycle=self.engine.now)
             )
+            self._govern_interval(start)
             if self.config.num_gpms > 1:
                 self.coherence.kernel_boundary()
                 if tracer.enabled:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.dvfs.governor import Governor
 from repro.gpu.config import GpuConfig
 from repro.gpu.counters import CounterSet
 from repro.gpu.cta_scheduler import CtaPartitioning
@@ -70,6 +71,7 @@ class GpuSimulator:
         max_events: int | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        governor: Governor | None = None,
     ) -> RunResult:
         """Simulate ``workload`` on a fresh GPU instance.
 
@@ -78,13 +80,17 @@ class GpuSimulator:
         identical counters.  Pass a :class:`~repro.trace.ChromeTracer` to
         capture the run's event timeline and/or a
         :class:`~repro.trace.MetricsRegistry` to collect component metrics;
-        both default to the no-op fast path.
+        both default to the no-op fast path.  A
+        :class:`~repro.dvfs.governor.Governor` re-points each GPM's core
+        V/f domain at kernel boundaries; governed runs are runtime behaviour
+        and must not go through the sweep cache.
         """
         gpu = MultiGpu(
             self.config,
             partitioning=self.partitioning,
             tracer=tracer,
             metrics=metrics,
+            governor=governor,
         )
         counters = gpu.run(workload, max_events=max_events)
         return RunResult(
@@ -103,8 +109,9 @@ def simulate(
     partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    governor: Governor | None = None,
 ) -> RunResult:
     """Convenience wrapper: simulate one workload on one configuration."""
     return GpuSimulator(config, partitioning=partitioning).run(
-        workload, tracer=tracer, metrics=metrics
+        workload, tracer=tracer, metrics=metrics, governor=governor
     )

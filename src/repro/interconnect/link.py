@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.sim.engine import Engine
 from repro.sim.resources import BandwidthServer
-from repro.units import gbps_to_bytes_per_cycle
+from repro.units import DEFAULT_CLOCK_HZ, gbps_to_bytes_per_cycle
 
 
 @dataclass(frozen=True)
@@ -41,14 +41,19 @@ class Link:
     __slots__ = ("config", "server", "src", "dst", "bytes_transferred", "transfers")
 
     def __init__(
-        self, engine: Engine, config: LinkConfig, src: str, dst: str
+        self,
+        engine: Engine,
+        config: LinkConfig,
+        src: str,
+        dst: str,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
     ):
         self.config = config
         self.src = src
         self.dst = dst
         self.server = BandwidthServer(
             engine,
-            gbps_to_bytes_per_cycle(config.bandwidth_gbps),
+            gbps_to_bytes_per_cycle(config.bandwidth_gbps, clock_hz),
             name=f"link:{src}->{dst}",
         )
         self.bytes_transferred = 0

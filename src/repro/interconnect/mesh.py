@@ -22,6 +22,7 @@ from repro.errors import ConfigError
 from repro.interconnect.link import Link, LinkConfig
 from repro.interconnect.topology import Topology
 from repro.sim.engine import Engine
+from repro.units import DEFAULT_CLOCK_HZ
 
 
 def grid_shape(num_gpms: int) -> tuple[int, int]:
@@ -46,6 +47,7 @@ class MeshTopology(Topology):
         per_gpm_bandwidth_gbps: float,
         link_latency_cycles: float,
         energy_pj_per_bit: float,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
     ):
         super().__init__(num_gpms)
         if per_gpm_bandwidth_gbps <= 0:
@@ -68,6 +70,7 @@ class MeshTopology(Topology):
                     self._links[(gpm, neighbor)] = Link(
                         engine, link_config,
                         src=f"gpm{gpm}", dst=f"gpm{neighbor}",
+                        clock_hz=clock_hz,
                     )
 
     # ----------------------------------------------------------------- layout

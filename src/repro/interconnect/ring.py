@@ -19,6 +19,7 @@ from repro.errors import ConfigError
 from repro.interconnect.link import Link, LinkConfig
 from repro.interconnect.topology import Topology
 from repro.sim.engine import Engine
+from repro.units import DEFAULT_CLOCK_HZ
 
 
 class RingTopology(Topology):
@@ -31,6 +32,7 @@ class RingTopology(Topology):
         per_gpm_bandwidth_gbps: float,
         link_latency_cycles: float,
         energy_pj_per_bit: float,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
     ):
         super().__init__(num_gpms)
         if per_gpm_bandwidth_gbps <= 0:
@@ -43,11 +45,19 @@ class RingTopology(Topology):
         )
         # _cw[i] carries traffic i -> i+1 (mod N); _ccw[i] carries i -> i-1.
         self._cw: list[Link] = [
-            Link(engine, link_config, src=f"gpm{i}", dst=f"gpm{(i + 1) % num_gpms}")
+            Link(
+                engine, link_config,
+                src=f"gpm{i}", dst=f"gpm{(i + 1) % num_gpms}",
+                clock_hz=clock_hz,
+            )
             for i in range(num_gpms)
         ]
         self._ccw: list[Link] = [
-            Link(engine, link_config, src=f"gpm{i}", dst=f"gpm{(i - 1) % num_gpms}")
+            Link(
+                engine, link_config,
+                src=f"gpm{i}", dst=f"gpm{(i - 1) % num_gpms}",
+                clock_hz=clock_hz,
+            )
             for i in range(num_gpms)
         ]
 

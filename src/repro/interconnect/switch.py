@@ -17,6 +17,7 @@ from repro.errors import ConfigError
 from repro.interconnect.link import Link, LinkConfig
 from repro.interconnect.topology import Topology
 from repro.sim.engine import Engine
+from repro.units import DEFAULT_CLOCK_HZ
 
 
 class SwitchTopology(Topology):
@@ -30,6 +31,7 @@ class SwitchTopology(Topology):
         link_latency_cycles: float,
         energy_pj_per_bit: float,
         switch_latency_cycles: float = 50.0,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
     ):
         super().__init__(num_gpms)
         if per_gpm_bandwidth_gbps <= 0:
@@ -42,11 +44,17 @@ class SwitchTopology(Topology):
             energy_pj_per_bit=energy_pj_per_bit,
         )
         self._uplinks: list[Link] = [
-            Link(engine, link_config, src=f"gpm{i}", dst="switch")
+            Link(
+                engine, link_config, src=f"gpm{i}", dst="switch",
+                clock_hz=clock_hz,
+            )
             for i in range(num_gpms)
         ]
         self._downlinks: list[Link] = [
-            Link(engine, link_config, src="switch", dst=f"gpm{i}")
+            Link(
+                engine, link_config, src="switch", dst=f"gpm{i}",
+                clock_hz=clock_hz,
+            )
             for i in range(num_gpms)
         ]
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.sim.engine import Engine
 from repro.sim.resources import BandwidthServer
-from repro.units import gbps_to_bytes_per_cycle
+from repro.units import DEFAULT_CLOCK_HZ, gbps_to_bytes_per_cycle
 
 
 @dataclass(frozen=True)
@@ -53,14 +53,26 @@ GDDR5 = DramConfig(
 
 
 class DramChannel:
-    """Timing front-end for one DRAM stack."""
+    """Timing front-end for one DRAM stack.
 
-    def __init__(self, engine: Engine, config: DramConfig, name: str = "dram"):
+    ``clock_hz`` is the simulator's cycle timebase (the core anchor clock),
+    needed to turn the stack's GB/s figure into bytes per simulated cycle.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: DramConfig,
+        name: str = "dram",
+        clock_hz: float = DEFAULT_CLOCK_HZ,
+    ):
         self.engine = engine
         self.config = config
         self.name = name
         self.server = BandwidthServer(
-            engine, gbps_to_bytes_per_cycle(config.bandwidth_gbps), name=name
+            engine,
+            gbps_to_bytes_per_cycle(config.bandwidth_gbps, clock_hz),
+            name=name,
         )
         self.reads = 0
         self.writes = 0

@@ -1,0 +1,159 @@
+"""Sweet-spot search, energy-parameter scaling, and anchor bit-identity."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel, EnergyParams
+from repro.dvfs.config import DvfsConfig
+from repro.dvfs.operating_point import (
+    K40_OPERATING_POINT,
+    K40_VF_CURVE,
+    OperatingPoint,
+)
+from repro.dvfs.sweetspot import (
+    FrequencySample,
+    SweetSpot,
+    SweetSpotSearch,
+    with_operating_point,
+)
+from repro.errors import ExperimentError
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.gpu.config import table_iii_config
+from repro.gpu.simulator import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import shrunken_spec
+
+
+def sample(mhz: float, delay: float, energy: float) -> FrequencySample:
+    return FrequencySample(
+        point=OperatingPoint(mhz * 1e6, 1.0), delay_s=delay, energy_j=energy
+    )
+
+
+class TestScores:
+    def test_edp_and_ed2p(self):
+        s = sample(500, delay=2.0, energy=3.0)
+        assert s.edp == 6.0
+        assert s.ed2p == 12.0
+        assert s.score("edp") == 6.0
+        assert s.score("ed2p") == 12.0
+        with pytest.raises(ExperimentError):
+            s.score("edap")
+
+
+class TestSweetSpot:
+    def spot(self, samples) -> SweetSpot:
+        return SweetSpot(
+            workload="W", config_label="C", num_gpms=2, metric="edp",
+            samples=tuple(samples),
+        )
+
+    def test_best_minimizes_metric(self):
+        spot = self.spot([
+            sample(400, 2.0, 2.0),    # edp 4
+            sample(600, 1.5, 2.0),    # edp 3  <- best
+            sample(800, 1.4, 3.0),    # edp 4.2
+        ])
+        assert spot.best.point.frequency_hz == 600e6
+        assert spot.below_max_clock
+
+    def test_optimum_at_ceiling_not_below_max(self):
+        spot = self.spot([sample(400, 3.0, 2.0), sample(800, 1.0, 2.0)])
+        assert not spot.below_max_clock
+
+    def test_sample_at_requires_swept_frequency(self):
+        spot = self.spot([sample(400, 3.0, 2.0), sample(800, 1.0, 2.0)])
+        assert spot.sample_at(400e6).delay_s == 3.0
+        with pytest.raises(ExperimentError):
+            spot.sample_at(500e6)
+
+
+class TestSearchValidation:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweetSpotSearch(SweepRunner(), metric="edap")
+
+    def test_points_must_lie_on_curve(self):
+        with pytest.raises(ExperimentError):
+            SweetSpotSearch(
+                SweepRunner(), points=(OperatingPoint(100e6, 0.7),)
+            )
+
+
+class TestAnchorBitIdentity:
+    """The acceptance bar: the anchor point reproduces the paper exactly."""
+
+    def test_anchor_dvfs_config_is_a_timing_noop(self):
+        spec = shrunken_spec("BPROP", total_ctas=16, kernels=1)
+        workload = build_workload(spec)
+        config = table_iii_config(2)
+        plain = simulate(workload, config)
+        anchored = simulate(
+            workload, with_operating_point(config, K40_OPERATING_POINT)
+        )
+        assert anchored.counters.elapsed_cycles == plain.counters.elapsed_cycles
+        assert anchored.counters.sm_busy_cycles == plain.counters.sm_busy_cycles
+        assert anchored.counters.sm_idle_cycles == plain.counters.sm_idle_cycles
+        assert anchored.counters.instructions == plain.counters.instructions
+        assert anchored.counters.inter_gpm_bytes == plain.counters.inter_gpm_bytes
+
+    def test_anchor_energy_params_identical(self):
+        config = table_iii_config(2)
+        plain = EnergyParams.for_config(config)
+        anchored = EnergyParams.for_operating_point(
+            config, dvfs=DvfsConfig()
+        )
+        assert anchored == plain
+
+    def test_off_anchor_scales_every_dynamic_term(self):
+        config = table_iii_config(2)
+        plain = EnergyParams.for_config(config)
+        low = K40_VF_CURVE.point_at(324.0e6)
+        scaled = plain.scaled_for(DvfsConfig.core_only(low))
+        v_sq = (0.84 / 1.02) ** 2
+        f = 324.0e6 / 745.0e6
+        some_op = next(iter(plain.epi_nj))
+        assert scaled.epi_nj[some_op] == pytest.approx(
+            plain.epi_nj[some_op] * v_sq
+        )
+        assert scaled.l1_rf_ept_j == pytest.approx(plain.l1_rf_ept_j * v_sq)
+        # DRAM and interconnect stay at their own (anchor) points.
+        assert scaled.dram_l2_ept_j == plain.dram_l2_ept_j
+        assert scaled.link_pj_per_bit == plain.link_pj_per_bit
+        assert scaled.constants.ep_stall_nj == pytest.approx(
+            plain.constants.ep_stall_nj * v_sq * f
+        )
+        # Constant power: leakage ~ V plus idle clocking ~ f.V^2.
+        v = 0.84 / 1.02
+        assert scaled.constants.const_power_w == pytest.approx(
+            plain.constants.const_power_w * (0.5 * v + 0.5 * f * v * v)
+        )
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def spot(self, tmp_path_factory):
+        runner = SweepRunner(
+            SweepSettings(
+                cache_dir=tmp_path_factory.mktemp("sweeps"), processes=1
+            )
+        )
+        points = tuple(
+            K40_VF_CURVE.point_at(mhz * 1e6) for mhz in (324, 562, 745, 875)
+        )
+        search = SweetSpotSearch(runner, metric="edp", points=points)
+        spec = shrunken_spec("Stream", total_ctas=24, kernels=1)
+        return search.search_one(spec, table_iii_config(2))
+
+    def test_sweeps_every_point(self, spot):
+        assert len(spot.samples) == 4
+        assert spot.metric == "edp"
+
+    def test_lower_frequency_is_slower(self, spot):
+        delays = [s.delay_s for s in spot.samples]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_memory_bound_sweet_spot_below_max_clock(self, spot):
+        # Stream is DRAM-bound: above the sweet spot, V^2 energy grows while
+        # delay barely improves, so the EDP optimum sits inside the ladder.
+        assert spot.below_max_clock
+        assert spot.point.frequency_hz < K40_VF_CURVE.max_frequency_hz

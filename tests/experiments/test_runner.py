@@ -73,6 +73,29 @@ class TestCaching:
         assert fresh.cache_misses == 1
         assert record.seconds > 0
 
+    def test_cached_record_relabelled_from_requested_config(
+        self, runner, tmp_path
+    ):
+        # The content-hash key pins (spec, config) identity, but the label
+        # is derived presentation data: a record cached under an older label
+        # spelling must come back stamped with the current config.label().
+        import json
+
+        pair = (tiny_spec(), table_iii_config(1))
+        runner.run([pair])
+        for path in tmp_path.glob("*.json"):
+            if path.name.endswith(".manifest.json"):
+                continue
+            blob = json.loads(path.read_text())
+            blob["config_label"] = "1-GPM/stale-spelling"
+            blob["workload"] = "StaleName"
+            path.write_text(json.dumps(blob))
+        fresh = SweepRunner(SweepSettings(cache_dir=tmp_path, processes=1))
+        record = fresh.run([pair])[0]
+        assert fresh.cache_hits == 1
+        assert record.config_label == table_iii_config(1).label()
+        assert record.workload == "Tiny"
+
     def test_cache_disabled(self, tmp_path):
         runner = SweepRunner(
             SweepSettings(cache_dir=tmp_path, processes=1, use_cache=False)
@@ -96,6 +119,93 @@ class TestGrid:
     def test_empty_sweep_rejected(self, runner):
         with pytest.raises(ExperimentError):
             runner.run([])
+
+
+class TestCacheKeyStability:
+    """Adding DVFS must not re-key configurations that never configure it."""
+
+    # Keys computed before the DVFS field existed on GpuConfig.  If any of
+    # these change, every pre-DVFS cache entry is orphaned and the paper's
+    # sweeps re-simulate from scratch — treat a failure here as a bug in
+    # _config_fingerprint, not as a fixture to refresh.
+    PINNED = {
+        ("Stream", 1): "1f1488ff25247fb9a2da6a25",
+        ("Stream", 4): "ba86aa911de2e2144cf1c619",
+        ("BPROP", 2): "b9fb6ce7636faa6a83e2184a",
+    }
+
+    def test_pre_dvfs_keys_pinned(self):
+        from repro.experiments.runner import _cache_key
+        from repro.workloads.suite import WORKLOAD_SPECS
+
+        assert _cache_key(
+            WORKLOAD_SPECS["Stream"], table_iii_config(1)
+        ) == self.PINNED[("Stream", 1)]
+        assert _cache_key(
+            WORKLOAD_SPECS["Stream"], table_iii_config(4)
+        ) == self.PINNED[("Stream", 4)]
+        assert _cache_key(
+            WORKLOAD_SPECS["BPROP"],
+            table_iii_config(2, BandwidthSetting.BW_1X),
+        ) == self.PINNED[("BPROP", 2)]
+
+    def test_unconfigured_dvfs_absent_from_fingerprint(self):
+        from repro.experiments.runner import _config_fingerprint
+
+        assert "dvfs" not in _config_fingerprint(table_iii_config(2))
+
+    def test_configured_dvfs_changes_key(self):
+        from repro.dvfs.config import DvfsConfig
+        from repro.dvfs.operating_point import K40_VF_CURVE
+        from repro.experiments.runner import _cache_key
+        from repro.workloads.suite import WORKLOAD_SPECS
+
+        spec = WORKLOAD_SPECS["Stream"]
+        plain = table_iii_config(4)
+        slowed = dataclasses.replace(
+            plain,
+            dvfs=DvfsConfig.core_only(K40_VF_CURVE.point_at(562.0e6)),
+        )
+        # Even the anchor point re-keys: an explicit DvfsConfig is part of
+        # the configuration, only its *absence* preserves old identities.
+        anchored = dataclasses.replace(
+            plain, dvfs=DvfsConfig.core_only(K40_VF_CURVE.anchor)
+        )
+        keys = {
+            _cache_key(spec, plain),
+            _cache_key(spec, slowed),
+            _cache_key(spec, anchored),
+        }
+        assert len(keys) == 3
+        assert _cache_key(spec, plain) == self.PINNED[("Stream", 4)]
+
+
+class TestOperatingPointGrid:
+    def test_run_grid_expands_point_axis(self, runner):
+        from repro.dvfs.operating_point import K40_VF_CURVE
+
+        points = (K40_VF_CURVE.point_at(480.0e6), K40_VF_CURVE.anchor)
+        specs = [tiny_spec()]
+        configs = [table_iii_config(1), table_iii_config(2)]
+        grid = runner.run_grid(specs, configs, operating_points=points)
+        assert len(grid) == len(configs) * len(points)
+        assert sum(label.count("@core@") for label in grid) == 4
+        for label, row in grid.items():
+            assert set(row) == {"Tiny"}
+
+    def test_point_axis_slows_the_clock(self, runner):
+        from repro.dvfs.operating_point import K40_VF_CURVE
+
+        points = (K40_VF_CURVE.point_at(324.0e6), K40_VF_CURVE.anchor)
+        grid = runner.run_grid(
+            [tiny_spec()], [table_iii_config(1)], operating_points=points
+        )
+        by_point = {
+            label: row["Tiny"].seconds for label, row in grid.items()
+        }
+        slow = next(v for k, v in by_point.items() if "k40-324" in k)
+        fast = next(v for k, v in by_point.items() if "k40-boost" in k)
+        assert slow > fast
 
 
 class TestSerialization:

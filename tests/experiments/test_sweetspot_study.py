@@ -1,0 +1,71 @@
+"""Sweet-spot study driver on a monkeypatched tiny grid."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import sweetspot_study as study
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.workloads.suite import shrunken_spec
+
+
+@pytest.fixture
+def tiny_study(monkeypatch, tmp_path):
+    """The real driver over 2 workloads x 2 GPM counts x 2 frequencies."""
+    abbrs = ("Stream", "BPROP")  # one memory-, one compute-bound
+    monkeypatch.setattr(study, "STUDY_GPM_COUNTS", (1, 2))
+    monkeypatch.setattr(
+        study, "STUDY_FREQUENCIES_HZ", (324.0e6, study.ANCHOR_FREQUENCY_HZ)
+    )
+    monkeypatch.setattr(study, "SCALING_SUBSET", abbrs)
+    monkeypatch.setattr(
+        study,
+        "WORKLOAD_SPECS",
+        {abbr: shrunken_spec(abbr, total_ctas=16, kernels=1) for abbr in abbrs},
+    )
+    runner = SweepRunner(SweepSettings(cache_dir=tmp_path, processes=1))
+    return study.run(runner)
+
+
+class TestTinyStudy:
+    def test_baseline_is_100_percent(self, tiny_study):
+        anchor = study.ANCHOR_FREQUENCY_HZ
+        assert tiny_study.edpse[anchor][1] == pytest.approx(100.0)
+
+    def test_surface_covers_the_grid(self, tiny_study):
+        assert set(tiny_study.edpse) == {324.0e6, study.ANCHOR_FREQUENCY_HZ}
+        for per_count in tiny_study.edpse.values():
+            assert set(per_count) == {1, 2}
+            for value in per_count.values():
+                assert value > 0.0
+
+    def test_spot_lookup(self, tiny_study):
+        spot = tiny_study.spot("Stream", 2)
+        assert spot.workload == "Stream"
+        assert spot.num_gpms == 2
+        assert len(spot.samples) == 2
+        assert tiny_study.optimal_frequency_hz("Stream", 2) in (
+            324.0e6, study.ANCHOR_FREQUENCY_HZ
+        )
+
+    def test_missing_spot_raises(self, tiny_study):
+        with pytest.raises(ExperimentError):
+            tiny_study.spot("Stream", 16)
+
+    def test_render_names_both_tables(self, tiny_study):
+        rendered = tiny_study.render()
+        assert "mean EDPSE (%) vs. core frequency" in rendered
+        assert "EDP-optimal core frequency" in rendered
+        assert "Stream" in rendered and "BPROP" in rendered
+        assert "324 MHz" in rendered
+
+
+def test_study_points_lie_on_the_curve():
+    from repro.dvfs.operating_point import K40_VF_CURVE
+
+    points = study.study_points()
+    assert len(points) == len(study.STUDY_FREQUENCIES_HZ)
+    assert any(
+        point.frequency_hz == study.ANCHOR_FREQUENCY_HZ for point in points
+    )
+    for point in points:
+        assert K40_VF_CURVE.contains(point)

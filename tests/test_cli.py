@@ -14,9 +14,9 @@ class TestRegistry:
         assert expected <= set(_EXPERIMENTS)
 
     def test_extensions_registered(self):
-        assert {"compression", "locality", "powergate", "edip"} <= set(
-            _EXPERIMENTS
-        )
+        assert {
+            "compression", "locality", "powergate", "edip", "sweetspot"
+        } <= set(_EXPERIMENTS)
 
 
 class TestArguments:
@@ -39,3 +39,34 @@ class TestArguments:
         assert main(["tables", "tables"]) == 0
         out = capsys.readouterr().out
         assert out.count("Table III: simulated multi-module GPU") == 1
+
+
+class TestDvfsSubcommand:
+    def test_sweeps_the_ladder_and_reports_the_spot(self, capsys):
+        assert main(["dvfs", "Stream", "--gpms", "2", "--ctas", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "V/f sweep (edp)" in out
+        assert "k40-boost" in out and "(anchor)" in out
+        assert "<- sweet spot" in out
+        assert "sweet spot:" in out
+
+    def test_governed_flag_prints_decisions(self, capsys):
+        assert main(
+            ["dvfs", "Stream", "--gpms", "2", "--ctas", "16",
+             "--kernels", "2", "--governed"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "governed run:" in out
+        assert "gpm0" in out and "gpm1" in out
+
+    def test_ed2p_metric_accepted(self, capsys):
+        assert main(
+            ["dvfs", "BPROP", "--gpms", "1", "--ctas", "16",
+             "--metric", "ed2p"]
+        ) == 0
+        assert "V/f sweep (ed2p)" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dvfs", "NotAWorkload"])
+        assert excinfo.value.code != 0
