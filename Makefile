@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke reproduce examples trace-smoke clean-cache loc
+.PHONY: install test bench bench-smoke perf-smoke perf-baseline reproduce examples trace-smoke clean-cache loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,16 @@ bench-smoke:
 	  benchmarks/bench_simulator.py \
 	  benchmarks/bench_trace_overhead.py \
 	  benchmarks/bench_sweetspot.py::test_sweetspot_smoke
+
+# Simulator-throughput regression check: quick case, normalized events/sec
+# compared against the committed baseline (see docs/PERFORMANCE.md).
+perf-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --quick \
+	  --out .cache/BENCH_sim.json --check BENCH_sim.json --tolerance 0.2
+
+# Regenerate the committed throughput baseline (full sweep; quiet machine).
+perf-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro bench --out BENCH_sim.json
 
 # Regenerate every paper table/figure (fills .cache/ on first run).
 reproduce:

@@ -1,0 +1,86 @@
+"""Discrete-event core microbenchmarks (not a paper figure).
+
+These isolate the engine hot paths the full-simulator numbers blend
+together: timer-heap dispatch of same-timestamp batches, the zero-delay
+now-queue, and the ``AllOf`` counting barrier.  ``repro bench`` (see
+``repro.tools.bench_engine`` and docs/PERFORMANCE.md) measures the same
+machinery end to end on real workloads; run these when a regression there
+needs localizing.
+"""
+
+from repro.sim.engine import AllOf, Engine, Event, Process, Timeout
+
+
+def _timer_storm(num_processes: int, ticks: int) -> Engine:
+    """Many processes waiting on coincident timers (heap batch dispatch)."""
+    engine = Engine()
+
+    def body(_engine):
+        for _ in range(ticks):
+            yield Timeout(1.0)
+
+    for _ in range(num_processes):
+        Process(engine, body(engine))
+    engine.run()
+    return engine
+
+
+def _zero_delay_chain(length: int) -> Engine:
+    """A chain of zero-delay waits (pure now-queue traffic, heap untouched)."""
+    engine = Engine()
+
+    def body(_engine):
+        for _ in range(length):
+            yield Timeout(0.0)
+
+    Process(engine, body(engine))
+    engine.run()
+    return engine
+
+
+def _barrier_storm(num_waiters: int, fanin: int) -> Engine:
+    """Processes blocked on AllOf barriers released by one producer."""
+    engine = Engine()
+    events = [Event(engine) for _ in range(fanin)]
+
+    def waiter(_engine):
+        yield AllOf(events)
+
+    def producer(_engine):
+        for event in events:
+            yield Timeout(1.0)
+            event.succeed()
+
+    for _ in range(num_waiters):
+        Process(engine, waiter(engine))
+    Process(engine, producer(engine))
+    engine.run()
+    return engine
+
+
+def test_engine_timer_batch_dispatch(benchmark):
+    engine = benchmark(lambda: _timer_storm(num_processes=200, ticks=50))
+    assert engine.events_processed >= 200 * 50
+
+
+def test_engine_now_queue_chain(benchmark):
+    engine = benchmark(lambda: _zero_delay_chain(length=20_000))
+    # Zero-delay traffic must never touch the timer heap.
+    assert engine.now == 0.0
+    assert engine.events_processed >= 20_000
+
+
+def test_engine_allof_barrier(benchmark):
+    engine = benchmark(lambda: _barrier_storm(num_waiters=100, fanin=64))
+    assert engine.now == 64.0
+
+
+def test_quick_case_events_per_sec(benchmark):
+    """End-to-end throughput of the bench harness's quick case."""
+    from repro.tools.bench_engine import QUICK_CASE, run_case
+
+    measured = benchmark.pedantic(
+        lambda: run_case(QUICK_CASE, repeats=1), rounds=1, iterations=1
+    )
+    assert measured["events"] > 0
+    assert measured["events_per_sec"] > 0

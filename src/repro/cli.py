@@ -17,6 +17,10 @@ Two observability subcommands sit beside the experiments (see
   V/f ladder, print delay/energy/EDP per operating point, and report the
   energy sweet spot (see ``docs/POWER.md``); ``--governed`` additionally runs
   the utilization governor and prints its per-GPM decisions.
+* ``repro bench`` — run the simulator throughput benchmark (the headline
+  1–32 GPM sweep, or ``--quick`` for a single small case) and write
+  ``BENCH_sim.json``; ``--check`` compares against a committed baseline
+  (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -186,6 +190,9 @@ def _profile_main(argv: list[str]) -> int:
     print(f"  l2 hit rate       {counters.l2_hit_rate:14.3f}")
     print(f"  remote fraction   {counters.remote_fraction:14.3f}")
     print(f"  inter-GPM bytes   {counters.inter_gpm_bytes:14d}")
+    print(f"  events processed  {result.events_processed:14d}")
+    print(f"  sim wall time     {result.wall_time_s:14.3f}s")
+    print(f"  events/sec        {result.events_per_sec:14.0f}")
     print()
     print(f"  {'metric':<32} {'count':>10} {'mean':>12} {'min':>12} {'max':>12}")
     for name, row in metrics.snapshot().items():
@@ -311,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
         return _profile_main(argv[1:])
     if argv and argv[0] == "dvfs":
         return _dvfs_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.tools.bench_engine import main as bench_main
+
+        return bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -322,8 +333,9 @@ def main(argv: list[str] | None = None) -> int:
             "Observability subcommands: 'repro trace <workload>' captures a"
             " Perfetto-viewable Chrome trace; 'repro profile <workload>'"
             " prints component metrics; 'repro dvfs <workload>' sweeps the"
-            " V/f ladder and reports the energy sweet spot.  See"
-            " docs/OBSERVABILITY.md and docs/POWER.md."
+            " V/f ladder and reports the energy sweet spot; 'repro bench'"
+            " measures simulator throughput.  See docs/OBSERVABILITY.md,"
+            " docs/POWER.md, and docs/PERFORMANCE.md."
         ),
     )
     parser.add_argument(

@@ -130,11 +130,9 @@ def _cache_key(spec: WorkloadSpec, config: GpuConfig) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
-def run_pair(spec: WorkloadSpec, config: GpuConfig) -> RunRecord:
-    """Simulate one (workload, configuration) pair (no caching)."""
-    workload = build_workload(spec)
-    metrics = MetricsRegistry()
-    result = simulate(workload, config, metrics=metrics)
+def _record_from_result(
+    spec: WorkloadSpec, config: GpuConfig, result, metrics: MetricsRegistry
+) -> RunRecord:
     return RunRecord(
         workload=spec.abbr,
         category=spec.category.value,
@@ -146,12 +144,38 @@ def run_pair(spec: WorkloadSpec, config: GpuConfig) -> RunRecord:
     )
 
 
+def run_pair(spec: WorkloadSpec, config: GpuConfig) -> RunRecord:
+    """Simulate one (workload, configuration) pair (no caching)."""
+    workload = build_workload(spec)
+    metrics = MetricsRegistry()
+    result = simulate(workload, config, metrics=metrics)
+    return _record_from_result(spec, config, result, metrics)
+
+
+@dataclass(frozen=True)
+class _PairTiming:
+    """Worker-side throughput accounting for one simulated pair."""
+
+    wall_time_s: float
+    events_processed: int
+    events_per_sec: float
+
+
 def _timed_run_pair(
     args: tuple[WorkloadSpec, GpuConfig]
-) -> tuple[RunRecord, float]:
+) -> tuple[RunRecord, _PairTiming]:
+    spec, config = args
     start = time.perf_counter()
-    record = run_pair(*args)
-    return record, time.perf_counter() - start
+    workload = build_workload(spec)
+    metrics = MetricsRegistry()
+    result = simulate(workload, config, metrics=metrics)
+    wall_time_s = time.perf_counter() - start
+    timing = _PairTiming(
+        wall_time_s=wall_time_s,
+        events_processed=result.events_processed,
+        events_per_sec=result.events_per_sec,
+    )
+    return _record_from_result(spec, config, result, metrics), timing
 
 
 class SweepRunner:
@@ -200,7 +224,11 @@ class SweepRunner:
         tmp.replace(path)
 
     def _store_manifest(
-        self, key: str, spec: WorkloadSpec, config: GpuConfig, wall_time_s: float
+        self,
+        key: str,
+        spec: WorkloadSpec,
+        config: GpuConfig,
+        timing: _PairTiming,
     ) -> None:
         """Write run provenance beside the cached record (advisory only)."""
         if not (self.settings.use_cache and self.settings.write_manifests):
@@ -212,7 +240,9 @@ class SweepRunner:
             results_version=RESULTS_VERSION,
             spec_hash=_spec_hash(spec),
             config_fingerprint=_config_fingerprint(config),
-            wall_time_s=wall_time_s,
+            wall_time_s=timing.wall_time_s,
+            events_processed=timing.events_processed,
+            events_per_sec=timing.events_per_sec,
         )
         manifest.write(RunManifest.path_for(self._cache_path(key)))
 
@@ -271,35 +301,45 @@ class SweepRunner:
             )
         done = 0
 
-        def _finish(index: int, record: RunRecord, wall_time_s: float) -> None:
+        def _finish(index: int, record: RunRecord, timing: _PairTiming) -> None:
             # Store as each simulation completes, so an interrupted sweep
-            # resumes where it stopped.
+            # resumes where it stopped.  Records land at their input index
+            # and each manifest sits beside its own cache entry, so the
+            # nondeterministic as_completed arrival order affects neither
+            # result ordering nor on-disk layout.
             nonlocal done
             spec, config = pairs[index]
             records[index] = record
             self._store(keys[index], record)
-            self._store_manifest(keys[index], spec, config, wall_time_s)
+            self._store_manifest(keys[index], spec, config, timing)
             done += 1
             self._report(
-                done, total, f"{spec.abbr} on {config.label()}", wall_time_s
+                done,
+                total,
+                f"{spec.abbr} on {config.label()}",
+                timing.wall_time_s,
             )
 
         if missing:
-            if self.settings.processes > 1 and len(missing) > 1:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.settings.processes, len(missing))
-                ) as pool:
+            # Cached pairs were short-circuited above; only genuinely missing
+            # work reaches the pool.  Clamp workers to the machine: a sweep
+            # larger than the core count gains nothing from extra processes.
+            workers = min(
+                self.settings.processes, len(missing), os.cpu_count() or 1
+            )
+            if workers > 1 and len(missing) > 1:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
                         pool.submit(_timed_run_pair, pair): index
                         for index, pair in missing
                     }
                     for future in as_completed(futures):
-                        record, wall_time_s = future.result()
-                        _finish(futures[future], record, wall_time_s)
+                        record, timing = future.result()
+                        _finish(futures[future], record, timing)
             else:
                 for index, pair in missing:
-                    record, wall_time_s = _timed_run_pair(pair)
-                    _finish(index, record, wall_time_s)
+                    record, timing = _timed_run_pair(pair)
+                    _finish(index, record, timing)
 
         results = [record for record in records if record is not None]
         for record in results:

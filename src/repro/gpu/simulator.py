@@ -8,6 +8,7 @@ touch engine internals.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.dvfs.governor import Governor
@@ -31,6 +32,17 @@ class RunResult:
     kernel_stats: list[KernelStats] = field(default_factory=list)
     clock_hz: float = 0.0
     metrics: MetricsRegistry | None = None
+    #: Engine callbacks dispatched during the run (throughput accounting).
+    events_processed: int = 0
+    #: Host wall-clock seconds the simulation took (not simulated time).
+    wall_time_s: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Host-side simulator throughput for this run."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_time_s
 
     @property
     def cycles(self) -> float:
@@ -92,7 +104,9 @@ class GpuSimulator:
             metrics=metrics,
             governor=governor,
         )
+        start = time.perf_counter()
         counters = gpu.run(workload, max_events=max_events)
+        wall_time_s = time.perf_counter() - start
         return RunResult(
             workload_name=workload.name,
             config_label=self.config.label(),
@@ -100,6 +114,8 @@ class GpuSimulator:
             kernel_stats=list(gpu.kernel_stats),
             clock_hz=self.config.gpm.clock_hz,
             metrics=gpu.engine.metrics,
+            events_processed=gpu.engine.events_processed,
+            wall_time_s=wall_time_s,
         )
 
 

@@ -64,6 +64,25 @@ class Kernel:
             )
         return self.program_factory(cta_id, warp_id)
 
+    def cta_programs(self, cta_id: int) -> list[WarpProgram]:
+        """Materialize all of one CTA's warp programs, in warp order.
+
+        Factories that support batched synthesis (``build_cta``) produce the
+        whole CTA in one vectorized pass; plain ``(cta_id, warp_id)``
+        callables fall back to one call per warp.
+        """
+        if not 0 <= cta_id < self.num_ctas:
+            raise TraceError(
+                f"kernel {self.name!r}: cta_id {cta_id} out of range"
+            )
+        build_cta = getattr(self.program_factory, "build_cta", None)
+        if build_cta is not None:
+            return build_cta(cta_id)
+        return [
+            self.program_factory(cta_id, warp_id)
+            for warp_id in range(self.warps_per_cta)
+        ]
+
     @property
     def total_warps(self) -> int:
         return self.num_ctas * self.warps_per_cta

@@ -15,14 +15,11 @@ per instruction — the key to simulating 32-GPM systems in pure Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.errors import TraceError
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import MemSpace, Opcode
 
 
-@dataclass(frozen=True)
 class MemAccess:
     """One coalesced warp-level memory access.
 
@@ -32,18 +29,47 @@ class MemAccess:
         is_store: True for stores.
         space: GLOBAL accesses traverse L1/L2/DRAM; SHARED accesses hit the
             on-SM scratchpad and never leave the SM.
+
+    A plain slotted class rather than a dataclass: the generators construct
+    one per access in the simulator's hot path.
     """
 
-    address: int
-    size: int
-    is_store: bool = False
-    space: MemSpace = MemSpace.GLOBAL
+    __slots__ = ("address", "size", "is_store", "space")
 
-    def __post_init__(self) -> None:
-        if self.address < 0:
-            raise TraceError(f"negative address: {self.address!r}")
-        if self.size <= 0:
-            raise TraceError(f"non-positive access size: {self.size!r}")
+    def __init__(
+        self,
+        address: int,
+        size: int,
+        is_store: bool = False,
+        space: MemSpace = MemSpace.GLOBAL,
+    ):
+        if address < 0:
+            raise TraceError(f"negative address: {address!r}")
+        if size <= 0:
+            raise TraceError(f"non-positive access size: {size!r}")
+        self.address = address
+        self.size = size
+        self.is_store = is_store
+        self.space = space
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemAccess):
+            return NotImplemented
+        return (
+            self.address == other.address
+            and self.size == other.size
+            and self.is_store == other.is_store
+            and self.space == other.space
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.size, self.is_store, self.space))
+
+    def __repr__(self) -> str:
+        return (
+            f"MemAccess(address={self.address!r}, size={self.size!r},"
+            f" is_store={self.is_store!r}, space={self.space!r})"
+        )
 
 
 class Segment:
@@ -79,6 +105,27 @@ class Segment:
             instructions += count
         self.issue_slots = slots + float(len(accesses))
         self.total_instructions = instructions + len(accesses)
+
+    @classmethod
+    def prebuilt(
+        cls,
+        compute: dict[Opcode, int],
+        accesses: tuple[MemAccess, ...],
+        issue_slots: float,
+        total_instructions: int,
+    ) -> "Segment":
+        """Hot-path constructor for pre-validated, pre-aggregated parts.
+
+        The workload generators validate their compute mix once per kernel
+        and reuse the aggregate costs for every segment; re-deriving them per
+        segment would dominate program materialization.
+        """
+        segment = object.__new__(cls)
+        segment.compute = compute
+        segment.accesses = accesses
+        segment.issue_slots = issue_slots
+        segment.total_instructions = total_instructions
+        return segment
 
     @property
     def compute_instructions(self) -> int:

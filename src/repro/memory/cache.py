@@ -191,6 +191,8 @@ class Cache:
         """
         invalidated = 0
         for ways in self._sets:
+            if not ways:
+                continue
             keep = [line for line in ways if not predicate(line.home)]
             invalidated += len(ways) - len(keep)
             ways[:] = keep

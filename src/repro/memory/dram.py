@@ -79,6 +79,9 @@ class DramChannel:
         self.bytes_read = 0
         self.bytes_written = 0
         self._queue_cycles = engine.metrics.accumulator("dram.queue_cycles")
+        # Fixed at engine construction; snapshot out of the per-access path.
+        self._tracer = engine.tracer
+        self._trace = engine.tracer.enabled
 
     def _service(
         self, kind: str, nbytes: int, earliest: float | None
@@ -88,9 +91,8 @@ class DramChannel:
         finish = self.server.reserve(nbytes, earliest=earliest)
         service = nbytes / self.server.rate
         self._queue_cycles.add(max(0.0, finish - service - arrival))
-        tracer = self.engine.tracer
-        if tracer.enabled:
-            tracer.complete(
+        if self._trace:
+            self._tracer.complete(
                 self.name, kind, finish - service, service,
                 args={"bytes": nbytes},
             )

@@ -45,6 +45,10 @@ from repro.units import CACHE_LINE_BYTES, SECTORS_PER_LINE
 #: Size of a request header message on the inter-GPM network (bytes).
 REQUEST_HEADER_BYTES: int = 32
 
+#: Shared empty pending-event container for accesses with no remote legs —
+#: the overwhelmingly common case, not worth a fresh list per access.
+_NO_EVENTS: tuple = ()
+
 
 @dataclass(frozen=True)
 class HierarchyLatencies:
@@ -105,6 +109,10 @@ class GpmMemory:
         self.placement = placement
         self.counters = counters
         self._track = f"gpm{gpm_id}.mem"
+        # The tracer is fixed at engine construction and `enabled` is a class
+        # attribute, so both are safe to snapshot out of the hot path.
+        self._tracer = engine.tracer
+        self._trace = engine.tracer.enabled
         self._remote_load_cycles = engine.metrics.accumulator(
             "memory.remote_load_cycles"
         )
@@ -129,27 +137,28 @@ class GpmMemory:
 
     def access(
         self, sm_index: int, access: MemAccess, earliest: float
-    ) -> tuple[float, list[Event]]:
+    ) -> "tuple[float, tuple[Event, ...] | list[Event]]":
         """Perform one warp-level access.
 
         Returns ``(completion_time, pending_events)``: the analytic completion
         bound for local stages plus done-events of any remote-path processes
-        the access spawned.  Stores complete when their data leaves the SM
-        (the warp does not wait for downstream drain); loads complete on data
-        arrival.
+        the access spawned (an immutable, possibly shared, empty container
+        when there are none — callers must not mutate it).  Stores complete
+        when their data leaves the SM (the warp does not wait for downstream
+        drain); loads complete on data arrival.
         """
         if access.space is MemSpace.SHARED:
             self.counters.shared_rf_txns += 1
-            return earliest + self.latencies.shared, []
+            return earliest + self.latencies.shared, _NO_EVENTS
 
         if access.size <= CACHE_LINE_BYTES and access.address % CACHE_LINE_BYTES == 0:
             # Fast path: one aligned line (how the generators emit accesses).
             done = self._access_line(
                 sm_index, access.address, access.is_store, earliest
             )
-            if isinstance(done, Event):
-                return earliest, [done]
-            return done, []
+            if done.__class__ is Event:
+                return earliest, (done,)
+            return done, _NO_EVENTS
 
         completion = earliest
         events: list[Event] = []
@@ -184,9 +193,8 @@ class GpmMemory:
             counters.l1_hits += 1
             return earliest + self.latencies.l1
         counters.l1_misses += 1
-        tracer = self.engine.tracer
-        if tracer.enabled:
-            tracer.instant(self._track, "l1.miss", earliest)
+        if self._trace:
+            self._tracer.instant(self._track, "l1.miss", earliest)
         return self._load_miss(line_address, home, earliest)
 
     # ------------------------------------------------------------------ loads
@@ -204,9 +212,8 @@ class GpmMemory:
             counters.l2_hits += 1
             return at_l2 + self.latencies.l2
         counters.l2_misses += 1
-        tracer = self.engine.tracer
-        if tracer.enabled:
-            tracer.instant(
+        if self._trace:
+            self._tracer.instant(
                 self._track, "l2.miss", at_l2, args={"home": home}
             )
         after_l2 = at_l2 + self.latencies.l2
@@ -261,9 +268,8 @@ class GpmMemory:
         )
         yield engine.wait_until(response.completion_time)
         self._remote_load_cycles.add(engine.now - start)
-        tracer = engine.tracer
-        if tracer.enabled:
-            tracer.complete(
+        if self._trace:
+            self._tracer.complete(
                 self._track,
                 f"remote_load->g{home}",
                 start,
@@ -307,9 +313,8 @@ class GpmMemory:
         counters.dram_l2_txns += SECTORS_PER_LINE
         self.peers[home].dram.write(CACHE_LINE_BYTES)
         self._remote_store_cycles.add(engine.now - start)
-        tracer = engine.tracer
-        if tracer.enabled:
-            tracer.complete(
+        if self._trace:
+            self._tracer.complete(
                 self._track,
                 f"remote_store->g{home}",
                 start,

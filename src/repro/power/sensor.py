@@ -83,7 +83,10 @@ class PowerSensor:
                     samples.append(self._quantize(window_energy / window_time))
                     window_energy = 0.0
                     window_time = 0.0
-        if window_time > 0:
+        # Guard against float dust: phase durations that sum to an exact
+        # multiple of the period can leave a vanishing residual window
+        # (~1e-17 s) that a real sensor would never latch.
+        if window_time > 1e-12:
             samples.append(self._quantize(window_energy / window_time))
         return samples
 

@@ -1,9 +1,9 @@
 """A minimal generator-coroutine discrete-event engine.
 
-The engine is intentionally small: a binary-heap event queue, a monotonically
-advancing clock measured in core cycles, and processes expressed as Python
-generators.  A process yields *commands* and is resumed when the command
-completes:
+The engine is intentionally small: a binary-heap event queue, a zero-delay
+*now queue*, a monotonically advancing clock measured in core cycles, and
+processes expressed as Python generators.  A process yields *commands* and is
+resumed when the command completes:
 
 ``yield Timeout(delay)``
     Resume the process ``delay`` cycles from now.
@@ -19,12 +19,28 @@ processes convert those into timeouts via :meth:`Engine.wait_until`.
 
 The design trades generality for speed: there is no process interruption, no
 event cancellation, and no priority levels — none of which the GPU model
-needs — so the hot path is a heap push/pop plus a generator ``send``.
+needs — so the hot path is a heap pop (or deque pop) plus a generator
+``send``.  Three structural optimizations keep the per-event cost low:
+
+* **Now queue.**  Zero-delay work — process starts, ``Event.succeed``
+  fan-out, waits on already-triggered events — goes through a plain deque
+  instead of the heap.  A large fraction of all events are zero-delay, and a
+  deque append/popleft is far cheaper than a heap push/pop.  Ordering is
+  preserved: every heap entry at the current timestamp predates (in schedule
+  order) every now-queue entry, because a zero delay never reaches the heap.
+* **Same-timestamp batch dispatch.**  ``run`` pops every heap entry sharing
+  the front timestamp in one inner loop (FIFO by sequence number, exactly as
+  before) before draining the now queue, so the ``until``/bookkeeping checks
+  run once per distinct time, not once per event.
+* **Counting barriers.**  ``AllOf`` waits register one shared bound-method
+  callback that decrements a counter on the waiting process — no per-wait
+  closure, no materialized waiter list.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Generator, Iterable
 from typing import Any
 
@@ -50,7 +66,8 @@ class Event:
 
     Events succeed exactly once, optionally carrying a value that is delivered
     to every waiter.  Waiting on an already-succeeded event resumes the waiter
-    immediately (on the next engine step), which makes completion races benign.
+    immediately (on the next engine step, through the now queue — never via a
+    zero-delay heap entry), which makes completion races benign.
     """
 
     __slots__ = ("engine", "_callbacks", "triggered", "value")
@@ -67,14 +84,17 @@ class Event:
             raise SimulationError("event triggered twice")
         self.triggered = True
         self.value = value
-        for callback in self._callbacks:
-            self.engine.schedule(0.0, callback, value)
-        self._callbacks.clear()
+        callbacks = self._callbacks
+        if callbacks:
+            nowq = self.engine._nowq
+            for callback in callbacks:
+                nowq.append((callback, value))
+            callbacks.clear()
 
     def add_callback(self, callback: Any) -> None:
         """Register ``callback(value)``; fires now if already triggered."""
         if self.triggered:
-            self.engine.schedule(0.0, callback, self.value)
+            self.engine._nowq.append((callback, self.value))
         else:
             self._callbacks.append(callback)
 
@@ -97,9 +117,14 @@ class Process:
     The process body is a generator yielding :class:`Timeout`, :class:`Event`,
     or :class:`AllOf` commands.  When the generator returns, the process's
     :attr:`done` event succeeds with the generator's return value.
+
+    ``AllOf`` waits use a *counting barrier*: every pending event gets the
+    same bound-method callback (:meth:`_barrier_hit`), which decrements
+    :attr:`_pending` and resumes the process at zero.  A process waits on at
+    most one command at a time, so one counter per process suffices.
     """
 
-    __slots__ = ("engine", "_generator", "done", "name", "spawned_at")
+    __slots__ = ("engine", "_generator", "done", "name", "spawned_at", "_pending")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         self.engine = engine
@@ -107,7 +132,8 @@ class Process:
         self.done = Event(engine)
         self.name = name
         self.spawned_at = engine.now
-        engine.schedule(0.0, self._step, None)
+        self._pending = 0
+        engine._nowq.append((self._step, None))
 
     def _step(self, value: Any) -> None:
         try:
@@ -123,14 +149,29 @@ class Process:
                 )
             self.done.succeed(stop.value)
             return
-        self._dispatch(command)
+        # Inline dispatch of the common commands; `_dispatch` only exists as
+        # a seam for the error path and the rare AllOf case.
+        if isinstance(command, Timeout):
+            engine = self.engine
+            delay = command.delay
+            if delay == 0.0:
+                engine._nowq.append((self._step, None))
+            else:
+                heapq.heappush(
+                    engine._heap,
+                    (engine.now + delay, engine._seq, self._step, None),
+                )
+                engine._seq += 1
+        elif isinstance(command, Event):
+            if command.triggered:
+                self.engine._nowq.append((self._step, command.value))
+            else:
+                command._callbacks.append(self._step)
+        else:
+            self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
-        if isinstance(command, Timeout):
-            self.engine.schedule(command.delay, self._step, None)
-        elif isinstance(command, Event):
-            command.add_callback(self._step)
-        elif isinstance(command, AllOf):
+        if isinstance(command, AllOf):
             self._wait_all(command.events)
         else:
             raise SimulationError(
@@ -138,33 +179,39 @@ class Process:
             )
 
     def _wait_all(self, events: list[Event]) -> None:
-        pending = [event for event in events if not event.triggered]
-        if not pending:
-            self.engine.schedule(0.0, self._step, None)
+        barrier = self._barrier_hit
+        pending = 0
+        for event in events:
+            if not event.triggered:
+                event._callbacks.append(barrier)
+                pending += 1
+        if pending == 0:
+            self.engine._nowq.append((self._step, None))
             return
-        remaining = len(pending)
+        self._pending = pending
 
-        def _one_done(_value: Any, _state: list[int] = [remaining]) -> None:
-            _state[0] -= 1
-            if _state[0] == 0:
-                self._step(None)
-
-        for event in pending:
-            event.add_callback(_one_done)
+    def _barrier_hit(self, _value: Any) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self._step(None)
 
 
 class Engine:
-    """Event heap plus simulation clock.
+    """Event heap, zero-delay now queue, and the simulation clock.
 
     Time is a float measured in cycles.  Events scheduled at identical times
-    run in FIFO order (a monotonic sequence number breaks heap ties), keeping
-    runs fully deterministic.
+    run in FIFO order: heap ties are broken by a monotonic sequence number,
+    and zero-delay work lands in the now queue, which is drained *after* the
+    heap's same-timestamp batch — equivalent to the sequence order a pure
+    heap would impose, because zero-delay entries are always younger than any
+    heap entry at the current time.  Runs are fully deterministic.
     """
 
-    __slots__ = ("_heap", "_seq", "now", "_events_processed", "tracer", "metrics")
+    __slots__ = ("_heap", "_nowq", "_seq", "now", "_events_processed", "tracer", "metrics")
 
     def __init__(self, tracer: Any = None, metrics: Any = None) -> None:
         self._heap: list[tuple[float, int, Any, Any]] = []
+        self._nowq: deque[tuple[Any, Any]] = deque()
         self._seq = 0
         self.now = 0.0
         self._events_processed = 0
@@ -188,7 +235,15 @@ class Engine:
         return self._events_processed
 
     def schedule(self, delay: float, callback: Any, value: Any = None) -> None:
-        """Run ``callback(value)`` exactly ``delay`` cycles from now."""
+        """Run ``callback(value)`` exactly ``delay`` cycles from now.
+
+        Zero-delay work bypasses the heap through the now queue; it still
+        runs after everything already scheduled for the current time, in
+        FIFO order.
+        """
+        if delay == 0.0:
+            self._nowq.append((callback, value))
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay!r}")
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback, value))
@@ -215,7 +270,7 @@ class Engine:
         return Timeout(max(0.0, when - self.now))
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
-        """Drain the event heap.
+        """Drain the now queue and the event heap.
 
         Args:
             until: stop once the clock would pass this time (the event stays
@@ -225,19 +280,46 @@ class Engine:
 
         Returns:
             The final simulation time.
+
+        Each outer iteration is one *epoch*: drain the now queue (work at the
+        current time), then batch-dispatch every heap entry sharing the next
+        timestamp.  Callbacks that schedule zero-delay work during an epoch
+        append to the now queue and run after the heap batch — the same order
+        a sequence-numbered heap would produce, without the heap traffic.
         """
         heap = self._heap
-        while heap:
-            when, _seq, callback, value = heap[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(heap)
-            self.now = when
-            self._events_processed += 1
-            if max_events is not None and self._events_processed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now}"
-                )
-            callback(value)
+        nowq = self._nowq
+        pop = heapq.heappop
+        popleft = nowq.popleft
+        processed = self._events_processed
+        limit = float("inf") if max_events is None else max_events
+        try:
+            while True:
+                while nowq:
+                    callback, value = popleft()
+                    processed += 1
+                    if processed > limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at t={self.now}"
+                        )
+                    callback(value)
+                if not heap:
+                    break
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                self.now = when
+                while True:
+                    entry = pop(heap)
+                    processed += 1
+                    if processed > limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at t={self.now}"
+                        )
+                    entry[2](entry[3])
+                    if not heap or heap[0][0] != when:
+                        break
+        finally:
+            self._events_processed = processed
         return self.now

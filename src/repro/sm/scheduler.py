@@ -78,8 +78,8 @@ class CtaSlotScheduler:
                     args={"warps": kernel.warps_per_cta},
                 )
             warps = [
-                WarpContext(cta_id, warp_id, kernel.warp_program(cta_id, warp_id))
-                for warp_id in range(kernel.warps_per_cta)
+                WarpContext(cta_id, warp_id, program)
+                for warp_id, program in enumerate(kernel.cta_programs(cta_id))
             ]
             processes = [
                 engine.process(warp.body(sm), name=f"cta{cta_id}.w{warp.warp_id}")

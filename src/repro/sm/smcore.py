@@ -61,11 +61,12 @@ class SmCore:
 
     def memory_access(
         self, access: MemAccess, earliest: float
-    ) -> tuple[float, list]:
+    ) -> "tuple[float, tuple | list]":
         """Route one warp access through this SM's L1 and the GPM hierarchy.
 
         Returns the analytic completion bound plus any remote-path completion
-        events the warp must additionally wait on.
+        events the warp must additionally wait on (a shared immutable empty
+        container when there are none).
         """
         return self.memory.access(self.local_index, access, earliest)
 

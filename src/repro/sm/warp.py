@@ -18,7 +18,7 @@ from collections.abc import Generator
 from typing import TYPE_CHECKING
 
 from repro.isa.program import WarpProgram
-from repro.sim.engine import AllOf
+from repro.sim.engine import AllOf, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sm.smcore import SmCore
@@ -64,38 +64,53 @@ class WarpContext:
         trip beyond its per-segment MLP.
         """
         engine = sm.engine
-        counters = sm.counters
+        reserve = sm.issue.reserve
+        memory_access = sm.memory_access
+        count_compute = sm.counters.count_compute_map
+        # Reused command/buffer objects: the engine consumes a yielded Timeout
+        # synchronously and AllOf copies its event list, so one mutable
+        # timeout and two ping-pong pending buffers serve the whole program
+        # without per-segment allocation.
+        timeout = Timeout(0.0)
+        pending: list = []
+        prev_events: list = []
         self.state = WarpState.RUNNING
         prev_completion = 0.0
-        prev_events = None
+        prev_waiting = False
         for segment in self.program:
-            issue_done = sm.issue.reserve(segment.issue_slots)
-            counters.count_compute_map(segment.compute)
+            issue_done = reserve(segment.issue_slots)
+            count_compute(segment.compute)
             completion = issue_done
-            pending = None
+            pending.clear()
             for access in segment.accesses:
-                done, events = sm.memory_access(access, earliest=issue_done)
+                done, events = memory_access(access, earliest=issue_done)
                 if done > completion:
                     completion = done
                 if events:
-                    if pending is None:
-                        pending = events
-                    else:
-                        pending.extend(events)
+                    pending.extend(events)
             self.instructions_executed += segment.total_instructions
             self.segments_executed += 1
             # Drain the PREVIOUS segment before moving past this one.
             if prev_completion > engine.now:
-                yield engine.wait_until(prev_completion)
-            if prev_events:
-                yield AllOf(prev_events)
+                timeout.delay = prev_completion - engine.now
+                yield timeout
+            if prev_waiting:
+                if len(prev_events) == 1:
+                    yield prev_events[0]
+                else:
+                    yield AllOf(prev_events)
             self.wait_cycles += max(0.0, engine.now - issue_done)
             prev_completion = completion
-            prev_events = pending
+            prev_waiting = bool(pending)
+            pending, prev_events = prev_events, pending
         if prev_completion > engine.now:
-            yield engine.wait_until(prev_completion)
-        if prev_events:
-            yield AllOf(prev_events)
+            timeout.delay = prev_completion - engine.now
+            yield timeout
+        if prev_waiting:
+            if len(prev_events) == 1:
+                yield prev_events[0]
+            else:
+                yield AllOf(prev_events)
         self.state = WarpState.FINISHED
 
     def __repr__(self) -> str:

@@ -47,6 +47,13 @@ class RunManifest:
     spec_hash: str
     config_fingerprint: dict
     wall_time_s: float
+    #: Engine callbacks dispatched by the producing simulation (0 when the
+    #: manifest predates throughput accounting).
+    events_processed: int = 0
+    #: Simulator throughput (events_processed over the simulation's own wall
+    #: clock, excluding workload build time) — makes per-run throughput
+    #: regressions visible without the bench harness.
+    events_per_sec: float = 0.0
     host: dict = field(default_factory=host_info)
     created_at: str = ""
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -70,6 +77,8 @@ class RunManifest:
             spec_hash=data["spec_hash"],
             config_fingerprint=data["config_fingerprint"],
             wall_time_s=data["wall_time_s"],
+            events_processed=data.get("events_processed", 0),
+            events_per_sec=data.get("events_per_sec", 0.0),
             host=data.get("host", {}),
             created_at=data.get("created_at", ""),
             schema_version=data.get("schema_version", MANIFEST_SCHEMA_VERSION),

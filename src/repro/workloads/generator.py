@@ -15,8 +15,8 @@ stripe shared allocations across memories so no single module hotspots, and
 under striping ~(N-1)/N of shared-region traffic is remote — the gather/graph
 traffic class of the NUMA-GPU papers.
 
-Address streams are generated **vectorized per warp** with SplitMix64 over
-structured keys: a warp's program is a pure function of (workload seed,
+Address streams are generated **vectorized per CTA chunk** with SplitMix64
+over structured keys: a warp's program is a pure function of (workload seed,
 kernel, CTA, warp), identical across runs and GPM counts — strong scaling
 must present the same memory behaviour to every configuration.
 """
@@ -64,9 +64,26 @@ def shared_region_base(spec: WorkloadSpec) -> int:
 class WarpProgramBuilder:
     """``program_factory`` for one kernel of one workload.
 
-    Instances are lightweight and stateless across calls; one is attached to
-    each :class:`~repro.isa.kernel.Kernel` and invoked lazily per warp.
+    One builder is attached to each :class:`~repro.isa.kernel.Kernel` and
+    invoked lazily as CTAs are dispatched.  Address synthesis is vectorized
+    over *chunks* of :attr:`CHUNK_CTAS` consecutive CTAs at once (all warps,
+    all segments): every synthesized value is a pure elementwise function of
+    (seed, kernel, CTA, warp, position), so the batched math is bit-identical
+    to computing each warp alone, while one numpy pass over
+    ``chunk * warps * accesses`` elements amortizes the array-call overhead
+    that dominates when arrays are one warp long.  Chunks are cached (bounded
+    by :attr:`MAX_CHUNKS`, oldest evicted) so a 32-GPM run still never holds
+    the full trace in memory.
     """
+
+    #: Consecutive CTAs synthesized per vectorized batch.  Partitions are
+    #: contiguous and consumed in order, so aligned chunks get near-perfect
+    #: reuse before eviction.
+    CHUNK_CTAS = 16
+
+    #: Resident-chunk bound: one in-flight chunk per GPM partition (up to 32
+    #: modules) plus slack for partition-boundary overlap.
+    MAX_CHUNKS = 64
 
     def __init__(self, spec: WorkloadSpec, kernel_index: int):
         self.spec = spec
@@ -86,63 +103,83 @@ class WarpProgramBuilder:
         )
         self._t_store = threshold(spec.store_fraction)
         self._t_lds = threshold(spec.shared_mem_fraction)
-        n = spec.segments_per_warp * spec.accesses_per_segment
-        self._seg = np.arange(n, dtype=np.uint64) // np.uint64(
-            max(1, spec.accesses_per_segment)
+        acc = spec.accesses_per_segment
+        n = spec.segments_per_warp * acc
+        self._seg = np.arange(n, dtype=np.uint64) // np.uint64(max(1, acc))
+        self._slot = np.arange(n, dtype=np.uint64) % np.uint64(max(1, acc))
+        # Key/position components that do not depend on the CTA or warp are
+        # folded once so per-chunk synthesis is pure elementwise work.
+        self._lane_mix = (
+            self._seg * np.uint64(0x9E3779B97F4A7C15)
+        ) ^ (self._slot * np.uint64(0xC2B2AE3D27D4EB4F))
+        self._position_base = (
+            (np.uint64(kernel_index * spec.segments_per_warp) + self._seg)
+            * np.uint64(max(1, acc))
+            + self._slot
+        ) * np.uint64(spec.warps_per_cta)
+        self._warp_ids = np.arange(
+            spec.warps_per_cta, dtype=np.uint64
+        ).reshape(1, spec.warps_per_cta, 1)
+        # Validate the compute mix once (Segment rejects non-compute opcodes
+        # and negative counts); every segment then reuses the aggregate costs
+        # through Segment.prebuilt.
+        probe = Segment(compute=self._compute_counts)
+        self._segment_slots = probe.issue_slots + float(acc)
+        self._segment_instructions = probe.total_instructions + acc
+        self._empty_program = (
+            WarpProgram([probe] * spec.segments_per_warp) if acc == 0 else None
         )
-        self._slot = np.arange(n, dtype=np.uint64) % np.uint64(
-            max(1, spec.accesses_per_segment)
-        )
+        self._chunks: dict[int, list[list[WarpProgram]]] = {}
 
-    def _addresses(self, cta_id: int, warp_id: int):
-        """Vectorized address/flag synthesis for one warp's whole program.
+    def _synthesize(self, cta_lo: int, cta_hi: int):
+        """Vectorized address/flag synthesis for a run of consecutive CTAs.
 
-        Returns (addresses, is_store, is_lds) aligned arrays of length
-        segments_per_warp * accesses_per_segment.
+        Returns (addresses, is_store, is_lds) aligned arrays of shape
+        ``(cta_hi - cta_lo, warps_per_cta, segments * accesses)``.
         """
         spec = self.spec
-        base_key = np.uint64(
-            mix_key(spec.seed, self.kernel_index, cta_id, warp_id)
-        )
-        lane = splitmix64_array(
-            base_key
-            ^ (self._seg * np.uint64(0x9E3779B97F4A7C15))
-            ^ (self._slot * np.uint64(0xC2B2AE3D27D4EB4F))
-        )
+        num = cta_hi - cta_lo
+        warps = spec.warps_per_cta
+        seed = spec.seed
+        kernel = self.kernel_index
+        keys = np.array(
+            [
+                mix_key(seed, kernel, cta_id, warp_id)
+                for cta_id in range(cta_lo, cta_hi)
+                for warp_id in range(warps)
+            ],
+            dtype=np.uint64,
+        ).reshape(num, warps, 1)
+        lane = splitmix64_array(keys ^ self._lane_mix)
         pick = splitmix64_array(lane)
         store_key = splitmix64_array(lane ^ np.uint64(0x5A5A5A5A5A5A5A5A))
         lds_key = splitmix64_array(lane ^ np.uint64(0xA5A5A5A5A5A5A5A5))
 
         region = spec.cta_region_bytes
         region_lines = max(1, region // _LINE)
-        base = cta_id * region
+        ctas_u64 = np.arange(cta_lo, cta_hi, dtype=np.uint64).reshape(num, 1, 1)
+        ctas_i64 = np.arange(cta_lo, cta_hi, dtype=np.int64).reshape(num, 1, 1)
+        bases = ctas_u64 * np.uint64(region)
 
-        position = (
-            (
-                np.uint64(self.kernel_index * spec.segments_per_warp)
-                + self._seg
-            )
-            * np.uint64(max(1, spec.accesses_per_segment))
-            + self._slot
-        ) * np.uint64(spec.warps_per_cta) + np.uint64(warp_id)
+        position = self._position_base + self._warp_ids
 
         # Class 1: strided stream through the CTA's own slice.
         stream_offsets = (
             (position * np.uint64(spec.stride_lines)) % np.uint64(region_lines)
         ) * np.uint64(_LINE)
-        stream_addr = np.uint64(base) + stream_offsets
+        stream_addr = bases + stream_offsets
 
         # Class 2: hot-block reuse within the slice.
         hot_lines = max(1, min(spec.hot_block_bytes, region) // _LINE)
         hot_idx = ((lane >> np.uint64(32)) * np.uint64(hot_lines)) >> np.uint64(32)
-        reuse_addr = np.uint64(base) + hot_idx * np.uint64(_LINE)
+        reuse_addr = bases + hot_idx * np.uint64(_LINE)
 
         # Class 3: halo — adjacent CTA's slice at the same stream position.
         direction = np.where((lane & np.uint64(2)) == 0, 1, -1)
-        partner = cta_id + direction
+        partner = ctas_i64 + direction
         partner = np.where(
             (partner < 0) | (partner >= spec.total_ctas),
-            cta_id - direction,
+            ctas_i64 - direction,
             partner,
         ).astype(np.uint64)
         halo_offsets = (position % np.uint64(region_lines)) * np.uint64(_LINE)
@@ -169,43 +206,85 @@ class WarpProgramBuilder:
         is_lds = lds_key < self._t_lds
         return addresses, is_store, is_lds
 
-    def __call__(self, cta_id: int, warp_id: int) -> WarpProgram:
+    def _build_chunk(self, start: int) -> list[list[WarpProgram]]:
+        """Materialize programs for CTAs ``[start, start + CHUNK_CTAS)``."""
         spec = self.spec
-        acc = spec.accesses_per_segment
-        segments: list[Segment] = []
-        if acc == 0:
-            segment = Segment(compute=self._compute_counts)
-            return WarpProgram([segment] * spec.segments_per_warp)
-
-        addresses, is_store, is_lds = self._addresses(cta_id, warp_id)
+        end = min(start + self.CHUNK_CTAS, spec.total_ctas)
+        addresses, is_store, is_lds = self._synthesize(start, end)
         addr_list = addresses.tolist()
         store_list = is_store.tolist()
         lds_list = is_lds.tolist()
-        index = 0
-        for _segment in range(spec.segments_per_warp):
-            accesses = []
-            for _slot in range(acc):
-                if lds_list[index]:
-                    accesses.append(
-                        MemAccess(
-                            address=int(addr_list[index]) % (64 * 1024),
-                            size=_LINE,
-                            space=MemSpace.SHARED,
-                        )
+        segs = spec.segments_per_warp
+        acc = spec.accesses_per_segment
+        warps = spec.warps_per_cta
+        compute = self._compute_counts
+        slots = self._segment_slots
+        instructions = self._segment_instructions
+        prebuilt = Segment.prebuilt
+        shared = MemSpace.SHARED
+        chunk: list[list[WarpProgram]] = []
+        for cta_offset in range(end - start):
+            cta_addr = addr_list[cta_offset]
+            cta_store = store_list[cta_offset]
+            cta_lds = lds_list[cta_offset]
+            programs: list[WarpProgram] = []
+            for warp in range(warps):
+                addr_row = cta_addr[warp]
+                store_row = cta_store[warp]
+                lds_row = cta_lds[warp]
+                index = 0
+                segments: list[Segment] = []
+                for _segment in range(segs):
+                    accesses = []
+                    append = accesses.append
+                    for _slot in range(acc):
+                        if lds_row[index]:
+                            append(
+                                MemAccess(
+                                    addr_row[index] % (64 * 1024),
+                                    _LINE,
+                                    space=shared,
+                                )
+                            )
+                        else:
+                            append(
+                                MemAccess(
+                                    addr_row[index], _LINE, store_row[index]
+                                )
+                            )
+                        index += 1
+                    segments.append(
+                        prebuilt(compute, tuple(accesses), slots, instructions)
                     )
-                else:
-                    accesses.append(
-                        MemAccess(
-                            address=int(addr_list[index]),
-                            size=_LINE,
-                            is_store=bool(store_list[index]),
-                        )
-                    )
-                index += 1
-            segments.append(
-                Segment(compute=self._compute_counts, accesses=tuple(accesses))
-            )
-        return WarpProgram(segments)
+                programs.append(WarpProgram(segments))
+            chunk.append(programs)
+        return chunk
+
+    def _cta_programs(self, cta_id: int) -> list[WarpProgram]:
+        start = cta_id - cta_id % self.CHUNK_CTAS
+        chunks = self._chunks
+        chunk = chunks.get(start)
+        if chunk is None:
+            chunk = self._build_chunk(start)
+            chunks[start] = chunk
+            if len(chunks) > self.MAX_CHUNKS:
+                del chunks[next(iter(chunks))]
+        return chunk[cta_id - start]
+
+    def build_cta(self, cta_id: int) -> list[WarpProgram]:
+        """All warp programs of one CTA, in warp order.
+
+        The returned list may be shared with the builder's chunk cache —
+        callers must treat it as read-only.
+        """
+        if self._empty_program is not None:
+            return [self._empty_program] * self.spec.warps_per_cta
+        return self._cta_programs(cta_id)
+
+    def __call__(self, cta_id: int, warp_id: int) -> WarpProgram:
+        if self._empty_program is not None:
+            return self._empty_program
+        return self._cta_programs(cta_id)[warp_id]
 
 
 def build_workload(spec: WorkloadSpec) -> Workload:

@@ -106,6 +106,30 @@ class TestCaching:
         assert runner.cache_misses == 2
         assert not list(tmp_path.glob("*.json"))
 
+    def test_manifest_records_throughput(self, runner, tmp_path):
+        from repro.trace.manifest import RunManifest
+
+        runner.run([(tiny_spec(), table_iii_config(1))])
+        manifests = list(tmp_path.glob("*.manifest.json"))
+        assert len(manifests) == 1
+        manifest = RunManifest.read(manifests[0])
+        assert manifest.events_processed > 0
+        assert manifest.wall_time_s > 0
+        assert manifest.events_per_sec > 0
+
+    def test_cache_hit_short_circuits_before_submission(self, runner):
+        # A fully cached sweep must simulate nothing: no worker submission,
+        # no new manifest, just replayed records.
+        pair = (tiny_spec(), table_iii_config(1))
+        runner.run([pair])
+        parallel = SweepRunner(
+            SweepSettings(cache_dir=runner.settings.cache_dir, processes=8)
+        )
+        records = parallel.run([pair, pair])
+        assert parallel.cache_hits == 2
+        assert parallel.cache_misses == 0
+        assert len(records) == 2
+
 
 class TestGrid:
     def test_grid_shape(self, runner):

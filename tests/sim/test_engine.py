@@ -233,3 +233,215 @@ class TestProcesses:
         engine.process(parent())
         engine.run()
         assert results == ["a", "b"]
+
+
+class TestDispatchOrdering:
+    """The batch-dispatch/now-queue invariants the hot path relies on."""
+
+    def test_same_timestamp_heap_batch_runs_before_now_queue_work(self):
+        # Work spawned at time T with zero delay must run after *every* heap
+        # entry already scheduled for T — not interleaved per-callback.
+        engine = Engine()
+        order = []
+
+        def spawn_zero_delay(_v):
+            order.append("heap0")
+            engine.schedule(0.0, lambda _v: order.append("nowq"))
+
+        engine.schedule(3.0, spawn_zero_delay)
+        engine.schedule(3.0, lambda _v: order.append("heap1"))
+        engine.run()
+        assert order == ["heap0", "heap1", "nowq"]
+
+    def test_zero_delay_chains_run_fifo_at_fixed_time(self):
+        engine = Engine()
+        order = []
+
+        def chain(tag, depth):
+            order.append((tag, depth))
+            if depth:
+                engine.schedule(0.0, lambda _v: chain(tag, depth - 1))
+
+        engine.schedule(0.0, lambda _v: chain("a", 2))
+        engine.schedule(0.0, lambda _v: chain("b", 2))
+        engine.run()
+        assert order == [
+            ("a", 2), ("b", 2), ("a", 1), ("b", 1), ("a", 0), ("b", 0),
+        ]
+        assert engine.now == 0.0
+
+    def test_succeed_resumes_waiters_in_registration_order(self):
+        engine = Engine()
+        event = engine.event()
+        order = []
+
+        def waiter(tag):
+            yield event
+            order.append(tag)
+
+        for tag in "abc":
+            engine.process(waiter(tag))
+        engine.schedule(1.0, lambda _v: event.succeed())
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_add_callback_on_triggered_event_runs_after_queued_work(self):
+        # Regression: registering a callback on an already-triggered event
+        # must resume through the now queue, behind work queued earlier at
+        # the same time — and without touching the timer heap (the clock
+        # never advances past the trigger time).
+        engine = Engine()
+        event = engine.event()
+        order = []
+        engine.schedule(2.0, lambda _v: event.succeed("late"))
+        engine.run()
+        engine.schedule(0.0, lambda _v: order.append("queued-first"))
+        event.add_callback(lambda value: order.append(value))
+        engine.run()
+        assert order == ["queued-first", "late"]
+        assert engine.now == 2.0
+
+    def test_events_processed_counts_every_callback(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda _v: None)
+        engine.schedule(1.0, lambda _v: None)
+        engine.schedule(0.0, lambda _v: None)
+        engine.run()
+        assert engine.events_processed == 3
+
+    def test_run_repeats_are_deterministic(self):
+        # Two fresh engines running the same program must agree on clock and
+        # event count exactly — the bit-identity the golden suite pins.
+        def program():
+            engine = Engine()
+            event = engine.event()
+
+            def producer():
+                yield Timeout(2.0)
+                event.succeed(7)
+
+            def consumer():
+                value = yield event
+                yield Timeout(float(value))
+
+            engine.process(producer())
+            engine.process(consumer())
+            engine.run()
+            return engine.now, engine.events_processed
+
+        assert program() == program()
+
+
+class TestRunBoundaries:
+    def test_until_exactly_at_event_time_fires_the_event(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, lambda _v: fired.append(1))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+
+    def test_until_drains_pending_zero_delay_work_first(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(0.0, lambda _v: fired.append("now"))
+        engine.schedule(10.0, lambda _v: fired.append("later"))
+        engine.run(until=1.0)
+        assert fired == ["now"]
+        assert engine.now == 1.0
+        engine.run()
+        assert fired == ["now", "later"]
+        assert engine.now == 10.0
+
+    def test_max_events_counts_now_queue_work(self):
+        engine = Engine()
+
+        def respawn(_v):
+            engine.schedule(0.0, respawn)
+
+        engine.schedule(0.0, respawn)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=50)
+
+    def test_max_events_spans_run_calls(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda _v: None)
+        engine.run()
+        assert engine.events_processed == 5
+        engine.schedule(1.0, lambda _v: None)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=5)
+
+
+class TestAllOfBarrier:
+    def test_duplicate_events_in_allof_still_release(self):
+        # The counting barrier registers per *listing*, so a duplicated event
+        # contributes two pending slots — both released by one succeed().
+        engine = Engine()
+        event = engine.event()
+        finished = []
+
+        def body():
+            yield AllOf([event, event])
+            finished.append(engine.now)
+
+        engine.process(body())
+        engine.schedule(4.0, lambda _v: event.succeed())
+        engine.run()
+        assert finished == [4.0]
+
+    def test_mixed_triggered_and_pending_events(self):
+        engine = Engine()
+        done = engine.event()
+        done.succeed()
+        pending = engine.event()
+        finished = []
+
+        def body():
+            yield AllOf([done, pending, done])
+            finished.append(engine.now)
+
+        engine.process(body())
+        engine.schedule(3.0, lambda _v: pending.succeed())
+        engine.run()
+        assert finished == [3.0]
+
+    def test_allof_of_one_matches_bare_event_wait(self):
+        # The warp fast path yields the bare event when a wait has a single
+        # element; both forms must resume at the same time.
+        def run(single):
+            engine = Engine()
+            event = engine.event()
+            seen = []
+
+            def body():
+                yield event if single else AllOf([event])
+                seen.append(engine.now)
+
+            engine.process(body())
+            engine.schedule(6.0, lambda _v: event.succeed())
+            engine.run()
+            return seen
+
+        assert run(single=True) == run(single=False) == [6.0]
+
+    def test_barrier_does_not_leak_between_waits(self):
+        engine = Engine()
+        first = [engine.event() for _ in range(2)]
+        second = [engine.event() for _ in range(3)]
+        trace = []
+
+        def body():
+            yield AllOf(first)
+            trace.append(engine.now)
+            yield AllOf(second)
+            trace.append(engine.now)
+
+        engine.process(body())
+        for delay, event in zip((1.0, 2.0), first):
+            engine.schedule(delay, lambda _v, e=event: e.succeed())
+        for delay, event in zip((3.0, 5.0, 4.0), second):
+            engine.schedule(delay, lambda _v, e=event: e.succeed())
+        engine.run()
+        assert trace == [2.0, 5.0]

@@ -51,3 +51,18 @@ class TestRunManifest:
         restored = RunManifest.from_json(data)
         assert restored.cache_key == "abc123"
         assert restored.schema_version == MANIFEST_SCHEMA_VERSION
+
+    def test_throughput_fields_roundtrip(self):
+        manifest = _manifest(events_processed=12345, events_per_sec=9876.5)
+        restored = RunManifest.from_json(manifest.to_json())
+        assert restored.events_processed == 12345
+        assert restored.events_per_sec == 9876.5
+
+    def test_pre_throughput_manifests_still_load(self):
+        # Manifests written before throughput accounting lack both fields.
+        data = _manifest().to_json()
+        data.pop("events_processed")
+        data.pop("events_per_sec")
+        restored = RunManifest.from_json(data)
+        assert restored.events_processed == 0
+        assert restored.events_per_sec == 0.0
