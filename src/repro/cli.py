@@ -16,7 +16,11 @@ Two observability subcommands sit beside the experiments (see
 * ``repro dvfs <workload>`` — sweep the same scaled-down copy over the K40
   V/f ladder, print delay/energy/EDP per operating point, and report the
   energy sweet spot (see ``docs/POWER.md``); ``--governed`` additionally runs
-  the utilization governor and prints its per-GPM decisions.
+  the utilization governor and prints its per-GPM decisions;
+  ``--cap-watts`` runs the chip under a power budget and prints the
+  power-capping governor's decisions with residency-priced energy.
+* ``repro capsweep`` — sweep chip power budgets across GPM counts and report
+  residency-priced EDPSE per budget (``--quick`` for a small grid).
 * ``repro bench`` — run the simulator throughput benchmark (the headline
   1–32 GPM sweep, or ``--quick`` for a single small case) and write
   ``BENCH_sim.json``; ``--check`` compares against a committed baseline
@@ -31,6 +35,7 @@ import time
 
 from repro.experiments import (
     amortization_study,
+    capping_study,
     config_tables,
     compression_study,
     edip_study,
@@ -71,6 +76,7 @@ _EXPERIMENTS = {
     "edip": edip_study.run,
     "topology": topology_study.run,
     "sweetspot": sweetspot_study.run,
+    "capping": capping_study.run,
 }
 
 
@@ -243,6 +249,15 @@ def _dvfs_main(argv: list[str]) -> int:
         action="store_true",
         help="also run the utilization governor and print its decisions",
     )
+    parser.add_argument(
+        "--cap-watts",
+        type=float,
+        default=None,
+        help=(
+            "also run under a chip power budget (PowerCapGovernor) and print"
+            " its decisions and residency-priced energy"
+        ),
+    )
     args = parser.parse_args(argv)
 
     spec, workload, config = _observed_pair(parser, args)
@@ -306,6 +321,95 @@ def _dvfs_main(argv: list[str]) -> int:
                 f"  util={decision.utilization:.2f}"
                 f"  -> {decision.point.label()}"
             )
+
+    if args.cap_watts is not None:
+        import dataclasses
+
+        capped_config = dataclasses.replace(
+            config, power_cap_watts=args.cap_watts
+        )
+        result = simulate(workload, capped_config)
+        params = EnergyParams.for_operating_point(
+            capped_config, residency=result.residency
+        )
+        energy = EnergyModel(params).evaluate(result.counters, result.seconds)
+        trace = result.governor.trace
+        print()
+        print(
+            f"  capped run ({args.cap_watts:g} W): {result.cycles:.0f} cycles,"
+            f" {energy.total * 1e6:.2f} uJ residency-priced,"
+            f" {len(trace)} interval decisions"
+        )
+        for decision in trace:
+            print(
+                f"    cycle {decision.at_cycle:>10.0f}  gpm{decision.gpm_id}"
+                f"  util={decision.utilization:.2f}"
+                f"  -> {decision.point.label()}"
+                f"  (est {decision.estimated_chip_watts:.1f} W)"
+            )
+    return 0
+
+
+def _capsweep_main(argv: list[str]) -> int:
+    """``repro capsweep``: EDPSE-vs-power-budget study (docs/POWER.md)."""
+    from repro.experiments import capping_study
+
+    parser = argparse.ArgumentParser(
+        prog="repro capsweep",
+        description=(
+            "Sweep chip power budgets across GPM counts with the"
+            " power-capping governor and report residency-priced EDPSE per"
+            " budget (see docs/POWER.md)."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid (1/4 GPMs, two budgets, two workloads)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the rendered tables to this path",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: auto)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the sweep result cache",
+    )
+    args = parser.parse_args(argv)
+
+    settings_kwargs = {}
+    if args.processes is not None:
+        settings_kwargs["processes"] = args.processes
+    if args.no_cache:
+        settings_kwargs["use_cache"] = False
+    runner = SweepRunner(SweepSettings(**settings_kwargs))
+
+    start = time.time()
+    if args.quick:
+        result = capping_study.run(
+            runner,
+            gpm_counts=(1, 4),
+            fractions=(None, 0.7),
+            workloads=("Stream", "BPROP"),
+        )
+    else:
+        result = capping_study.run(runner)
+    rendered = result.render()
+    print(rendered)
+    print(f"[capsweep: {time.time() - start:.1f}s]")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -318,6 +422,8 @@ def main(argv: list[str] | None = None) -> int:
         return _profile_main(argv[1:])
     if argv and argv[0] == "dvfs":
         return _dvfs_main(argv[1:])
+    if argv and argv[0] == "capsweep":
+        return _capsweep_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.tools.bench_engine import main as bench_main
 
@@ -333,9 +439,10 @@ def main(argv: list[str] | None = None) -> int:
             "Observability subcommands: 'repro trace <workload>' captures a"
             " Perfetto-viewable Chrome trace; 'repro profile <workload>'"
             " prints component metrics; 'repro dvfs <workload>' sweeps the"
-            " V/f ladder and reports the energy sweet spot; 'repro bench'"
-            " measures simulator throughput.  See docs/OBSERVABILITY.md,"
-            " docs/POWER.md, and docs/PERFORMANCE.md."
+            " V/f ladder and reports the energy sweet spot; 'repro capsweep'"
+            " sweeps chip power budgets and reports residency-priced EDPSE;"
+            " 'repro bench' measures simulator throughput.  See"
+            " docs/OBSERVABILITY.md, docs/POWER.md, and docs/PERFORMANCE.md."
         ),
     )
     parser.add_argument(

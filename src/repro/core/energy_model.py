@@ -187,12 +187,20 @@ class EnergyParams:
         constants: EnergyConstants | None = None,
         constant_growth_per_gpm: float | None = None,
         link_pj_per_bit: float | None = None,
+        residency: "DvfsResidency | None" = None,
     ) -> "EnergyParams":
         """Pricing parameters for a configuration at its DVFS operating point.
 
         Same derivation as :meth:`for_config`, then rescaled for the V/f
         points in ``dvfs`` (default: the configuration's own ``dvfs`` field;
         both ``None`` means the anchor point and no rescaling at all).
+
+        When a ``residency`` is given — the per-domain time-at-point
+        histograms a governed run records — it supersedes the static point
+        scaling: every per-event cost becomes the residency-weighted mean of
+        its point-scaled values (see :meth:`scaled_for_residency`).  A
+        static run's single-bucket residency prices bit-identically to the
+        direct per-point scaling.
         """
         params = cls.for_config(
             config,
@@ -201,6 +209,14 @@ class EnergyParams:
             link_pj_per_bit=link_pj_per_bit,
         )
         dvfs = dvfs if dvfs is not None else config.dvfs
+        if residency is not None:
+            from repro.dvfs.operating_point import K40_VF_CURVE
+
+            curve = dvfs.curve if dvfs is not None else K40_VF_CURVE
+            leakage = dvfs.leakage_fraction if dvfs is not None else 0.5
+            return params.scaled_for_residency(
+                residency, curve, leakage_fraction=leakage
+            )
         if dvfs is None:
             return params
         return params.scaled_for(dvfs)
@@ -230,10 +246,92 @@ class EnergyParams:
         ic_sq = ic_v * ic_v
         leak = dvfs.leakage_fraction
         constant_scale = leak * core_v + (1.0 - leak) * core_f * core_sq
+        stall_scale = core_sq * core_f
+        return self._with_domain_scales(
+            core_sq=core_sq,
+            stall_scale=stall_scale,
+            constant_scale=constant_scale,
+            dram_sq=dram_sq,
+            ic_sq=ic_sq,
+        )
+
+    def scaled_for_residency(
+        self,
+        residency: "DvfsResidency",
+        curve: "VfCurve",
+        leakage_fraction: float = 0.5,
+    ) -> "EnergyParams":
+        """Rescale costs by per-domain residency-weighted means.
+
+        Eq. 4 is linear in its per-event costs, so the energy of a run whose
+        domains moved between points is the time integral of the point-scaled
+        costs — with global counters (event rates assumed stationary) that
+        integral collapses to the residency-weighted mean of each scale:
+
+        * core dynamic scale  = Σ_p w_p · V_p²      (per GPM, then averaged)
+        * stall scale         = Σ_p w_p · V_p² · f_p
+        * constant scale      = Σ_p w_p · (λ·V_p + (1-λ)·f_p·V_p²)
+        * DRAM / interconnect = Σ_p w_p · V_p² over their own histograms
+
+        where ``w_p`` is the fraction of the run domain ``d`` spent at point
+        ``p`` and λ is ``leakage_fraction``.  A single-bucket residency
+        (``w = 1.0``) reproduces :meth:`scaled_for` bit-for-bit.
+        """
+        leak = leakage_fraction
+        if not 0.0 <= leak <= 1.0:
+            raise ConfigError(
+                f"leakage_fraction is a share in [0, 1]; got {leak!r}"
+            )
+
+        # Expression shapes intentionally mirror scaled_for so single-bucket
+        # residencies produce identical float roundings.
+        def _dyn(freq: float, volt: float) -> float:
+            return volt * volt
+
+        def _stall(freq: float, volt: float) -> float:
+            return (volt * volt) * freq
+
+        def _const(freq: float, volt: float) -> float:
+            return leak * volt + (1.0 - leak) * freq * (volt * volt)
+
+        def _mean(values: list[float]) -> float:
+            # Identical per-GPM scales (the uniform-governor common case)
+            # bypass the average so no rounding separates a static-governor
+            # run from direct per-point pricing.
+            if all(value == values[0] for value in values):
+                return values[0]
+            return sum(values) / len(values)
+
+        core_sq = _mean(
+            [h.weighted_mean(_dyn, curve) for h in residency.core]
+        )
+        stall_scale = _mean(
+            [h.weighted_mean(_stall, curve) for h in residency.core]
+        )
+        constant_scale = _mean(
+            [h.weighted_mean(_const, curve) for h in residency.core]
+        )
+        return self._with_domain_scales(
+            core_sq=core_sq,
+            stall_scale=stall_scale,
+            constant_scale=constant_scale,
+            dram_sq=residency.dram.weighted_mean(_dyn, curve),
+            ic_sq=residency.interconnect.weighted_mean(_dyn, curve),
+        )
+
+    def _with_domain_scales(
+        self,
+        core_sq: float,
+        stall_scale: float,
+        constant_scale: float,
+        dram_sq: float,
+        ic_sq: float,
+    ) -> "EnergyParams":
+        """Apply per-domain scale factors to every priced cost."""
         constants = replace(
             self.constants,
             const_power_w=self.constants.const_power_w * constant_scale,
-            ep_stall_nj=self.constants.ep_stall_nj * core_sq * core_f,
+            ep_stall_nj=self.constants.ep_stall_nj * stall_scale,
         )
         return replace(
             self,

@@ -18,8 +18,12 @@ from repro.dvfs.config import (
     IDENTITY_SCALES,
 )
 from repro.dvfs.governor import (
+    DEFAULT_GPM_ANCHOR_WATTS,
     Governor,
     GovernorDecision,
+    GpmObservation,
+    GpmPowerModel,
+    PowerCapGovernor,
     StaticGovernor,
     UtilizationGovernor,
 )
@@ -29,17 +33,24 @@ from repro.dvfs.operating_point import (
     OperatingPoint,
     VfCurve,
 )
+from repro.dvfs.residency import DvfsResidency, ResidencyHistogram
 
 __all__ = [
     "ClockDomain",
+    "DEFAULT_GPM_ANCHOR_WATTS",
     "DomainScales",
     "DvfsConfig",
+    "DvfsResidency",
     "Governor",
     "GovernorDecision",
+    "GpmObservation",
+    "GpmPowerModel",
     "IDENTITY_SCALES",
     "K40_OPERATING_POINT",
     "K40_VF_CURVE",
     "OperatingPoint",
+    "PowerCapGovernor",
+    "ResidencyHistogram",
     "StaticGovernor",
     "UtilizationGovernor",
     "VfCurve",

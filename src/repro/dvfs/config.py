@@ -176,7 +176,12 @@ class DvfsConfig:
         return "+".join(parts)
 
     def fingerprint(self) -> dict:
-        """Deterministic cache-key content for this DVFS setting."""
+        """Deterministic cache-key content for this DVFS setting.
+
+        Includes the full curve grid: a governed (power-capped) run walks the
+        whole ladder, so two configs agreeing on their static points but
+        differing in the grid must never share a cache entry.
+        """
         def _pf(point: OperatingPoint) -> dict:
             return {"f": point.frequency_hz, "v": point.voltage_v}
 
@@ -185,6 +190,10 @@ class DvfsConfig:
             "dram": _pf(self.dram),
             "interconnect": _pf(self.interconnect),
             "leakage": self.leakage_fraction,
+            "curve": {
+                "anchor": self.curve.anchor_frequency_hz,
+                "points": [_pf(p) for p in self.curve.points],
+            },
         }
         if self.core_per_gpm:
             payload["core_per_gpm"] = [_pf(p) for p in self.core_per_gpm]

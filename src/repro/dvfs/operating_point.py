@@ -17,6 +17,7 @@ Sweet Spots in Modern GPUs").
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
@@ -35,14 +36,25 @@ class OperatingPoint:
     name: str = ""
 
     def __post_init__(self) -> None:
-        if self.frequency_hz <= 0:
+        # Finiteness is checked explicitly: a NaN frequency or voltage slips
+        # through plain comparisons (NaN <= 0 is False) and would propagate
+        # into every derived ratio as NaN energy.
+        if not (
+            isinstance(self.frequency_hz, (int, float))
+            and math.isfinite(self.frequency_hz)
+            and self.frequency_hz > 0
+        ):
             raise ConfigError(
-                f"operating-point frequency must be positive, got"
+                f"operating-point frequency must be finite and positive, got"
                 f" {self.frequency_hz!r}"
             )
-        if self.voltage_v <= 0:
+        if not (
+            isinstance(self.voltage_v, (int, float))
+            and math.isfinite(self.voltage_v)
+            and self.voltage_v > 0
+        ):
             raise ConfigError(
-                f"operating-point voltage must be positive, got"
+                f"operating-point voltage must be finite and positive, got"
                 f" {self.voltage_v!r}"
             )
 

@@ -1,0 +1,187 @@
+"""Per-domain operating-point residency: time-at-point histograms.
+
+A governed run no longer has *one* operating point per domain — each GPM's
+core domain walks the V/f ladder as the governor redistributes the chip
+power budget.  Pricing such a run at any single point misstates its energy;
+the faithful quantity is the *residency*: how many anchor cycles each clock
+domain spent at each operating point.
+
+:class:`ResidencyHistogram` is one domain's histogram; :class:`DvfsResidency`
+bundles every domain of a run (per-GPM core plus the chip-global DRAM and
+interconnect domains).  The energy model folds a residency into its pricing
+via :meth:`repro.core.energy_model.EnergyParams.for_operating_point` — each
+per-event cost becomes the time-weighted mean of its point-scaled values,
+which is exact for the constant-rate approximation the global counters force
+(see ``docs/POWER.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dvfs.operating_point import OperatingPoint, VfCurve
+from repro.errors import ConfigError
+
+
+@dataclass
+class ResidencyHistogram:
+    """Anchor cycles spent at each operating point of one clock domain."""
+
+    cycles: dict[OperatingPoint, float] = field(default_factory=dict)
+
+    def add(self, point: OperatingPoint, cycles: float) -> None:
+        """Accumulate ``cycles`` anchor cycles of residency at ``point``."""
+        if cycles < 0:
+            raise ConfigError(f"residency cycles must be non-negative: {cycles!r}")
+        if cycles == 0:
+            return
+        self.cycles[point] = self.cycles.get(point, 0.0) + cycles
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles.values())
+
+    def fractions(self) -> dict[OperatingPoint, float]:
+        """Time share per point; empty histograms have no fractions.
+
+        A single-bucket histogram yields exactly ``{point: 1.0}`` (a float
+        divided by itself), so static residencies price bit-identically to
+        the direct per-point scaling.
+        """
+        total = self.total_cycles
+        if total <= 0:
+            return {}
+        return {point: cycles / total for point, cycles in self.cycles.items()}
+
+    def weighted_mean(self, fn: Callable[[float, float], float], curve: VfCurve) -> float:
+        """Time-weighted mean of ``fn(freq_ratio, volt_ratio)`` over the points.
+
+        An empty histogram means the domain never ran; return the anchor
+        value ``fn(1.0, 1.0)`` so zero-length runs price like anchor runs.
+        """
+        fractions = self.fractions()
+        if not fractions:
+            return fn(1.0, 1.0)
+        total = 0.0
+        for point, weight in fractions.items():
+            total += weight * fn(
+                curve.frequency_ratio(point), curve.voltage_ratio(point)
+            )
+        return total
+
+    @classmethod
+    def single(cls, point: OperatingPoint, cycles: float) -> "ResidencyHistogram":
+        """A one-bucket histogram: the whole window at one point."""
+        histogram = cls()
+        histogram.add(point, cycles)
+        return histogram
+
+    # ----------------------------------------------------------- serialization
+
+    def to_json(self) -> list[dict]:
+        """Stable JSON form, sorted by frequency."""
+        return [
+            {
+                "point": point.label(),
+                "frequency_hz": point.frequency_hz,
+                "voltage_v": point.voltage_v,
+                "cycles": cycles,
+            }
+            for point, cycles in sorted(
+                self.cycles.items(), key=lambda item: item[0].frequency_hz
+            )
+        ]
+
+    @classmethod
+    def from_json(cls, data: list[dict]) -> "ResidencyHistogram":
+        histogram = cls()
+        for entry in data:
+            histogram.add(
+                OperatingPoint(
+                    frequency_hz=entry["frequency_hz"],
+                    voltage_v=entry["voltage_v"],
+                    name=entry.get("point", ""),
+                ),
+                entry["cycles"],
+            )
+        return histogram
+
+
+@dataclass
+class DvfsResidency:
+    """Every clock domain's residency for one run.
+
+    ``core`` holds one histogram per GPM (core domains are per-module); the
+    DRAM and interconnect domains are chip-global and hold one each.  For an
+    ungoverned run every histogram has a single bucket spanning the whole
+    run — see :meth:`static_run`.
+    """
+
+    core: tuple[ResidencyHistogram, ...]
+    dram: ResidencyHistogram
+    interconnect: ResidencyHistogram
+
+    def __post_init__(self) -> None:
+        if not self.core:
+            raise ConfigError("a residency needs at least one core domain")
+
+    @classmethod
+    def static_run(
+        cls,
+        elapsed_cycles: float,
+        core_points: list[OperatingPoint],
+        dram_point: OperatingPoint,
+        interconnect_point: OperatingPoint,
+    ) -> "DvfsResidency":
+        """The degenerate residency of a run that never changed points."""
+        return cls(
+            core=tuple(
+                ResidencyHistogram.single(point, elapsed_cycles)
+                for point in core_points
+            ),
+            dram=ResidencyHistogram.single(dram_point, elapsed_cycles),
+            interconnect=ResidencyHistogram.single(
+                interconnect_point, elapsed_cycles
+            ),
+        )
+
+    @property
+    def num_gpms(self) -> int:
+        return len(self.core)
+
+    def domain_fractions(self) -> dict[str, list[dict[str, float]]]:
+        """Per-domain time shares keyed by point label (invariant checks)."""
+        return {
+            "core": [
+                {point.label(): share for point, share in hist.fractions().items()}
+                for hist in self.core
+            ],
+            "dram": [
+                {point.label(): share
+                 for point, share in self.dram.fractions().items()}
+            ],
+            "interconnect": [
+                {point.label(): share
+                 for point, share in self.interconnect.fractions().items()}
+            ],
+        }
+
+    # ----------------------------------------------------------- serialization
+
+    def to_json(self) -> dict:
+        return {
+            "core": [hist.to_json() for hist in self.core],
+            "dram": self.dram.to_json(),
+            "interconnect": self.interconnect.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DvfsResidency":
+        return cls(
+            core=tuple(
+                ResidencyHistogram.from_json(hist) for hist in data["core"]
+            ),
+            dram=ResidencyHistogram.from_json(data["dram"]),
+            interconnect=ResidencyHistogram.from_json(data["interconnect"]),
+        )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.energy_model import EnergyParams
-from repro.dvfs.config import DvfsConfig
+from repro.dvfs.config import ClockDomain, DvfsConfig
 from repro.dvfs.operating_point import K40_VF_CURVE, OperatingPoint, VfCurve
 from repro.errors import ExperimentError
 from repro.experiments.runner import SweepRunner
@@ -64,6 +64,8 @@ class SweetSpot:
     num_gpms: int
     metric: str
     samples: tuple[FrequencySample, ...]
+    #: Which clock domain the sweep walked ("core", "dram", "interconnect").
+    domain: str = "core"
 
     @property
     def best(self) -> FrequencySample:
@@ -89,10 +91,25 @@ class SweetSpot:
 
 
 def with_operating_point(
-    config: GpuConfig, point: OperatingPoint, curve: VfCurve = K40_VF_CURVE
+    config: GpuConfig,
+    point: OperatingPoint,
+    curve: VfCurve = K40_VF_CURVE,
+    domain: ClockDomain = ClockDomain.CORE,
 ) -> GpuConfig:
-    """A copy of ``config`` with its chip-wide core domain at ``point``."""
-    return replace(config, dvfs=DvfsConfig.core_only(point, curve=curve))
+    """A copy of ``config`` with one clock domain moved to ``point``.
+
+    ``domain`` selects which :class:`~repro.dvfs.config.ClockDomain` the
+    point applies to; the other domains stay at the anchor (or wherever the
+    existing ``config.dvfs`` already put them).
+    """
+    base = config.dvfs if config.dvfs is not None else DvfsConfig(curve=curve)
+    if domain is ClockDomain.CORE:
+        dvfs = base.with_core(point)
+    elif domain is ClockDomain.DRAM:
+        dvfs = replace(base, dram=point)
+    else:
+        dvfs = replace(base, interconnect=point)
+    return replace(config, dvfs=dvfs)
 
 
 class SweetSpotSearch:
@@ -104,6 +121,7 @@ class SweetSpotSearch:
         curve: VfCurve = K40_VF_CURVE,
         metric: str = "edp",
         points: tuple[OperatingPoint, ...] | None = None,
+        domain: ClockDomain = ClockDomain.CORE,
     ):
         if metric not in METRICS:
             raise ExperimentError(
@@ -112,6 +130,7 @@ class SweetSpotSearch:
         self.runner = runner
         self.curve = curve
         self.metric = metric
+        self.domain = domain
         self.points = tuple(points) if points is not None else curve.points
         if not self.points:
             raise ExperimentError("sweet-spot search needs at least one point")
@@ -132,7 +151,7 @@ class SweetSpotSearch:
         """
         pointed = {
             (config.label(), point.frequency_hz): with_operating_point(
-                config, point, self.curve
+                config, point, self.curve, domain=self.domain
             )
             for config in configs
             for point in self.points
@@ -170,6 +189,7 @@ class SweetSpotSearch:
                         num_gpms=config.num_gpms,
                         metric=self.metric,
                         samples=tuple(samples),
+                        domain=self.domain.value,
                     )
                 )
         return spots

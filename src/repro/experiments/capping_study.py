@@ -1,0 +1,191 @@
+"""Power-capping study: EDPSE vs. chip power budget across GPM counts.
+
+The paper sizes multi-module GPUs against a fixed board power; this study
+asks the follow-on question the :class:`~repro.dvfs.governor.PowerCapGovernor`
+makes answerable: *how much efficiency survives when the chip must live under
+a watt budget?*  Each GPM count from the Table III scaling range is run
+uncapped and under budgets expressed as fractions of its nominal power
+(``num_gpms x DEFAULT_GPM_ANCHOR_WATTS``).  Capped runs are priced with
+their recorded per-domain residency — the energy reflects the operating
+points the governor actually held, not the anchor the config nominally
+names — and summarized as EDPSE (Eq. 2) against the paper's fixed 1-GPM
+uncapped baseline, next to the mean reported power draw that verifies the
+governor held its budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.energy_model import EnergyParams
+from repro.dvfs.governor import DEFAULT_GPM_ANCHOR_WATTS
+from repro.dvfs.residency import DvfsResidency
+from repro.errors import ExperimentError
+from repro.experiments.render import render_table
+from repro.experiments.results import RunRecord
+from repro.experiments.runner import SweepRunner
+from repro.gpu.config import TABLE_III_GPM_COUNTS, GpuConfig, table_iii_config
+from repro.units import mean
+from repro.workloads.suite import SCALING_SUBSET, WORKLOAD_SPECS
+
+#: GPM counts the study sweeps (the paper's full 1-32 scaling range).
+STUDY_GPM_COUNTS: tuple[int, ...] = TABLE_III_GPM_COUNTS
+
+#: Chip budgets as fractions of nominal power (``None`` means uncapped).
+#: 0.55 sits just above the all-floor draw (~40% of nominal), so every
+#: budget in the grid is feasible for every GPM count.
+BUDGET_FRACTIONS: tuple[float | None, ...] = (None, 1.0, 0.85, 0.70, 0.55)
+
+
+def nominal_chip_watts(num_gpms: int) -> float:
+    """The uncapped worst-case budget baseline of an ``num_gpms`` chip."""
+    return num_gpms * DEFAULT_GPM_ANCHOR_WATTS
+
+
+def capped_config(num_gpms: int, fraction: float | None) -> GpuConfig:
+    """The Table III configuration under one budget fraction."""
+    config = table_iii_config(num_gpms)
+    if fraction is None:
+        return config
+    return replace(
+        config, power_cap_watts=fraction * nominal_chip_watts(num_gpms)
+    )
+
+
+def _budget_label(fraction: float | None) -> str:
+    return "uncapped" if fraction is None else f"{fraction:.0%} budget"
+
+
+@dataclass
+class CappingStudyResult:
+    """EDPSE and reported power per (budget fraction, GPM count)."""
+
+    #: Records keyed ``records[fraction][num_gpms][workload]``.
+    records: dict[float | None, dict[int, dict[str, RunRecord]]]
+    #: Mean EDPSE (%) across workloads, keyed ``edpse[fraction][num_gpms]``.
+    edpse: dict[float | None, dict[int, float]] = field(default_factory=dict)
+    #: Mean residency-priced power draw (W), same keying as ``edpse``.
+    mean_power_w: dict[float | None, dict[int, float]] = field(
+        default_factory=dict
+    )
+
+    def record(
+        self, fraction: float | None, num_gpms: int, workload: str
+    ) -> RunRecord:
+        try:
+            return self.records[fraction][num_gpms][workload]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"no capping-study record for {workload!r} on {num_gpms} GPMs"
+                f" at {_budget_label(fraction)}"
+            ) from exc
+
+    def render(self) -> str:
+        """The EDPSE-vs-budget surface and the reported-power check."""
+        # Derive the axes from the computed surface so partial sweeps
+        # (e.g. ``repro capsweep --quick``) render what they actually ran.
+        fractions = list(self.edpse)
+        gpm_counts = sorted(
+            {n for by_gpms in self.edpse.values() for n in by_gpms}
+        )
+        header = ["budget"] + [f"{n}-GPM" for n in gpm_counts]
+        edpse_rows = [
+            [_budget_label(fraction)]
+            + [self.edpse[fraction][n] for n in gpm_counts]
+            for fraction in fractions
+        ]
+        edpse_table = render_table(
+            "Capping study: mean EDPSE (%) vs. chip power budget",
+            header,
+            edpse_rows,
+            note=(
+                "EDPSE baseline: 1-GPM uncapped at the 745 MHz anchor."
+                " Budgets are fractions of num_gpms x"
+                f" {DEFAULT_GPM_ANCHOR_WATTS:g} W nominal; capped runs are"
+                " priced with their recorded operating-point residency."
+            ),
+        )
+        power_rows = [
+            [_budget_label(fraction)]
+            + [self.mean_power_w[fraction][n] for n in gpm_counts]
+            for fraction in fractions
+        ]
+        power_table = render_table(
+            "Mean residency-priced power draw (W)",
+            header,
+            power_rows,
+            note=(
+                "Reported draw is modeled energy over runtime; tightening"
+                " the budget must never raise it (the governor's cap is a"
+                " hard constraint on the worst-case allocation)."
+            ),
+        )
+        return f"{edpse_table}\n\n{power_table}"
+
+
+def priced_params(config: GpuConfig, record: RunRecord) -> EnergyParams:
+    """Residency-priced energy parameters for one study record."""
+    residency = (
+        None if record.residency is None
+        else DvfsResidency.from_json(record.residency)
+    )
+    return EnergyParams.for_operating_point(config, residency=residency)
+
+
+def run(
+    runner: SweepRunner | None = None,
+    gpm_counts: tuple[int, ...] = STUDY_GPM_COUNTS,
+    fractions: tuple[float | None, ...] = BUDGET_FRACTIONS,
+    workloads: tuple[str, ...] = SCALING_SUBSET,
+) -> CappingStudyResult:
+    """Execute (or fetch from cache) the power-capping study."""
+    if None not in fractions:
+        raise ExperimentError(
+            "the capping study needs the uncapped baseline (fraction None)"
+        )
+    runner = runner or SweepRunner()
+    specs = [WORKLOAD_SPECS[abbr] for abbr in workloads]
+    configs = {
+        (fraction, n): capped_config(n, fraction)
+        for fraction in fractions
+        for n in gpm_counts
+    }
+    pairs = [
+        (spec, config) for config in configs.values() for spec in specs
+    ]
+    by_key = {
+        (record.workload, record.config_label): record
+        for record in runner.run(pairs)
+    }
+
+    records: dict[float | None, dict[int, dict[str, RunRecord]]] = {}
+    for (fraction, n), config in configs.items():
+        for spec in specs:
+            records.setdefault(fraction, {}).setdefault(n, {})[spec.abbr] = (
+                by_key[(spec.abbr, config.label())]
+            )
+
+    result = CappingStudyResult(records=records)
+    baseline_n = min(gpm_counts)
+    baseline_config = configs[(None, baseline_n)]
+    for fraction in fractions:
+        result.edpse[fraction] = {}
+        result.mean_power_w[fraction] = {}
+        for n in gpm_counts:
+            config = configs[(fraction, n)]
+            ratios = []
+            draws = []
+            for spec in specs:
+                record = records[fraction][n][spec.abbr]
+                energy = record.energy(priced_params(config, record))
+                edp = energy.total * record.seconds
+                baseline = records[None][baseline_n][spec.abbr]
+                baseline_energy = baseline.energy(
+                    priced_params(baseline_config, baseline)
+                )
+                baseline_edp = baseline_energy.total * baseline.seconds
+                ratios.append(baseline_edp * 100.0 / (n * edp))
+                draws.append(energy.total / record.seconds)
+            result.edpse[fraction][n] = mean(ratios)
+            result.mean_power_w[fraction][n] = mean(draws)
+    return result

@@ -32,6 +32,9 @@ class RunRecord:
     #: the simulating worker; ``None`` for records cached before the
     #: observability layer existed.
     metrics: dict | None = None
+    #: Per-domain operating-point residency (``DvfsResidency.to_json()``);
+    #: ``None`` for records cached before residency accounting existed.
+    residency: dict | None = None
 
     def energy(self, params: EnergyParams) -> EnergyBreakdown:
         """Price this run under the given energy parameters."""
@@ -74,6 +77,7 @@ class RunRecord:
             seconds=data["seconds"],
             counters=counters,
             metrics=data.get("metrics"),
+            residency=data.get("residency"),
         )
 
 

@@ -100,6 +100,14 @@ def _config_fingerprint(config: GpuConfig) -> dict:
             if config.dvfs is None
             else {"dvfs": config.dvfs.fingerprint()}
         ),
+        # And for power capping: the cap changes runtime behaviour (a
+        # PowerCapGovernor is attached), so capped configs must never share
+        # a cache entry with uncapped ones — or with a different budget.
+        **(
+            {}
+            if config.power_cap_watts is None
+            else {"power_cap_watts": config.power_cap_watts}
+        ),
     }
 
 
@@ -141,6 +149,9 @@ def _record_from_result(
         seconds=result.seconds,
         counters=result.counters,
         metrics=metrics.to_json(),
+        residency=(
+            None if result.residency is None else result.residency.to_json()
+        ),
     )
 
 
@@ -229,6 +240,7 @@ class SweepRunner:
         spec: WorkloadSpec,
         config: GpuConfig,
         timing: _PairTiming,
+        record: RunRecord | None = None,
     ) -> None:
         """Write run provenance beside the cached record (advisory only)."""
         if not (self.settings.use_cache and self.settings.write_manifests):
@@ -243,6 +255,7 @@ class SweepRunner:
             wall_time_s=timing.wall_time_s,
             events_processed=timing.events_processed,
             events_per_sec=timing.events_per_sec,
+            dvfs_residency=None if record is None else record.residency,
         )
         manifest.write(RunManifest.path_for(self._cache_path(key)))
 
@@ -311,7 +324,7 @@ class SweepRunner:
             spec, config = pairs[index]
             records[index] = record
             self._store(keys[index], record)
-            self._store_manifest(keys[index], spec, config, timing)
+            self._store_manifest(keys[index], spec, config, timing, record)
             done += 1
             self._report(
                 done,

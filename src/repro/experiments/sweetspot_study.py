@@ -17,8 +17,9 @@ energy model, and summarized two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.dvfs.config import ClockDomain
 from repro.dvfs.operating_point import K40_VF_CURVE, OperatingPoint
 from repro.dvfs.sweetspot import SweetSpot, SweetSpotSearch
 from repro.errors import ExperimentError
@@ -39,6 +40,13 @@ STUDY_FREQUENCIES_HZ: tuple[float, ...] = (
 #: The paper's fixed operating point (baseline for every EDPSE number).
 ANCHOR_FREQUENCY_HZ: float = K40_VF_CURVE.anchor.frequency_hz
 
+#: GPM counts swept per non-core clock domain.  The DRAM domain matters at
+#: every scale; the interconnect domain only exists with more than one GPM.
+DOMAIN_GPM_COUNTS: dict[ClockDomain, tuple[int, ...]] = {
+    ClockDomain.DRAM: (1, 4, 16),
+    ClockDomain.INTERCONNECT: (4, 16),
+}
+
 
 def study_points() -> tuple[OperatingPoint, ...]:
     """The operating points of the study grid, taken off the K40 curve."""
@@ -55,6 +63,22 @@ class SweetSpotStudyResult:
     spots: dict[int, dict[str, SweetSpot]]
     #: Mean EDPSE (%) across workloads, keyed ``edpse[frequency_hz][num_gpms]``.
     edpse: dict[float, dict[int, float]]
+    #: Non-core-domain sweeps, keyed ``domain_spots[domain][num_gpms][workload]``
+    #: (``domain`` is the :class:`ClockDomain` value string).
+    domain_spots: dict[str, dict[int, dict[str, SweetSpot]]] = field(
+        default_factory=dict
+    )
+
+    def domain_spot(
+        self, domain: ClockDomain, workload: str, num_gpms: int
+    ) -> SweetSpot:
+        try:
+            return self.domain_spots[domain.value][num_gpms][workload]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"no {domain.value} sweet-spot sweep for {workload!r} on"
+                f" {num_gpms} GPMs"
+            ) from exc
 
     def spot(self, workload: str, num_gpms: int) -> SweetSpot:
         try:
@@ -108,11 +132,47 @@ class SweetSpotStudyResult:
                 " lengthen."
             ),
         )
-        return f"{surface}\n\n{spots}"
+        sections = [surface, spots]
+
+        for domain in (ClockDomain.DRAM, ClockDomain.INTERCONNECT):
+            by_count = self.domain_spots.get(domain.value)
+            if not by_count:
+                continue
+            counts = sorted(by_count)
+            domain_rows = []
+            for abbr in sorted(by_count[counts[0]]):
+                spec = WORKLOAD_SPECS[abbr]
+                domain_rows.append(
+                    [abbr, spec.category.value]
+                    + [
+                        f"{by_count[n][abbr].point.frequency_hz / 1e6:.0f}"
+                        for n in counts
+                    ]
+                )
+            sections.append(
+                render_table(
+                    f"Per-workload EDP-optimal {domain.value} frequency (MHz)",
+                    ["workload", "cat."] + [f"{n}-GPM" for n in counts],
+                    domain_rows,
+                    note=(
+                        f"The {domain.value} clock domain swept with the core"
+                        " held at the 745 MHz anchor; optima below the anchor"
+                        " mark workloads whose stalls hide the slower domain."
+                    ),
+                )
+            )
+        return "\n\n".join(sections)
 
 
-def run(runner: SweepRunner | None = None) -> SweetSpotStudyResult:
-    """Execute (or fetch from cache) the sweet-spot study."""
+def run(
+    runner: SweepRunner | None = None, domains: bool = True
+) -> SweetSpotStudyResult:
+    """Execute (or fetch from cache) the sweet-spot study.
+
+    ``domains=True`` additionally sweeps the DRAM and interconnect clock
+    domains over :data:`DOMAIN_GPM_COUNTS` with the core held at the anchor;
+    ``False`` restricts the study to the original core-frequency surface.
+    """
     runner = runner or SweepRunner()
     specs = [WORKLOAD_SPECS[abbr] for abbr in SCALING_SUBSET]
     configs = [table_iii_config(n) for n in STUDY_GPM_COUNTS]
@@ -134,4 +194,20 @@ def run(runner: SweepRunner | None = None) -> SweetSpotStudyResult:
                 edp_here = spot.sample_at(frequency).edp
                 ratios.append(edp_baseline * 100.0 / (n * edp_here))
             edpse[frequency][n] = mean(ratios)
-    return SweetSpotStudyResult(spots=spots, edpse=edpse)
+
+    domain_spots: dict[str, dict[int, dict[str, SweetSpot]]] = {}
+    if domains:
+        for domain, counts in DOMAIN_GPM_COUNTS.items():
+            domain_search = SweetSpotSearch(
+                runner, metric="edp", points=study_points(), domain=domain
+            )
+            found = domain_search.search(
+                specs, [table_iii_config(n) for n in counts]
+            )
+            by_count: dict[int, dict[str, SweetSpot]] = {}
+            for spot in found:
+                by_count.setdefault(spot.num_gpms, {})[spot.workload] = spot
+            domain_spots[domain.value] = by_count
+    return SweetSpotStudyResult(
+        spots=spots, edpse=edpse, domain_spots=domain_spots
+    )

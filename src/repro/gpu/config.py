@@ -137,6 +137,13 @@ class GpuConfig:
     ``dvfs`` optionally moves the core/DRAM/interconnect clock domains off
     the anchor K40 operating point (see :mod:`repro.dvfs`); ``None`` means
     the paper's fixed-clock configuration.
+
+    ``power_cap_watts`` enforces a chip-level power budget at runtime: the
+    simulator attaches a :class:`~repro.dvfs.governor.PowerCapGovernor`
+    that waterfills per-GPM core points under the cap each kernel interval
+    (``math.inf`` runs the governor but never throttles; ``None`` disables
+    it entirely).  The cap is part of the cacheable configuration — it joins
+    the config label and the sweep-cache fingerprint.
     """
 
     gpm: GpmConfig = field(default_factory=GpmConfig)
@@ -146,6 +153,7 @@ class GpuConfig:
     placement_policy: PlacementPolicy = PlacementPolicy.FIRST_TOUCH
     compression: "CompressionConfig | None" = None
     dvfs: "DvfsConfig | None" = None
+    power_cap_watts: float | None = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -161,6 +169,11 @@ class GpuConfig:
                     f"dvfs.core_per_gpm has {len(self.dvfs.core_per_gpm)}"
                     f" points for {self.num_gpms} GPMs"
                 )
+        if self.power_cap_watts is not None and not self.power_cap_watts > 0:
+            raise ConfigError(
+                f"power_cap_watts must be positive, got"
+                f" {self.power_cap_watts!r}"
+            )
 
     @property
     def total_sms(self) -> int:
@@ -178,7 +191,9 @@ class GpuConfig:
         """Human-readable identity used in reports and cache keys."""
         base = self.name if self.name else f"{self.num_gpms}-GPM"
         if self.dvfs is not None:
-            return f"{base}@{self.dvfs.label()}"
+            base = f"{base}@{self.dvfs.label()}"
+        if self.power_cap_watts is not None:
+            base = f"{base}+cap{self.power_cap_watts:g}W"
         return base
 
 

@@ -22,7 +22,9 @@ from collections.abc import Generator
 from dataclasses import dataclass
 
 from repro.dvfs.config import DomainScales, IDENTITY_SCALES
-from repro.dvfs.governor import Governor
+from repro.dvfs.governor import Governor, GpmObservation
+from repro.dvfs.operating_point import K40_OPERATING_POINT, OperatingPoint
+from repro.dvfs.residency import DvfsResidency, ResidencyHistogram
 from repro.errors import ConfigError
 from repro.gpu.config import GpuConfig, TopologyKind
 from repro.gpu.counters import CounterSet
@@ -91,17 +93,26 @@ class MultiGpu:
         self.kernel_stats: list[KernelStats] = []
         self.governor = governor
         #: Per-GPM anchor cycles spent at each core point (governed runs).
-        self.dvfs_residency: dict[int, dict[str, float]] = {}
+        self._core_residency: list[dict[OperatingPoint, float]] = [
+            {} for _ in self.gpms
+        ]
         if governor is not None:
-            self._core_points = [
-                governor.initial_point(gpm.gpm_id) for gpm in self.gpms
-            ]
+            self._core_points = governor.initial_points(config.num_gpms)
             for gpm, point in zip(self.gpms, self._core_points):
                 gpm.apply_core_point(point, governor.curve)
             self._interval_utilization = self.engine.metrics.accumulator(
                 "dvfs.interval_utilization"
             )
             self._core_mhz = self.engine.metrics.accumulator("dvfs.core_mhz")
+
+    @property
+    def dvfs_residency(self) -> dict[int, dict[str, float]]:
+        """Governed core residency as ``{gpm_id: {point label: cycles}}``."""
+        return {
+            gpm_id: {point.label(): cycles for point, cycles in hist.items()}
+            for gpm_id, hist in enumerate(self._core_residency)
+            if hist
+        }
 
     def _gpm_scales(self, gpm_id: int) -> DomainScales:
         if self.config.dvfs is None:
@@ -156,7 +167,14 @@ class MultiGpu:
     # ------------------------------------------------------------------ driver
 
     def _govern_interval(self, start: float) -> None:
-        """One governor consultation covering the kernel just finished."""
+        """One governor consultation covering the kernel just finished.
+
+        All GPMs are observed first and the governor decides *jointly* over
+        the chip (:meth:`~repro.dvfs.governor.Governor.on_chip_interval`) —
+        a power-capping policy must see every module's utilization before it
+        can redistribute the budget.  Per-GPM governors behave identically to
+        the old one-module-at-a-time consultation.
+        """
         governor = self.governor
         if governor is None:
             return
@@ -164,6 +182,7 @@ class MultiGpu:
         window = now - start
         num_sms = self.config.gpm.num_sms
         tracer = self.engine.tracer
+        observations = []
         for gpm in self.gpms:
             current = self._core_points[gpm.gpm_id]
             busy_delta = gpm.busy_cycles() - self._busy_snapshot[gpm.gpm_id]
@@ -172,16 +191,19 @@ class MultiGpu:
                 0.0 if window <= 0
                 else min(1.0, busy_delta / (window * num_sms))
             )
-            residency = self.dvfs_residency.setdefault(gpm.gpm_id, {})
-            residency[current.label()] = (
-                residency.get(current.label(), 0.0) + window
+            if window > 0:
+                hist = self._core_residency[gpm.gpm_id]
+                hist[current] = hist.get(current, 0.0) + window
+            observations.append(
+                GpmObservation(
+                    gpm_id=gpm.gpm_id, utilization=utilization, current=current
+                )
             )
-            chosen = governor.on_interval(
-                gpm.gpm_id, utilization, current, now, window
-            )
-            self._interval_utilization.add(utilization)
+        chosen_points = governor.on_chip_interval(observations, now, window)
+        for gpm, observed, chosen in zip(self.gpms, observations, chosen_points):
+            self._interval_utilization.add(observed.utilization)
             self._core_mhz.add(chosen.frequency_hz / 1e6)
-            if chosen != current:
+            if chosen != observed.current:
                 self._core_points[gpm.gpm_id] = chosen
                 gpm.apply_core_point(chosen, governor.curve)
                 if tracer.enabled:
@@ -189,7 +211,7 @@ class MultiGpu:
                         "gpu",
                         f"dvfs.g{gpm.gpm_id}->{chosen.label()}",
                         now,
-                        args={"utilization": round(utilization, 3)},
+                        args={"utilization": round(observed.utilization, 3)},
                     )
 
     def _workload_body(self, workload: Workload) -> Generator:
@@ -253,3 +275,34 @@ class MultiGpu:
             if isinstance(self.topology, CompressedTopology):
                 counters.compression_codec_bytes = self.topology.codec_bytes
         return counters
+
+    def residency(self) -> DvfsResidency:
+        """Per-domain time-at-operating-point record of the finished run.
+
+        Governed runs report the accumulated per-GPM core histograms (DRAM
+        and interconnect stay at their configured static points); ungoverned
+        runs degenerate to single-bucket histograms spanning the whole run.
+        """
+        dvfs = self.config.dvfs
+        dram_point = dvfs.dram if dvfs is not None else K40_OPERATING_POINT
+        ic_point = (
+            dvfs.interconnect if dvfs is not None else K40_OPERATING_POINT
+        )
+        elapsed = self.engine.now
+        if self.governor is not None:
+            return DvfsResidency(
+                core=tuple(
+                    ResidencyHistogram(dict(hist))
+                    for hist in self._core_residency
+                ),
+                dram=ResidencyHistogram.single(dram_point, elapsed),
+                interconnect=ResidencyHistogram.single(ic_point, elapsed),
+            )
+        core_points = [
+            dvfs.core_point_for(gpm.gpm_id) if dvfs is not None
+            else K40_OPERATING_POINT
+            for gpm in self.gpms
+        ]
+        return DvfsResidency.static_run(
+            elapsed, core_points, dram_point, ic_point
+        )

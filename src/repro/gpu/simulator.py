@@ -11,7 +11,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.dvfs.governor import Governor
+from repro.dvfs.governor import Governor, PowerCapGovernor
+from repro.dvfs.operating_point import K40_VF_CURVE
+from repro.dvfs.residency import DvfsResidency
 from repro.gpu.config import GpuConfig
 from repro.gpu.counters import CounterSet
 from repro.gpu.cta_scheduler import CtaPartitioning
@@ -36,6 +38,10 @@ class RunResult:
     events_processed: int = 0
     #: Host wall-clock seconds the simulation took (not simulated time).
     wall_time_s: float = 0.0
+    #: Per-domain time-at-operating-point record (energy pricing input).
+    residency: DvfsResidency | None = None
+    #: The governor that steered the run, when one did (decision trace).
+    governor: Governor | None = None
 
     @property
     def events_per_sec(self) -> float:
@@ -94,9 +100,25 @@ class GpuSimulator:
         :class:`~repro.trace.MetricsRegistry` to collect component metrics;
         both default to the no-op fast path.  A
         :class:`~repro.dvfs.governor.Governor` re-points each GPM's core
-        V/f domain at kernel boundaries; governed runs are runtime behaviour
-        and must not go through the sweep cache.
+        V/f domain at kernel boundaries; explicitly-passed governors are
+        runtime behaviour and must not go through the sweep cache.
+
+        A configuration with ``power_cap_watts`` set (and no explicit
+        governor) automatically attaches a
+        :class:`~repro.dvfs.governor.PowerCapGovernor` for that budget —
+        making the capped run a deterministic function of the configuration,
+        which is what lets it share the sweep cache (the cap joins the
+        cache fingerprint).
         """
+        if governor is None and self.config.power_cap_watts is not None:
+            curve = (
+                self.config.dvfs.curve
+                if self.config.dvfs is not None
+                else K40_VF_CURVE
+            )
+            governor = PowerCapGovernor(
+                curve=curve, cap_watts=self.config.power_cap_watts
+            )
         gpu = MultiGpu(
             self.config,
             partitioning=self.partitioning,
@@ -116,6 +138,8 @@ class GpuSimulator:
             metrics=gpu.engine.metrics,
             events_processed=gpu.engine.events_processed,
             wall_time_s=wall_time_s,
+            residency=gpu.residency(),
+            governor=governor,
         )
 
 

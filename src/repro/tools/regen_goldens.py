@@ -23,6 +23,8 @@ import json
 import math
 from pathlib import Path
 
+from repro.dvfs.config import DvfsConfig
+from repro.dvfs.operating_point import K40_VF_CURVE
 from repro.experiments.runner import RESULTS_VERSION
 from repro.gpu.config import (
     GpmConfig,
@@ -78,19 +80,48 @@ GOLDEN_SPECS: dict[str, WorkloadSpec] = {
     ),
 }
 
+def _golden_interconnect() -> InterconnectConfig:
+    return InterconnectConfig(
+        kind=TopologyKind.RING,
+        per_gpm_bandwidth_gbps=256.0,
+        link_latency_cycles=15.0,
+        energy_pj_per_bit=0.54,
+    )
+
+
 GOLDEN_CONFIGS: dict[str, GpuConfig] = {
     "1gpm": GpuConfig(gpm=_golden_gpm(), num_gpms=1, name="golden-1gpm"),
     "4gpm-ring": GpuConfig(
         gpm=_golden_gpm(),
         num_gpms=4,
-        interconnect=InterconnectConfig(
-            kind=TopologyKind.RING,
-            per_gpm_bandwidth_gbps=256.0,
-            link_latency_cycles=15.0,
-            energy_pj_per_bit=0.54,
-        ),
+        interconnect=_golden_interconnect(),
         integration_domain=IntegrationDomain.ON_PACKAGE,
         name="golden-4gpm-ring",
+    ),
+    # A power-capped run: pins the PowerCapGovernor's waterfilling walk and
+    # the per-GPM core residency it leaves behind (150 W of a 250 W nominal).
+    "4gpm-cap": GpuConfig(
+        gpm=_golden_gpm(),
+        num_gpms=4,
+        interconnect=_golden_interconnect(),
+        integration_domain=IntegrationDomain.ON_PACKAGE,
+        power_cap_watts=150.0,
+        name="golden-4gpm-cap",
+    ),
+    # A multi-domain static DVFS run: every clock domain off the anchor at
+    # once (core below, interconnect above), pinning the cross-domain
+    # timing-scale plumbing.
+    "4gpm-multidomain": GpuConfig(
+        gpm=_golden_gpm(),
+        num_gpms=4,
+        interconnect=_golden_interconnect(),
+        integration_domain=IntegrationDomain.ON_PACKAGE,
+        dvfs=DvfsConfig(
+            core=K40_VF_CURVE.point_at(614.0e6),
+            dram=K40_VF_CURVE.point_at(562.0e6),
+            interconnect=K40_VF_CURVE.point_at(810.0e6),
+        ),
+        name="golden-4gpm-multidomain",
     ),
 }
 
@@ -125,10 +156,28 @@ def counters_to_json(counters: CounterSet) -> dict:
     }
 
 
+def golden_run(spec: WorkloadSpec, config: GpuConfig) -> tuple[dict, dict | None]:
+    """Simulate one golden pair: (canonical counters, residency or None).
+
+    The residency is only part of the snapshot for configurations that move
+    a clock domain (a cap or a static DVFS setting) — anchor-point configs
+    keep their original snapshot layout, byte for byte.
+    """
+    result = simulate(build_workload(spec), config)
+    pin_residency = (
+        config.power_cap_watts is not None or config.dvfs is not None
+    )
+    residency = (
+        result.residency.to_json()
+        if pin_residency and result.residency is not None
+        else None
+    )
+    return counters_to_json(result.counters), residency
+
+
 def golden_counters(spec: WorkloadSpec, config: GpuConfig) -> dict:
     """Simulate one golden pair and return its canonical counter JSON."""
-    result = simulate(build_workload(spec), config)
-    return counters_to_json(result.counters)
+    return golden_run(spec, config)[0]
 
 
 def golden_cases() -> list[tuple[str, str, str]]:
@@ -164,6 +213,38 @@ def diff_counters(expected: dict, actual: dict) -> list[str]:
     return diffs
 
 
+def diff_residency(expected: dict, actual: dict) -> list[str]:
+    """Differences between two ``DvfsResidency.to_json()`` snapshots."""
+    diffs: list[str] = []
+    domains = [("dram", expected.get("dram"), actual.get("dram")),
+               ("interconnect", expected.get("interconnect"),
+                actual.get("interconnect"))]
+    want_core = expected.get("core", [])
+    got_core = actual.get("core", [])
+    if len(want_core) != len(got_core):
+        return [f"core domains: golden={len(want_core)} actual={len(got_core)}"]
+    domains += [
+        (f"core[{idx}]", want, got)
+        for idx, (want, got) in enumerate(zip(want_core, got_core))
+    ]
+    for name, want, got in domains:
+        want, got = want or [], got or []
+        want_points = {entry["point"]: entry for entry in want}
+        got_points = {entry["point"]: entry for entry in got}
+        for label in sorted(set(want_points) | set(got_points)):
+            w, g = want_points.get(label), got_points.get(label)
+            if w is None or g is None:
+                diffs.append(f"{name}[{label}]: golden={w} actual={g}")
+            elif not math.isclose(
+                w["cycles"], g["cycles"], rel_tol=FLOAT_RTOL, abs_tol=1e-9
+            ):
+                diffs.append(
+                    f"{name}[{label}].cycles: golden={w['cycles']}"
+                    f" actual={g['cycles']}"
+                )
+    return diffs
+
+
 def golden_path(case_name: str) -> Path:
     return GOLDEN_DIR / f"{case_name}.json"
 
@@ -174,14 +255,17 @@ def regenerate(golden_dir: Path | None = None) -> list[Path]:
     target_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     for case_name, spec_key, config_key in golden_cases():
+        counters, residency = golden_run(
+            GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key]
+        )
         snapshot = {
             "results_version": RESULTS_VERSION,
             "workload": spec_key,
             "config": GOLDEN_CONFIGS[config_key].label(),
-            "counters": golden_counters(
-                GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key]
-            ),
+            "counters": counters,
         }
+        if residency is not None:
+            snapshot["residency"] = residency
         path = target_dir / f"{case_name}.json"
         with path.open("w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)

@@ -54,6 +54,10 @@ class RunManifest:
     #: clock, excluding workload build time) — makes per-run throughput
     #: regressions visible without the bench harness.
     events_per_sec: float = 0.0
+    #: Per-domain operating-point residency of the producing run
+    #: (``DvfsResidency.to_json()``); ``None`` when the manifest predates
+    #: residency accounting.
+    dvfs_residency: dict | None = None
     host: dict = field(default_factory=host_info)
     created_at: str = ""
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -79,6 +83,7 @@ class RunManifest:
             wall_time_s=data["wall_time_s"],
             events_processed=data.get("events_processed", 0),
             events_per_sec=data.get("events_per_sec", 0.0),
+            dvfs_residency=data.get("dvfs_residency"),
             host=data.get("host", {}),
             created_at=data.get("created_at", ""),
             schema_version=data.get("schema_version", MANIFEST_SCHEMA_VERSION),

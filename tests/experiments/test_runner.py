@@ -203,6 +203,34 @@ class TestCacheKeyStability:
         assert len(keys) == 3
         assert _cache_key(spec, plain) == self.PINNED[("Stream", 4)]
 
+    def test_unconfigured_cap_absent_from_fingerprint(self):
+        from repro.experiments.runner import _config_fingerprint
+
+        assert "power_cap_watts" not in _config_fingerprint(
+            table_iii_config(2)
+        )
+
+    def test_configured_cap_changes_key(self):
+        from repro.experiments.runner import _cache_key
+        from repro.workloads.suite import WORKLOAD_SPECS
+
+        spec = WORKLOAD_SPECS["Stream"]
+        plain = table_iii_config(4)
+        capped = dataclasses.replace(plain, power_cap_watts=150.0)
+        tighter = dataclasses.replace(plain, power_cap_watts=120.0)
+        keys = {
+            _cache_key(spec, plain),
+            _cache_key(spec, capped),
+            _cache_key(spec, tighter),
+        }
+        assert len(keys) == 3
+        # The capped key is itself stable run-to-run (cacheable), and the
+        # uncapped config still resolves to its pre-DVFS pinned identity.
+        assert _cache_key(spec, capped) == _cache_key(
+            spec, dataclasses.replace(plain, power_cap_watts=150.0)
+        )
+        assert _cache_key(spec, plain) == self.PINNED[("Stream", 4)]
+
 
 class TestOperatingPointGrid:
     def test_run_grid_expands_point_axis(self, runner):

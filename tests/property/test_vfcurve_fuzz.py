@@ -1,0 +1,137 @@
+"""Fuzzing the V/f-curve and operating-point validation layer.
+
+Malformed grids — non-monotone frequencies or voltages, duplicate
+frequencies, zero/negative/non-finite values — must be rejected at
+construction with :class:`repro.errors.ConfigError`, never swallowed into
+NaN or infinite energy downstream.  Any grid that *does* survive validation
+must yield finite, positive scaling ratios and finite energy parameters at
+every one of its points.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dvfs.config import DvfsConfig
+from repro.dvfs.governor import GpmPowerModel
+from repro.dvfs.operating_point import OperatingPoint, VfCurve
+from repro.errors import ConfigError, ReproError
+
+#: Frequencies/voltages including the hostile values validation must catch.
+hostile_floats = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.sampled_from([0.0, -1.0, -0.0, math.nan, math.inf, -math.inf]),
+    st.floats(min_value=1e5, max_value=2e9),
+)
+
+sane_frequencies = st.floats(min_value=1e8, max_value=2e9)
+sane_voltages = st.floats(min_value=0.5, max_value=1.5)
+
+
+class TestOperatingPointFuzz:
+    @given(frequency=hostile_floats, voltage=hostile_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_construction_rejects_or_yields_finite_point(
+        self, frequency, voltage
+    ):
+        try:
+            point = OperatingPoint(frequency_hz=frequency, voltage_v=voltage)
+        except ConfigError:
+            return  # rejected: the only acceptable failure mode
+        assert math.isfinite(point.frequency_hz) and point.frequency_hz > 0
+        assert math.isfinite(point.voltage_v) and point.voltage_v > 0
+
+    @given(value=st.sampled_from([math.nan, math.inf, -math.inf, 0.0, -1.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_non_finite_and_non_positive_always_rejected(self, value):
+        for kwargs in (
+            {"frequency_hz": value, "voltage_v": 1.0},
+            {"frequency_hz": 745e6, "voltage_v": value},
+        ):
+            try:
+                OperatingPoint(**kwargs)
+            except ConfigError:
+                continue
+            raise AssertionError(f"accepted malformed point {kwargs!r}")
+
+
+@st.composite
+def point_grids(draw):
+    """Candidate curve grids: sometimes valid, often subtly malformed."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    frequencies = draw(
+        st.lists(sane_frequencies, min_size=n, max_size=n)
+    )
+    voltages = draw(st.lists(sane_voltages, min_size=n, max_size=n))
+    if draw(st.booleans()):
+        frequencies = sorted(frequencies)
+    if draw(st.booleans()):
+        voltages = sorted(voltages)
+    if n > 1 and draw(st.booleans()):
+        # Inject a duplicate frequency (must be rejected: not strictly
+        # increasing).
+        frequencies[draw(st.integers(0, n - 2)) + 1] = frequencies[0]
+    anchor_index = draw(st.integers(min_value=0, max_value=n - 1))
+    return frequencies, voltages, anchor_index
+
+
+class TestVfCurveFuzz:
+    @given(grid=point_grids())
+    @settings(max_examples=300, deadline=None)
+    def test_curves_reject_or_scale_finitely(self, grid):
+        frequencies, voltages, anchor_index = grid
+        try:
+            points = tuple(
+                OperatingPoint(frequency_hz=f, voltage_v=v)
+                for f, v in zip(frequencies, voltages)
+            )
+            curve = VfCurve(
+                points=points,
+                anchor_frequency_hz=frequencies[anchor_index],
+            )
+        except ConfigError:
+            return  # malformed grid rejected at construction
+
+        # Surviving curves must produce finite, positive ratios and watts
+        # at every point -- NaN energy is never acceptable.
+        model = GpmPowerModel()
+        for point in curve.points:
+            freq_ratio = curve.frequency_ratio(point)
+            volt_ratio = curve.voltage_ratio(point)
+            assert math.isfinite(freq_ratio) and freq_ratio > 0
+            assert math.isfinite(volt_ratio) and volt_ratio > 0
+            watts = model.point_watts(curve, point)
+            assert math.isfinite(watts) and watts > 0
+
+    @given(grid=point_grids())
+    @settings(max_examples=100, deadline=None)
+    def test_surviving_curves_price_finite_energy(self, grid):
+        from repro.core.energy_model import EnergyParams
+        from repro.gpu.config import table_iii_config
+
+        frequencies, voltages, anchor_index = grid
+        try:
+            curve = VfCurve(
+                points=tuple(
+                    OperatingPoint(frequency_hz=f, voltage_v=v)
+                    for f, v in zip(frequencies, voltages)
+                ),
+                anchor_frequency_hz=frequencies[anchor_index],
+            )
+            dvfs = DvfsConfig(
+                core=curve.points[0],
+                dram=curve.points[-1],
+                interconnect=curve.anchor,
+                curve=curve,
+            )
+        except ReproError:
+            return  # rejected grids and span violations are both fine
+        from dataclasses import replace
+
+        config = replace(table_iii_config(1), dvfs=dvfs)
+        params = EnergyParams.for_operating_point(config)
+        assert math.isfinite(params.total_constant_power_w)
+        assert math.isfinite(params.constants.const_power_w)
+        assert math.isfinite(params.constants.ep_stall_nj)
+        for cost in params.epi_nj.values():
+            assert math.isfinite(cost)

@@ -20,9 +20,11 @@ from repro.tools.regen_goldens import (
     GOLDEN_SPECS,
     counters_to_json,
     diff_counters,
+    diff_residency,
     golden_cases,
     golden_counters,
     golden_path,
+    golden_run,
 )
 
 CASES = golden_cases()
@@ -51,10 +53,13 @@ class TestGoldenCounters:
             f" {golden['results_version']} but the simulator is at"
             f" {RESULTS_VERSION}; run `python -m repro.tools.regen_goldens`"
         )
-        actual = golden_counters(
+        counters, residency = golden_run(
             GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key]
         )
-        diffs = diff_counters(golden["counters"], actual)
+        diffs = diff_counters(golden["counters"], counters)
+        if "residency" in golden:
+            assert residency is not None
+            diffs += diff_residency(golden["residency"], residency)
         assert not diffs, (
             f"simulator semantics drifted from golden {case_name}:\n  "
             + "\n  ".join(diffs)
@@ -78,8 +83,53 @@ class TestGoldenCoverage:
         golden = _load_golden("stream-micro_1gpm")
         counters = golden["counters"]
         assert counters["remote_accesses"] == 0
-        assert counters["inter_gpm_bytes"] == 0
-        assert counters["local_accesses"] > 0
+
+    def test_capped_golden_actually_throttles(self):
+        """The capped golden must pin real governor behaviour: residency off
+        the anchor and a budget the waterfill estimate respects."""
+        from repro.dvfs.governor import GpmPowerModel
+        from repro.dvfs.operating_point import K40_VF_CURVE
+        from repro.gpu.simulator import simulate
+        from repro.workloads.generator import build_workload
+
+        golden = _load_golden("shared-micro_4gpm-cap")
+        assert "residency" in golden
+        anchor_hz = K40_VF_CURVE.anchor.frequency_hz
+        off_anchor = [
+            entry
+            for hist in golden["residency"]["core"]
+            for entry in hist
+            if entry["frequency_hz"] != anchor_hz
+        ]
+        assert off_anchor, "capped golden never left the anchor point"
+
+        config = GOLDEN_CONFIGS["4gpm-cap"]
+        result = simulate(
+            build_workload(GOLDEN_SPECS["shared-micro"]), config
+        )
+        model = GpmPowerModel()
+        for decision in result.governor.trace:
+            assert decision.estimated_chip_watts <= config.power_cap_watts
+        per_interval: dict[float, list] = {}
+        for decision in result.governor.trace:
+            per_interval.setdefault(decision.at_cycle, []).append(
+                decision.point
+            )
+        for points in per_interval.values():
+            assert (
+                model.chip_watts(K40_VF_CURVE, points)
+                <= config.power_cap_watts
+            )
+
+    def test_multidomain_golden_scales_every_domain(self):
+        golden = _load_golden("shared-micro_4gpm-multidomain")
+        residency = golden["residency"]
+        assert [e["frequency_hz"] for e in residency["dram"]] == [562.0e6]
+        assert [
+            e["frequency_hz"] for e in residency["interconnect"]
+        ] == [810.0e6]
+        for hist in residency["core"]:
+            assert [e["frequency_hz"] for e in hist] == [614.0e6]
 
 
 class TestDiffDetection:
