@@ -170,6 +170,7 @@ def _trace_main(argv: list[str]) -> int:
 
 def _profile_main(argv: list[str]) -> int:
     """``repro profile``: print component metrics for one workload."""
+    from repro.core.energy_model import EnergyParams
     from repro.gpu.simulator import simulate
     from repro.trace import MetricsRegistry
 
@@ -199,6 +200,24 @@ def _profile_main(argv: list[str]) -> int:
     print(f"  events processed  {result.events_processed:14d}")
     print(f"  sim wall time     {result.wall_time_s:14.3f}s")
     print(f"  events/sec        {result.events_per_sec:14.0f}")
+
+    breakdown = result.energy_breakdown(
+        EnergyParams.for_operating_point(config, residency=result.residency)
+    )
+    print(f"  energy            {breakdown.total * 1e6:14.2f}uJ")
+    if breakdown.per_gpm:
+        print()
+        print(
+            f"  {'gpm':<4} {'core scale':>10} {'busy uJ':>10}"
+            f" {'stall uJ':>10} {'cache uJ':>10} {'total uJ':>10}"
+        )
+        for gpm in breakdown.per_gpm:
+            cache_j = gpm.shared_to_rf + gpm.l1_to_rf + gpm.l2_to_l1
+            print(
+                f"  {gpm.gpm_id:<4d} {gpm.core_scale:>10.3f}"
+                f" {gpm.sm_busy * 1e6:>10.2f} {gpm.sm_idle * 1e6:>10.2f}"
+                f" {cache_j * 1e6:>10.2f} {gpm.total * 1e6:>10.2f}"
+            )
     print()
     print(f"  {'metric':<32} {'count':>10} {'mean':>12} {'min':>12} {'max':>12}")
     for name, row in metrics.snapshot().items():
@@ -261,6 +280,20 @@ def _dvfs_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     spec, workload, config = _observed_pair(parser, args)
+    if args.cap_watts is not None:
+        # Reject an unsatisfiable budget up front with a one-line error
+        # instead of tracebacking after the (expensive) ladder sweep.
+        from repro.dvfs.governor import PowerCapGovernor
+        from repro.errors import ConfigError
+
+        curve = config.dvfs.curve if config.dvfs is not None else K40_VF_CURVE
+        try:
+            PowerCapGovernor(
+                curve=curve, cap_watts=args.cap_watts
+            ).initial_points(config.num_gpms)
+        except ConfigError as error:
+            print(f"repro dvfs: {error}", file=sys.stderr)
+            return 2
     anchor_hz = K40_VF_CURVE.anchor.frequency_hz
     samples = []
     for point in K40_VF_CURVE.points:
@@ -347,6 +380,15 @@ def _dvfs_main(argv: list[str]) -> int:
                 f"  -> {decision.point.label()}"
                 f"  (est {decision.estimated_chip_watts:.1f} W)"
             )
+        if energy.per_gpm:
+            print("    per-GPM core-domain energy (residency-priced):")
+            for gpm in energy.per_gpm:
+                print(
+                    f"    gpm{gpm.gpm_id}: scale={gpm.core_scale:.3f}"
+                    f" busy={gpm.sm_busy * 1e6:.2f}uJ"
+                    f" stall={gpm.sm_idle * 1e6:.2f}uJ"
+                    f" total={gpm.total * 1e6:.2f}uJ"
+                )
     return 0
 
 

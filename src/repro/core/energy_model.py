@@ -28,6 +28,48 @@ from repro.isa.opcodes import Opcode
 from repro.units import nj, pj_per_bit_to_joules_per_byte
 
 
+@dataclass(frozen=True)
+class GpmEnergy:
+    """One GPM's core-domain energy, priced at its own operating scales.
+
+    Covers exactly the components the per-GPM core clock domain prices
+    (compute EPIs, stalls, and the on-module cache EPTs); the chip-global
+    domains (DRAM, interconnect, constant power) have no per-GPM split.
+    """
+
+    gpm_id: int
+    core_scale: float     # V² dynamic scale of this GPM's core domain
+    stall_scale: float    # V²·f stall scale of this GPM's core domain
+    sm_busy: float
+    sm_idle: float
+    shared_to_rf: float
+    l1_to_rf: float
+    l2_to_l1: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.sm_busy
+            + self.sm_idle
+            + self.shared_to_rf
+            + self.l1_to_rf
+            + self.l2_to_l1
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "gpm_id": self.gpm_id,
+            "core_scale": self.core_scale,
+            "stall_scale": self.stall_scale,
+            "sm_busy": self.sm_busy,
+            "sm_idle": self.sm_idle,
+            "shared_to_rf": self.shared_to_rf,
+            "l1_to_rf": self.l1_to_rf,
+            "l2_to_l1": self.l2_to_l1,
+            "total": self.total,
+        }
+
+
 @dataclass
 class EnergyBreakdown:
     """Joules per component — the stacks of Figure 7."""
@@ -40,6 +82,11 @@ class EnergyBreakdown:
     l2_to_l1: float = 0.0
     dram_to_l2: float = 0.0
     inter_gpm: float = 0.0        # link traversal energy (incl. switch hops)
+    #: Per-GPM core-domain attribution (filled when the counters carry
+    #: per-GPM shards and the pricing carries per-GPM scales).  Not part of
+    #: :attr:`total` — for mixed-clock runs the chip core-domain components
+    #: above already *are* the exact sums of these entries.
+    per_gpm: tuple[GpmEnergy, ...] = ()
 
     #: Display order used by the Figure 7 rendering.
     COMPONENT_ORDER = (
@@ -78,6 +125,59 @@ class EnergyBreakdown:
         return getattr(self, component) / total
 
 
+def _mean_scale(values: list[float]) -> float:
+    """Equal-weight mean of per-GPM scales, exact when they all agree.
+
+    Identical per-GPM scales (the uniform common case) bypass the average so
+    no rounding separates a uniform run from direct per-point pricing.
+    """
+    if all(value == values[0] for value in values):
+        return values[0]
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class CoreDomainPricing:
+    """Per-GPM core-domain scale vectors plus the unscaled base costs.
+
+    This is what lets :class:`EnergyModel` price a mixed-clock chip exactly:
+    ``Σ_g scale_g · (EPI·IC_g + EPT·TC_g + EPStall·stalls_g)`` over per-GPM
+    counter shards, instead of ``mean(scale) · global``.  The base costs are
+    the pre-scale values of the params that produced this pricing, so each
+    GPM's events reprice from first principles at its own scale.
+    """
+
+    #: V² dynamic scale per GPM, in GPM-id order.
+    core_sq: tuple[float, ...]
+    #: V²·f stall scale per GPM, in GPM-id order.
+    stall_scale: tuple[float, ...]
+    base_epi_nj: dict[Opcode, float]
+    base_shared_rf_ept_j: float
+    base_l1_rf_ept_j: float
+    base_l2_l1_ept_j: float
+    base_ep_stall_nj: float
+
+    def __post_init__(self) -> None:
+        if not self.core_sq:
+            raise ConfigError("core pricing needs at least one GPM scale")
+        if len(self.core_sq) != len(self.stall_scale):
+            raise ConfigError(
+                f"core pricing scale vectors disagree: {len(self.core_sq)}"
+                f" dynamic vs {len(self.stall_scale)} stall scales"
+            )
+
+    @property
+    def num_gpms(self) -> int:
+        return len(self.core_sq)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every GPM shares one scale (pricing collapses exactly)."""
+        return all(s == self.core_sq[0] for s in self.core_sq) and all(
+            s == self.stall_scale[0] for s in self.stall_scale
+        )
+
+
 @dataclass(frozen=True)
 class EnergyParams:
     """Everything the model needs to price one run."""
@@ -103,6 +203,9 @@ class EnergyParams:
     constants: EnergyConstants = field(default_factory=EnergyConstants)
     num_gpms: int = 1
     constant_growth_per_gpm: float = 1.0
+    #: Per-GPM core-domain scales (set by the DVFS/residency scaling paths);
+    #: ``None`` means anchor-point pricing with no per-GPM attribution.
+    core_pricing: CoreDomainPricing | None = None
 
     def __post_init__(self) -> None:
         if self.num_gpms <= 0:
@@ -160,13 +263,21 @@ class EnergyParams:
             if config.compression is not None
             else 0.0
         )
-        return cls(
+        params = cls(
             link_pj_per_bit=link_pj_per_bit,
             switch_pj_per_bit=switch_pj,
             codec_pj_per_byte=codec_pj,
             constants=constants or EnergyConstants(),
             num_gpms=config.num_gpms,
             constant_growth_per_gpm=constant_growth_per_gpm,
+        )
+        # Anchor pricing is the identity scale on every GPM; carrying it
+        # explicitly lets sharded counters report per-GPM attribution even
+        # for never-rescaled runs, and makes anchor-DVFS params compare
+        # equal to these.
+        identity = [1.0] * config.num_gpms
+        return replace(
+            params, core_pricing=params._core_pricing(identity, identity)
         )
 
     def with_link_energy(self, link_pj_per_bit: float) -> "EnergyParams":
@@ -235,24 +346,45 @@ class EnergyParams:
           idle-clocking share (∝ f·V²), governed by
           ``dvfs.leakage_fraction``.
 
-        With multiple per-GPM core points, core ratios are the equal-weight
-        means across GPMs (counters are global; see ``docs/POWER.md``).
+        With multiple per-GPM core points, every per-GPM scale is carried in
+        :attr:`core_pricing` so the model can price each GPM's counter shard
+        at that GPM's own scale (exact mixed-clock attribution); the baked
+        chip-wide fields fall back to the equal-weight mean of the per-GPM
+        scales for counters without shards (see ``docs/POWER.md``).
         """
-        core_f, core_v = dvfs.mean_core_ratios()
-        dram_v = dvfs.curve.voltage_ratio(dvfs.dram)
-        ic_v = dvfs.curve.voltage_ratio(dvfs.interconnect)
-        core_sq = core_v * core_v
-        dram_sq = dram_v * dram_v
-        ic_sq = ic_v * ic_v
+        curve = dvfs.curve
+        if dvfs.core_per_gpm:
+            if len(dvfs.core_per_gpm) != self.num_gpms:
+                raise ConfigError(
+                    f"core_per_gpm has {len(dvfs.core_per_gpm)} points but"
+                    f" the pricing covers {self.num_gpms} GPMs"
+                )
+            pairs = [
+                (curve.frequency_ratio(point), curve.voltage_ratio(point))
+                for point in dvfs.core_per_gpm
+            ]
+        else:
+            pairs = [
+                (curve.frequency_ratio(dvfs.core),
+                 curve.voltage_ratio(dvfs.core))
+            ] * self.num_gpms
         leak = dvfs.leakage_fraction
-        constant_scale = leak * core_v + (1.0 - leak) * core_f * core_sq
-        stall_scale = core_sq * core_f
+        # Expression shapes mirror scaled_for_residency's point functions so
+        # static and single-bucket-residency pricing round identically.
+        core_sq_vec = [v * v for _, v in pairs]
+        stall_vec = [(v * v) * f for f, v in pairs]
+        const_vec = [
+            leak * v + (1.0 - leak) * f * (v * v) for f, v in pairs
+        ]
+        dram_v = curve.voltage_ratio(dvfs.dram)
+        ic_v = curve.voltage_ratio(dvfs.interconnect)
         return self._with_domain_scales(
-            core_sq=core_sq,
-            stall_scale=stall_scale,
-            constant_scale=constant_scale,
-            dram_sq=dram_sq,
-            ic_sq=ic_sq,
+            core_sq=_mean_scale(core_sq_vec),
+            stall_scale=_mean_scale(stall_vec),
+            constant_scale=_mean_scale(const_vec),
+            dram_sq=dram_v * dram_v,
+            ic_sq=ic_v * ic_v,
+            core_pricing=self._core_pricing(core_sq_vec, stall_vec),
         )
 
     def scaled_for_residency(
@@ -276,6 +408,12 @@ class EnergyParams:
         where ``w_p`` is the fraction of the run domain ``d`` spent at point
         ``p`` and λ is ``leakage_fraction``.  A single-bucket residency
         (``w = 1.0``) reproduces :meth:`scaled_for` bit-for-bit.
+
+        Each GPM's weighted scales are also carried per GPM in
+        :attr:`core_pricing`, so runs whose counters carry per-GPM shards
+        price each module's events at that module's own residency-weighted
+        scale (exact mixed-clock attribution); the baked chip-wide fields
+        keep the equal-weight mean across GPMs as the shardless fallback.
         """
         leak = leakage_fraction
         if not 0.0 <= leak <= 1.0:
@@ -294,29 +432,36 @@ class EnergyParams:
         def _const(freq: float, volt: float) -> float:
             return leak * volt + (1.0 - leak) * freq * (volt * volt)
 
-        def _mean(values: list[float]) -> float:
-            # Identical per-GPM scales (the uniform-governor common case)
-            # bypass the average so no rounding separates a static-governor
-            # run from direct per-point pricing.
-            if all(value == values[0] for value in values):
-                return values[0]
-            return sum(values) / len(values)
-
-        core_sq = _mean(
-            [h.weighted_mean(_dyn, curve) for h in residency.core]
-        )
-        stall_scale = _mean(
-            [h.weighted_mean(_stall, curve) for h in residency.core]
-        )
-        constant_scale = _mean(
-            [h.weighted_mean(_const, curve) for h in residency.core]
-        )
+        core_sq_vec = [
+            h.weighted_mean(_dyn, curve) for h in residency.core
+        ]
+        stall_vec = [
+            h.weighted_mean(_stall, curve) for h in residency.core
+        ]
+        const_vec = [
+            h.weighted_mean(_const, curve) for h in residency.core
+        ]
         return self._with_domain_scales(
-            core_sq=core_sq,
-            stall_scale=stall_scale,
-            constant_scale=constant_scale,
+            core_sq=_mean_scale(core_sq_vec),
+            stall_scale=_mean_scale(stall_vec),
+            constant_scale=_mean_scale(const_vec),
             dram_sq=residency.dram.weighted_mean(_dyn, curve),
             ic_sq=residency.interconnect.weighted_mean(_dyn, curve),
+            core_pricing=self._core_pricing(core_sq_vec, stall_vec),
+        )
+
+    def _core_pricing(
+        self, core_sq_vec: list[float], stall_vec: list[float]
+    ) -> CoreDomainPricing:
+        """Per-GPM pricing capturing this params' pre-scale base costs."""
+        return CoreDomainPricing(
+            core_sq=tuple(core_sq_vec),
+            stall_scale=tuple(stall_vec),
+            base_epi_nj=dict(self.epi_nj),
+            base_shared_rf_ept_j=self.shared_rf_ept_j,
+            base_l1_rf_ept_j=self.l1_rf_ept_j,
+            base_l2_l1_ept_j=self.l2_l1_ept_j,
+            base_ep_stall_nj=self.constants.ep_stall_nj,
         )
 
     def _with_domain_scales(
@@ -326,6 +471,7 @@ class EnergyParams:
         constant_scale: float,
         dram_sq: float,
         ic_sq: float,
+        core_pricing: CoreDomainPricing | None = None,
     ) -> "EnergyParams":
         """Apply per-domain scale factors to every priced cost."""
         constants = replace(
@@ -344,6 +490,7 @@ class EnergyParams:
             switch_pj_per_bit=self.switch_pj_per_bit * ic_sq,
             codec_pj_per_byte=self.codec_pj_per_byte * ic_sq,
             constants=constants,
+            core_pricing=core_pricing,
         )
 
 
@@ -354,29 +501,66 @@ class EnergyModel:
         self.params = params
 
     def evaluate(self, counters: CounterSet, exec_time_s: float) -> EnergyBreakdown:
-        """Price one run; returns the component breakdown in joules."""
+        """Price one run; returns the component breakdown in joules.
+
+        When the counters carry per-GPM shards and the params carry per-GPM
+        core scales, each shard is priced at its own GPM's scale.  For a
+        mixed-clock chip the core-domain components become the exact sums
+        ``Σ_g scale_g · (EPI·IC_g + EPT·TC_g + EPStall·stalls_g)``; a
+        uniform-clock chip keeps the (bit-identical) global-counter path and
+        the per-GPM entries are attribution only.  Counters without shards
+        fall back to the chip-wide mean scales baked into the params.
+        """
         if exec_time_s < 0:
             raise ConfigError(f"negative execution time: {exec_time_s!r}")
         params = self.params
         constants = params.constants
         breakdown = EnergyBreakdown()
 
-        warp = constants.warp_size
-        epi = params.epi_nj
-        busy = 0.0
-        for opcode, count in counters.instructions.items():
-            per_instr_nj = epi.get(opcode)
-            if per_instr_nj is None:
-                raise ConfigError(f"no EPI entry for opcode {opcode}")
-            busy += per_instr_nj * count * warp
-        breakdown.sm_busy = nj(busy)
+        pricing = params.core_pricing
+        shards = counters.per_gpm
+        if pricing is not None and shards:
+            if len(shards) != pricing.num_gpms:
+                raise ConfigError(
+                    f"counters carry {len(shards)} per-GPM shards but the"
+                    f" pricing covers {pricing.num_gpms} GPMs"
+                )
+            breakdown.per_gpm = tuple(
+                self._gpm_energy(pricing, gpm_id, shard)
+                for gpm_id, shard in enumerate(shards)
+            )
 
-        breakdown.sm_idle = nj(constants.ep_stall_nj * counters.sm_idle_cycles)
+        if breakdown.per_gpm and not pricing.is_uniform:
+            # Mixed clocks: the chip core-domain components are the exact
+            # sums of the per-GPM attributions.
+            breakdown.sm_busy = sum(g.sm_busy for g in breakdown.per_gpm)
+            breakdown.sm_idle = sum(g.sm_idle for g in breakdown.per_gpm)
+            breakdown.shared_to_rf = sum(
+                g.shared_to_rf for g in breakdown.per_gpm
+            )
+            breakdown.l1_to_rf = sum(g.l1_to_rf for g in breakdown.per_gpm)
+            breakdown.l2_to_l1 = sum(g.l2_to_l1 for g in breakdown.per_gpm)
+        else:
+            warp = constants.warp_size
+            epi = params.epi_nj
+            busy = 0.0
+            for opcode, count in counters.instructions.items():
+                per_instr_nj = epi.get(opcode)
+                if per_instr_nj is None:
+                    raise ConfigError(f"no EPI entry for opcode {opcode}")
+                busy += per_instr_nj * count * warp
+            breakdown.sm_busy = nj(busy)
+
+            breakdown.sm_idle = nj(
+                constants.ep_stall_nj * counters.sm_idle_cycles
+            )
+            breakdown.shared_to_rf = (
+                params.shared_rf_ept_j * counters.shared_rf_txns
+            )
+            breakdown.l1_to_rf = params.l1_rf_ept_j * counters.l1_rf_txns
+            breakdown.l2_to_l1 = params.l2_l1_ept_j * counters.l2_l1_txns
+
         breakdown.constant = params.total_constant_power_w * exec_time_s
-
-        breakdown.shared_to_rf = params.shared_rf_ept_j * counters.shared_rf_txns
-        breakdown.l1_to_rf = params.l1_rf_ept_j * counters.l1_rf_txns
-        breakdown.l2_to_l1 = params.l2_l1_ept_j * counters.l2_l1_txns
         breakdown.dram_to_l2 = params.dram_l2_ept_j * counters.dram_l2_txns
 
         link_j_per_byte = pj_per_bit_to_joules_per_byte(params.link_pj_per_bit)
@@ -387,6 +571,47 @@ class EnergyModel:
             + params.codec_pj_per_byte * 1e-12 * counters.compression_codec_bytes
         )
         return breakdown
+
+    def _gpm_energy(
+        self, pricing: CoreDomainPricing, gpm_id: int, shard: CounterSet
+    ) -> GpmEnergy:
+        """Price one GPM's counter shard at that GPM's own core scales.
+
+        Expression shapes mirror the global path (cost scaled first, then
+        multiplied by the count) so a uniform chip's per-GPM entries reprice
+        each shard exactly as the global path would.
+        """
+        constants = self.params.constants
+        warp = constants.warp_size
+        core_sq = pricing.core_sq[gpm_id]
+        stall_scale = pricing.stall_scale[gpm_id]
+        base_epi = pricing.base_epi_nj
+        busy = 0.0
+        for opcode, count in shard.instructions.items():
+            per_instr_nj = base_epi.get(opcode)
+            if per_instr_nj is None:
+                raise ConfigError(f"no EPI entry for opcode {opcode}")
+            busy += (per_instr_nj * core_sq) * count * warp
+        return GpmEnergy(
+            gpm_id=gpm_id,
+            core_scale=core_sq,
+            stall_scale=stall_scale,
+            sm_busy=nj(busy),
+            sm_idle=nj(
+                (pricing.base_ep_stall_nj * stall_scale)
+                * shard.sm_idle_cycles
+            ),
+            shared_to_rf=(
+                (pricing.base_shared_rf_ept_j * core_sq)
+                * shard.shared_rf_txns
+            ),
+            l1_to_rf=(
+                (pricing.base_l1_rf_ept_j * core_sq) * shard.l1_rf_txns
+            ),
+            l2_to_l1=(
+                (pricing.base_l2_l1_ept_j * core_sq) * shard.l2_l1_txns
+            ),
+        )
 
     def total_energy(self, counters: CounterSet, exec_time_s: float) -> float:
         """Total joules for one run (Eq. 4 without the breakdown)."""

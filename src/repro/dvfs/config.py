@@ -145,13 +145,21 @@ class DvfsConfig:
             interconnect_freq=ic_f, interconnect_volt=ic_v,
         )
 
-    def mean_core_ratios(self) -> tuple[float, float]:
-        """Mean (f, V) core ratios across GPMs (global-counter energy pricing).
+    def mean_core_ratios(self, num_gpms: int) -> tuple[float, float]:
+        """Mean (f, V) core ratios across ``num_gpms`` GPMs (diagnostics).
 
         With a single chip-wide core point this is exact; with per-GPM points
-        it is the equal-weight approximation the energy model documents in
-        ``docs/POWER.md`` (global counters cannot be attributed per GPM).
+        it is an equal-weight approximation — the energy model no longer uses
+        it for pricing (per-GPM counter shards price each module exactly; see
+        ``docs/POWER.md``), so this survives only for reporting.  A per-GPM
+        point list that does not cover exactly ``num_gpms`` modules would
+        silently mis-weight the mean, so it is rejected.
         """
+        if self.core_per_gpm and len(self.core_per_gpm) != num_gpms:
+            raise ConfigError(
+                f"core_per_gpm has {len(self.core_per_gpm)} points but the"
+                f" chip has {num_gpms} GPMs"
+            )
         points = self.core_per_gpm or (self.core,)
         pairs = [_ratios(self.curve, point) for point in points]
         return (

@@ -48,11 +48,28 @@ class ResidencyHistogram:
         A single-bucket histogram yields exactly ``{point: 1.0}`` (a float
         divided by itself), so static residencies price bit-identically to
         the direct per-point scaling.
+
+        Multi-bucket shares must exactly partition the run: each division
+        rounds, so the naive shares can sum to 1.0 ± a few ulp.  The largest
+        bucket is therefore priced as the complement of the others and placed
+        *last* in the returned dict — summing the values in iteration order
+        then computes ``s + fl(1.0 - s)``, which rounds to exactly 1.0
+        (Sterbenz for s >= 0.5; within a quarter ulp of 1.0 otherwise).
         """
         total = self.total_cycles
         if total <= 0:
             return {}
-        return {point: cycles / total for point, cycles in self.cycles.items()}
+        if len(self.cycles) == 1:
+            ((point, cycles),) = self.cycles.items()
+            return {point: cycles / total}
+        largest = max(self.cycles, key=lambda point: self.cycles[point])
+        shares = {
+            point: cycles / total
+            for point, cycles in self.cycles.items()
+            if point is not largest
+        }
+        shares[largest] = 1.0 - sum(shares.values())
+        return shares
 
     def weighted_mean(self, fn: Callable[[float, float], float], curve: VfCurve) -> float:
         """Time-weighted mean of ``fn(freq_ratio, volt_ratio)`` over the points.

@@ -68,6 +68,13 @@ class CappingStudyResult:
     mean_power_w: dict[float | None, dict[int, float]] = field(
         default_factory=dict
     )
+    #: Per-GPM core-energy imbalance (max/mean across GPMs, averaged over
+    #: workloads), same keying as ``edpse``.  1.0 means every module burned
+    #: the same core-domain energy; waterfilling under a tight cap drives it
+    #: up as the governor starves some GPMs to feed others.
+    core_imbalance: dict[float | None, dict[int, float]] = field(
+        default_factory=dict
+    )
 
     def record(
         self, fraction: float | None, num_gpms: int, workload: str
@@ -120,7 +127,35 @@ class CappingStudyResult:
                 " hard constraint on the worst-case allocation)."
             ),
         )
-        return f"{edpse_table}\n\n{power_table}"
+        tables = [edpse_table, power_table]
+        # Records cached before per-GPM attribution carry no shards; only
+        # render the imbalance surface when every cell could be computed.
+        have_imbalance = bool(self.core_imbalance) and all(
+            n in self.core_imbalance.get(fraction, {})
+            for fraction in fractions
+            for n in gpm_counts
+        )
+        if have_imbalance:
+            imbalance_rows = [
+                [_budget_label(fraction)]
+                + [self.core_imbalance[fraction][n] for n in gpm_counts]
+                for fraction in fractions
+            ]
+            tables.append(
+                render_table(
+                    "Per-GPM core-energy imbalance (max/mean)",
+                    header,
+                    imbalance_rows,
+                    note=(
+                        "Exact per-GPM attribution: each module's core-domain"
+                        " energy is priced at its own residency-weighted V²f"
+                        " scale.  1.0 = perfectly balanced; higher means the"
+                        " capping governor concentrated the budget on fewer"
+                        " modules."
+                    ),
+                )
+            )
+        return "\n\n".join(tables)
 
 
 def priced_params(config: GpuConfig, record: RunRecord) -> EnergyParams:
@@ -175,6 +210,7 @@ def run(
             config = configs[(fraction, n)]
             ratios = []
             draws = []
+            imbalances = []
             for spec in specs:
                 record = records[fraction][n][spec.abbr]
                 energy = record.energy(priced_params(config, record))
@@ -186,6 +222,15 @@ def run(
                 baseline_edp = baseline_energy.total * baseline.seconds
                 ratios.append(baseline_edp * 100.0 / (n * edp))
                 draws.append(energy.total / record.seconds)
+                gpm_totals = [gpm.total for gpm in energy.per_gpm]
+                if gpm_totals and sum(gpm_totals) > 0.0:
+                    imbalances.append(
+                        max(gpm_totals) / (sum(gpm_totals) / len(gpm_totals))
+                    )
             result.edpse[fraction][n] = mean(ratios)
             result.mean_power_w[fraction][n] = mean(draws)
+            if imbalances:
+                result.core_imbalance.setdefault(fraction, {})[n] = mean(
+                    imbalances
+                )
     return result

@@ -18,6 +18,30 @@ from repro.gpu.counters import CounterSet
 from repro.isa.opcodes import Opcode
 
 
+def _counters_to_json(raw: dict) -> dict:
+    """JSON-ify one ``asdict``-ed CounterSet (opcodes by value), recursively
+    covering the per-GPM shards."""
+    raw["instructions"] = {
+        opcode.value: count for opcode, count in raw["instructions"].items()
+    }
+    raw["per_gpm"] = [
+        _counters_to_json(dict(shard)) for shard in raw.get("per_gpm", ())
+    ]
+    return raw
+
+
+def _counters_from_json(raw: dict) -> CounterSet:
+    """Rebuild a CounterSet (and its shards) from its JSON form."""
+    raw = dict(raw)
+    raw["instructions"] = {
+        Opcode(name): count for name, count in raw["instructions"].items()
+    }
+    raw["per_gpm"] = tuple(
+        _counters_from_json(shard) for shard in raw.get("per_gpm", ())
+    )
+    return CounterSet(**raw)
+
+
 @dataclass
 class RunRecord:
     """One simulation outcome, detached from live simulator objects."""
@@ -53,22 +77,12 @@ class RunRecord:
     def to_json(self) -> dict:
         """Serialize to plain JSON data (opcodes by value)."""
         data = asdict(self)
-        counters = data.pop("counters")
-        counters["instructions"] = {
-            opcode.value: count
-            for opcode, count in self.counters.instructions.items()
-        }
-        data["counters"] = counters
+        data["counters"] = _counters_to_json(data.pop("counters"))
         return data
 
     @classmethod
     def from_json(cls, data: dict) -> "RunRecord":
-        raw_counters = dict(data["counters"])
-        raw_counters["instructions"] = {
-            Opcode(name): count
-            for name, count in raw_counters["instructions"].items()
-        }
-        counters = CounterSet(**raw_counters)
+        counters = _counters_from_json(data["counters"])
         return cls(
             workload=data["workload"],
             category=data["category"],

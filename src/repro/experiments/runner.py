@@ -32,7 +32,7 @@ from repro.workloads.generator import build_workload
 from repro.workloads.spec import WorkloadSpec
 
 #: Bump when simulator semantics change, invalidating every cached record.
-RESULTS_VERSION = 3
+RESULTS_VERSION = 4
 
 
 def _default_cache_dir() -> Path:
@@ -245,6 +245,18 @@ class SweepRunner:
         """Write run provenance beside the cached record (advisory only)."""
         if not (self.settings.use_cache and self.settings.write_manifests):
             return
+        per_gpm_energy = None
+        if record is not None and record.residency is not None:
+            from repro.core.energy_model import EnergyParams
+            from repro.dvfs.residency import DvfsResidency
+
+            params = EnergyParams.for_operating_point(
+                config, residency=DvfsResidency.from_json(record.residency)
+            )
+            breakdown = record.energy(params)
+            per_gpm_energy = [
+                gpm.as_dict() for gpm in breakdown.per_gpm
+            ] or None
         manifest = RunManifest(
             cache_key=key,
             workload=spec.abbr,
@@ -256,6 +268,7 @@ class SweepRunner:
             events_processed=timing.events_processed,
             events_per_sec=timing.events_per_sec,
             dvfs_residency=None if record is None else record.residency,
+            per_gpm_energy=per_gpm_energy,
         )
         manifest.write(RunManifest.path_for(self._cache_path(key)))
 

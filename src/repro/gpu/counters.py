@@ -12,12 +12,20 @@ The GPUJoule equation (Eq. 4) needs exactly four families of inputs:
 The interconnect counters (bytes, byte-hops, switch traversals) extend the
 model for the multi-module study exactly as Section V-A2 extends it with link
 signaling energy.  Everything else in the struct is diagnostic.
+
+A chip-level :class:`CounterSet` may additionally carry one *shard* per GPM
+(``per_gpm``): the same struct, restricted to events that physically happened
+on that module's hardware.  Shards are what let the energy model price each
+GPM's core-domain events at that GPM's own V²f scale when modules run at
+different operating points (see ``docs/POWER.md``); the chip-global integer
+totals are always the exact sums of the shard values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.isa.opcodes import Opcode
 
 
@@ -55,6 +63,12 @@ class CounterSet:
     l2_hits: int = 0
     l2_misses: int = 0
     dirty_writebacks: int = 0
+
+    # -- per-GPM shards -----------------------------------------------------------
+    #: One shard per GPM, in GPM-id order, each holding the events that
+    #: happened on that module's hardware.  Empty on shard structs themselves
+    #: and on counters from sources without module attribution.
+    per_gpm: tuple["CounterSet", ...] = ()
 
     def count_instruction(self, opcode: Opcode, count: int = 1) -> None:
         """Record ``count`` dynamic executions of ``opcode``."""
@@ -114,6 +128,16 @@ class CounterSet:
         self.l2_hits += other.l2_hits
         self.l2_misses += other.l2_misses
         self.dirty_writebacks += other.dirty_writebacks
+        if other.per_gpm:
+            if not self.per_gpm:
+                self.per_gpm = tuple(CounterSet() for _ in other.per_gpm)
+            if len(self.per_gpm) != len(other.per_gpm):
+                raise ConfigError(
+                    f"cannot merge counters with {len(other.per_gpm)} per-GPM"
+                    f" shards into counters with {len(self.per_gpm)}"
+                )
+            for mine, theirs in zip(self.per_gpm, other.per_gpm):
+                mine.merge(theirs)
 
     def scaled(self, factor: float) -> "CounterSet":
         """Return a copy with every count multiplied by ``factor``.
@@ -149,4 +173,5 @@ class CounterSet:
         result.l2_hits = int(round(self.l2_hits * factor))
         result.l2_misses = int(round(self.l2_misses * factor))
         result.dirty_writebacks = int(round(self.dirty_writebacks * factor))
+        result.per_gpm = tuple(shard.scaled(factor) for shard in self.per_gpm)
         return result

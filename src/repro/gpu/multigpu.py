@@ -68,7 +68,11 @@ class MultiGpu:
         self.config = config
         self.partitioning = partitioning
         self.engine = Engine(tracer=tracer, metrics=metrics)
-        self.counters = CounterSet()
+        # Each GPM accumulates into its own shard; the chip-global totals on
+        # the parent CounterSet are derived from the shards at end of run.
+        self.counters = CounterSet(
+            per_gpm=tuple(CounterSet() for _ in range(config.num_gpms))
+        )
         self.placement = PagePlacement(
             num_gpms=config.num_gpms, policy=config.placement_policy
         )
@@ -77,7 +81,8 @@ class MultiGpu:
         ]
         self.gpms = [
             Gpm(
-                self.engine, gpm_id, config.gpm, self.placement, self.counters,
+                self.engine, gpm_id, config.gpm, self.placement,
+                self.counters.per_gpm[gpm_id],
                 scales=self.scales[gpm_id],
             )
             for gpm_id in range(config.num_gpms)
@@ -95,6 +100,11 @@ class MultiGpu:
         #: Per-GPM anchor cycles spent at each core point (governed runs).
         self._core_residency: list[dict[OperatingPoint, float]] = [
             {} for _ in self.gpms
+        ]
+        #: The point each GPM last accumulated residency at; the final bucket
+        #: is renormalized so every histogram exactly partitions the run.
+        self._last_core_point: list[OperatingPoint | None] = [
+            None for _ in self.gpms
         ]
         if governor is not None:
             self._core_points = governor.initial_points(config.num_gpms)
@@ -194,6 +204,7 @@ class MultiGpu:
             if window > 0:
                 hist = self._core_residency[gpm.gpm_id]
                 hist[current] = hist.get(current, 0.0) + window
+                self._last_core_point[gpm.gpm_id] = current
             observations.append(
                 GpmObservation(
                     gpm_id=gpm.gpm_id, utilization=utilization, current=current
@@ -264,9 +275,16 @@ class MultiGpu:
             )
         elapsed = self.engine.now
         counters = self.counters
+        for gpm, shard in zip(self.gpms, counters.per_gpm):
+            shard.elapsed_cycles = elapsed
+            shard.sm_busy_cycles = gpm.busy_cycles()
+            shard.sm_idle_cycles = gpm.idle_cycles(elapsed)
+        # Chip-global totals derive from the shards: integer sums are exact,
+        # and the float sums accumulate in GPM order — the same association
+        # order as summing the GPMs directly.
+        for shard in counters.per_gpm:
+            counters.merge(shard)
         counters.elapsed_cycles = elapsed
-        counters.sm_busy_cycles = sum(gpm.busy_cycles() for gpm in self.gpms)
-        counters.sm_idle_cycles = sum(gpm.idle_cycles(elapsed) for gpm in self.gpms)
         if self.topology is not None:
             traffic = self.topology.traffic
             counters.inter_gpm_bytes = traffic.bytes_injected
@@ -275,6 +293,31 @@ class MultiGpu:
             if isinstance(self.topology, CompressedTopology):
                 counters.compression_codec_bytes = self.topology.codec_bytes
         return counters
+
+    def _normalized_core_histogram(
+        self, gpm_id: int, elapsed: float
+    ) -> ResidencyHistogram:
+        """One GPM's governed core histogram, made to partition the run.
+
+        Interval windows are float differences, so their sum drifts from the
+        true elapsed time by accumulated dust — and trailing fire-and-forget
+        drains extend the run past the last governor interval entirely.  Both
+        gaps belong to the point the GPM last sat at, so the final bucket is
+        set to exactly ``elapsed`` minus the other buckets, making
+        ``total_cycles == elapsed`` hold in exact float64.
+        """
+        recorded = self._core_residency[gpm_id]
+        last = self._last_core_point[gpm_id]
+        if not recorded or last is None:
+            return ResidencyHistogram(dict(recorded))
+        cycles = {
+            point: window
+            for point, window in recorded.items()
+            if point != last
+        }
+        residual = elapsed - sum(cycles.values())
+        cycles[last] = residual if residual > 0.0 else recorded[last]
+        return ResidencyHistogram(cycles)
 
     def residency(self) -> DvfsResidency:
         """Per-domain time-at-operating-point record of the finished run.
@@ -292,8 +335,8 @@ class MultiGpu:
         if self.governor is not None:
             return DvfsResidency(
                 core=tuple(
-                    ResidencyHistogram(dict(hist))
-                    for hist in self._core_residency
+                    self._normalized_core_histogram(gpm_id, elapsed)
+                    for gpm_id in range(len(self.gpms))
                 ),
                 dram=ResidencyHistogram.single(dram_point, elapsed),
                 interconnect=ResidencyHistogram.single(ic_point, elapsed),

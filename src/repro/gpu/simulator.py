@@ -65,6 +65,18 @@ class RunResult:
         total = busy + self.counters.sm_idle_cycles
         return 0.0 if total == 0 else busy / total
 
+    def energy_breakdown(self, params: "EnergyParams") -> "EnergyBreakdown":
+        """Price this run under ``params`` (per-GPM attribution included).
+
+        Convenience over building an :class:`~repro.core.EnergyModel` by
+        hand; when the params carry per-GPM core pricing and the counters
+        carry shards, the returned breakdown's ``per_gpm`` entries attribute
+        each module's core-domain energy at its own scale.
+        """
+        from repro.core.energy_model import EnergyModel
+
+        return EnergyModel(params).evaluate(self.counters, self.seconds)
+
     def __repr__(self) -> str:
         return (
             f"RunResult({self.workload_name!r} on {self.config_label!r},"

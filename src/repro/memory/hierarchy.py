@@ -252,11 +252,12 @@ class GpmMemory:
         peer = self.peers[home]
         if peer.l2.probe(line_address):
             # Served out of the home GPM's module L2 (probe only: no fill,
-            # no LRU churn from remote readers).
-            counters.l2_l1_txns += SECTORS_PER_LINE
+            # no LRU churn from remote readers).  The transaction happens on
+            # the home module's hardware, so it lands in the home shard.
+            peer.counters.l2_l1_txns += SECTORS_PER_LINE
             data_ready = engine.now + peer.latencies.l2
         else:
-            counters.dram_l2_txns += SECTORS_PER_LINE
+            peer.counters.dram_l2_txns += SECTORS_PER_LINE
             data_ready = peer.dram.read(CACHE_LINE_BYTES)
         yield engine.wait_until(data_ready)
 
@@ -310,7 +311,8 @@ class GpmMemory:
             CACHE_LINE_BYTES * transfer.switch_traversals
         )
         yield engine.wait_until(transfer.completion_time)
-        counters.dram_l2_txns += SECTORS_PER_LINE
+        # The drain writes the home module's DRAM: home shard, as above.
+        self.peers[home].counters.dram_l2_txns += SECTORS_PER_LINE
         self.peers[home].dram.write(CACHE_LINE_BYTES)
         self._remote_store_cycles.add(engine.now - start)
         if self._trace:

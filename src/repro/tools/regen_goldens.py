@@ -23,6 +23,7 @@ import json
 import math
 from pathlib import Path
 
+from repro.core.energy_model import EnergyParams
 from repro.dvfs.config import DvfsConfig
 from repro.dvfs.operating_point import K40_VF_CURVE
 from repro.experiments.runner import RESULTS_VERSION
@@ -123,6 +124,24 @@ GOLDEN_CONFIGS: dict[str, GpuConfig] = {
         ),
         name="golden-4gpm-multidomain",
     ),
+    # A mixed-clock static DVFS run: each GPM's core domain at a different
+    # ladder point spanning below and above the anchor, pinning the per-GPM
+    # energy attribution (Σ_g scale_g · shard_g) against regressions.
+    "4gpm-mixedclock": GpuConfig(
+        gpm=_golden_gpm(),
+        num_gpms=4,
+        interconnect=_golden_interconnect(),
+        integration_domain=IntegrationDomain.ON_PACKAGE,
+        dvfs=DvfsConfig(
+            core_per_gpm=(
+                K40_VF_CURVE.point_at(324.0e6),
+                K40_VF_CURVE.point_at(562.0e6),
+                K40_VF_CURVE.point_at(745.0e6),
+                K40_VF_CURVE.point_at(875.0e6),
+            ),
+        ),
+        name="golden-4gpm-mixedclock",
+    ),
 }
 
 
@@ -156,28 +175,81 @@ def counters_to_json(counters: CounterSet) -> dict:
     }
 
 
-def golden_run(spec: WorkloadSpec, config: GpuConfig) -> tuple[dict, dict | None]:
-    """Simulate one golden pair: (canonical counters, residency or None).
+def golden_run(
+    spec: WorkloadSpec, config: GpuConfig
+) -> tuple[dict, dict | None, dict | None]:
+    """Simulate one golden pair: (counters, residency or None, energy or None).
 
-    The residency is only part of the snapshot for configurations that move
-    a clock domain (a cap or a static DVFS setting) — anchor-point configs
-    keep their original snapshot layout, byte for byte.
+    The residency and the priced energy (with its per-GPM attribution) are
+    only part of the snapshot for configurations that move a clock domain (a
+    cap or a DVFS setting) — anchor-point configs keep their original
+    snapshot layout, byte for byte.
     """
     result = simulate(build_workload(spec), config)
-    pin_residency = (
+    pin_dvfs = (
         config.power_cap_watts is not None or config.dvfs is not None
     )
-    residency = (
-        result.residency.to_json()
-        if pin_residency and result.residency is not None
-        else None
+    if not (pin_dvfs and result.residency is not None):
+        return counters_to_json(result.counters), None, None
+    params = EnergyParams.for_operating_point(
+        config, residency=result.residency
     )
-    return counters_to_json(result.counters), residency
+    breakdown = result.energy_breakdown(params)
+    energy = {
+        "total": breakdown.total,
+        "components": breakdown.as_dict(),
+        "per_gpm": [gpm.as_dict() for gpm in breakdown.per_gpm],
+    }
+    return counters_to_json(result.counters), result.residency.to_json(), energy
 
 
 def golden_counters(spec: WorkloadSpec, config: GpuConfig) -> dict:
     """Simulate one golden pair and return its canonical counter JSON."""
     return golden_run(spec, config)[0]
+
+
+def _close(want, got) -> bool:
+    if isinstance(want, float) or isinstance(got, float):
+        return (
+            want is not None
+            and got is not None
+            and math.isclose(want, got, rel_tol=FLOAT_RTOL, abs_tol=1e-9)
+        )
+    return want == got
+
+
+def diff_energy(expected: dict, actual: dict) -> list[str]:
+    """Differences between two golden energy sections (incl. per-GPM)."""
+    diffs: list[str] = []
+    if not _close(expected.get("total"), actual.get("total")):
+        diffs.append(
+            f"energy.total: golden={expected.get('total')}"
+            f" actual={actual.get('total')}"
+        )
+    want_comp = expected.get("components", {})
+    got_comp = actual.get("components", {})
+    for key in sorted(set(want_comp) | set(got_comp)):
+        if not _close(want_comp.get(key), got_comp.get(key)):
+            diffs.append(
+                f"energy.components[{key}]: golden={want_comp.get(key)}"
+                f" actual={got_comp.get(key)}"
+            )
+    want_gpms = expected.get("per_gpm", [])
+    got_gpms = actual.get("per_gpm", [])
+    if len(want_gpms) != len(got_gpms):
+        diffs.append(
+            f"energy.per_gpm: golden has {len(want_gpms)} GPMs,"
+            f" actual has {len(got_gpms)}"
+        )
+        return diffs
+    for index, (want, got) in enumerate(zip(want_gpms, got_gpms)):
+        for key in sorted(set(want) | set(got)):
+            if not _close(want.get(key), got.get(key)):
+                diffs.append(
+                    f"energy.per_gpm[{index}].{key}: golden={want.get(key)}"
+                    f" actual={got.get(key)}"
+                )
+    return diffs
 
 
 def golden_cases() -> list[tuple[str, str, str]]:
@@ -255,7 +327,7 @@ def regenerate(golden_dir: Path | None = None) -> list[Path]:
     target_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
     for case_name, spec_key, config_key in golden_cases():
-        counters, residency = golden_run(
+        counters, residency, energy = golden_run(
             GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key]
         )
         snapshot = {
@@ -266,6 +338,8 @@ def regenerate(golden_dir: Path | None = None) -> list[Path]:
         }
         if residency is not None:
             snapshot["residency"] = residency
+        if energy is not None:
+            snapshot["energy"] = energy
         path = target_dir / f"{case_name}.json"
         with path.open("w") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)

@@ -58,6 +58,10 @@ class RunManifest:
     #: (``DvfsResidency.to_json()``); ``None`` when the manifest predates
     #: residency accounting.
     dvfs_residency: dict | None = None
+    #: Per-GPM core-domain energy attribution of the producing run
+    #: (list of ``GpmEnergy.as_dict()``); ``None`` when the run had no
+    #: DVFS/residency pricing or predates per-GPM attribution.
+    per_gpm_energy: list | None = None
     host: dict = field(default_factory=host_info)
     created_at: str = ""
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -84,6 +88,7 @@ class RunManifest:
             events_processed=data.get("events_processed", 0),
             events_per_sec=data.get("events_per_sec", 0.0),
             dvfs_residency=data.get("dvfs_residency"),
+            per_gpm_energy=data.get("per_gpm_energy"),
             host=data.get("host", {}),
             created_at=data.get("created_at", ""),
             schema_version=data.get("schema_version", MANIFEST_SCHEMA_VERSION),

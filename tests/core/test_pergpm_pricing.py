@@ -1,0 +1,228 @@
+"""Differential suite for per-GPM energy attribution (mixed-clock pricing).
+
+Two bars, both exact:
+
+* *uniform clocks*: pricing sharded counters must be **bit-identical** to the
+  legacy global-counter path — shards are attribution metadata, never a
+  perturbation (this is what keeps every pre-existing golden valid);
+* *mixed clocks*: a hand-built 2-GPM chip with each module at a different
+  operating point must price to the closed-form per-GPM sum
+  ``Σ_g scale_g · (EPI·IC_g + EPT·TC_g + EPStall·stalls_g)`` with **exact
+  float64 equality** — not approximately, exactly.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.energy_model import EnergyModel, EnergyParams
+from repro.dvfs.config import DvfsConfig
+from repro.dvfs.operating_point import K40_VF_CURVE
+from repro.errors import ConfigError
+from repro.gpu.config import table_iii_config
+from repro.gpu.counters import CounterSet
+from repro.gpu.simulator import simulate
+from repro.isa.opcodes import Opcode
+from repro.units import nj
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import shrunken_spec
+
+SLOW = K40_VF_CURVE.point_at(324.0e6)
+MID = K40_VF_CURVE.point_at(562.0e6)
+FAST = K40_VF_CURVE.point_at(875.0e6)
+
+
+def _simulated_counters(num_gpms: int, dvfs: DvfsConfig | None = None):
+    spec = shrunken_spec("BPROP", total_ctas=8, kernels=1)
+    config = table_iii_config(num_gpms)
+    if dvfs is not None:
+        config = replace(config, dvfs=dvfs)
+    result = simulate(build_workload(spec), config)
+    return config, result
+
+
+class TestShardBookkeeping:
+    def test_run_counters_carry_one_shard_per_gpm(self):
+        _, result = _simulated_counters(2)
+        assert len(result.counters.per_gpm) == 2
+
+    def test_global_totals_are_exact_shard_sums(self):
+        _, result = _simulated_counters(2)
+        counters = result.counters
+        shards = counters.per_gpm
+        for field_name in (
+            "shared_rf_txns", "l1_rf_txns", "l2_l1_txns", "dram_l2_txns",
+            "local_accesses", "remote_accesses", "l1_hits", "l1_misses",
+            "l2_hits", "l2_misses", "dirty_writebacks",
+        ):
+            assert getattr(counters, field_name) == sum(
+                getattr(shard, field_name) for shard in shards
+            ), field_name
+        merged: dict[Opcode, int] = {}
+        for shard in shards:
+            for opcode, count in shard.instructions.items():
+                merged[opcode] = merged.get(opcode, 0) + count
+        assert counters.instructions == merged
+        assert counters.sm_busy_cycles == sum(
+            shard.sm_busy_cycles for shard in shards
+        )
+        assert counters.sm_idle_cycles == sum(
+            shard.sm_idle_cycles for shard in shards
+        )
+
+    def test_merge_rejects_shard_count_mismatch(self):
+        two = CounterSet(per_gpm=(CounterSet(), CounterSet()))
+        three = CounterSet(
+            per_gpm=(CounterSet(), CounterSet(), CounterSet())
+        )
+        with pytest.raises(ConfigError):
+            two.merge(three)
+
+    def test_evaluate_rejects_shard_pricing_mismatch(self):
+        config, result = _simulated_counters(2)
+        params = EnergyParams.for_operating_point(
+            replace(table_iii_config(4), dvfs=None)
+        )
+        with pytest.raises(ConfigError):
+            EnergyModel(params).evaluate(result.counters, result.seconds)
+
+
+class TestUniformBitIdentity:
+    """Shards must never perturb a uniform-clock chip's energy."""
+
+    @pytest.mark.parametrize("point", [None, MID])
+    def test_sharded_counters_price_like_global_counters(self, point):
+        dvfs = None if point is None else DvfsConfig.core_only(point)
+        config, result = _simulated_counters(2, dvfs)
+        params = EnergyParams.for_operating_point(
+            config, residency=result.residency
+        )
+        model = EnergyModel(params)
+        sharded = model.evaluate(result.counters, result.seconds)
+        stripped = replace(result.counters, per_gpm=())
+        global_only = model.evaluate(stripped, result.seconds)
+        assert sharded.as_dict() == global_only.as_dict()  # bit-exact
+        assert sharded.total == global_only.total
+        # The sharded breakdown additionally carries attribution entries.
+        assert len(sharded.per_gpm) == 2
+        assert global_only.per_gpm == ()
+
+    def test_uniform_attribution_scales_agree(self):
+        config, result = _simulated_counters(2, DvfsConfig.core_only(MID))
+        params = EnergyParams.for_operating_point(
+            config, residency=result.residency
+        )
+        breakdown = EnergyModel(params).evaluate(
+            result.counters, result.seconds
+        )
+        v = K40_VF_CURVE.voltage_ratio(MID)
+        for gpm in breakdown.per_gpm:
+            assert gpm.core_scale == v * v
+
+
+class TestMixedClockClosedForm:
+    """A hand-built 2-GPM mixed-clock chip vs. the analytic per-GPM sum."""
+
+    def _chip(self) -> CounterSet:
+        left = CounterSet(
+            instructions={Opcode.FFMA32: 1000, Opcode.FADD32: 400},
+            shared_rf_txns=32,
+            l1_rf_txns=210,
+            l2_l1_txns=96,
+            sm_idle_cycles=1500.0,
+            sm_busy_cycles=5000.0,
+        )
+        right = CounterSet(
+            instructions={Opcode.FFMA32: 250, Opcode.IADD32: 75},
+            shared_rf_txns=8,
+            l1_rf_txns=64,
+            l2_l1_txns=20,
+            sm_idle_cycles=6400.0,
+            sm_busy_cycles=1200.0,
+        )
+        chip = CounterSet(per_gpm=(left, right))
+        for shard in chip.per_gpm:
+            chip.merge(shard)
+        chip.elapsed_cycles = 8000.0
+        chip.dram_l2_txns = 40
+        return chip
+
+    def test_mixed_clock_matches_analytic_sum_exactly(self):
+        chip = self._chip()
+        base = EnergyParams(num_gpms=2)
+        params = base.scaled_for(
+            DvfsConfig(core_per_gpm=(SLOW, FAST))
+        )
+        breakdown = EnergyModel(params).evaluate(chip, 1e-5)
+
+        warp = base.constants.warp_size
+        expected = {
+            "sm_busy": 0.0, "sm_idle": 0.0, "shared_to_rf": 0.0,
+            "l1_to_rf": 0.0, "l2_to_l1": 0.0,
+        }
+        for point, shard in zip((SLOW, FAST), chip.per_gpm):
+            volt = K40_VF_CURVE.voltage_ratio(point)
+            freq = K40_VF_CURVE.frequency_ratio(point)
+            core_sq = volt * volt
+            stall_scale = (volt * volt) * freq
+            busy = 0.0
+            for opcode, count in shard.instructions.items():
+                busy += (base.epi_nj[opcode] * core_sq) * count * warp
+            expected["sm_busy"] += nj(busy)
+            expected["sm_idle"] += nj(
+                (base.constants.ep_stall_nj * stall_scale)
+                * shard.sm_idle_cycles
+            )
+            expected["shared_to_rf"] += (
+                (base.shared_rf_ept_j * core_sq) * shard.shared_rf_txns
+            )
+            expected["l1_to_rf"] += (
+                (base.l1_rf_ept_j * core_sq) * shard.l1_rf_txns
+            )
+            expected["l2_to_l1"] += (
+                (base.l2_l1_ept_j * core_sq) * shard.l2_l1_txns
+            )
+
+        for component, value in expected.items():
+            assert getattr(breakdown, component) == value, component
+
+    def test_mixed_clock_chip_components_are_per_gpm_sums(self):
+        chip = self._chip()
+        params = EnergyParams(num_gpms=2).scaled_for(
+            DvfsConfig(core_per_gpm=(SLOW, FAST))
+        )
+        breakdown = EnergyModel(params).evaluate(chip, 1e-5)
+        assert len(breakdown.per_gpm) == 2
+        for component in (
+            "sm_busy", "sm_idle", "shared_to_rf", "l1_to_rf", "l2_to_l1"
+        ):
+            assert getattr(breakdown, component) == sum(
+                getattr(gpm, component) for gpm in breakdown.per_gpm
+            ), component
+
+    def test_mixed_clock_differs_from_equal_weight_mean(self):
+        """The exact sum must actually change the answer: the legacy mean
+        pricing of the same chip-global counters disagrees when load and
+        clock are skewed across GPMs."""
+        chip = self._chip()
+        params = EnergyParams(num_gpms=2).scaled_for(
+            DvfsConfig(core_per_gpm=(SLOW, FAST))
+        )
+        model = EnergyModel(params)
+        exact = model.evaluate(chip, 1e-5)
+        legacy = model.evaluate(replace(chip, per_gpm=()), 1e-5)
+        assert exact.sm_busy != legacy.sm_busy
+        assert exact.sm_idle != legacy.sm_idle
+
+    def test_dram_and_constant_stay_chip_global(self):
+        chip = self._chip()
+        params = EnergyParams(num_gpms=2).scaled_for(
+            DvfsConfig(core_per_gpm=(SLOW, FAST))
+        )
+        sharded = EnergyModel(params).evaluate(chip, 1e-5)
+        legacy = EnergyModel(params).evaluate(
+            replace(chip, per_gpm=()), 1e-5
+        )
+        assert sharded.dram_to_l2 == legacy.dram_to_l2
+        assert sharded.constant == legacy.constant
+        assert sharded.inter_gpm == legacy.inter_gpm

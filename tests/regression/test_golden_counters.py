@@ -20,6 +20,7 @@ from repro.tools.regen_goldens import (
     GOLDEN_SPECS,
     counters_to_json,
     diff_counters,
+    diff_energy,
     diff_residency,
     golden_cases,
     golden_counters,
@@ -53,13 +54,16 @@ class TestGoldenCounters:
             f" {golden['results_version']} but the simulator is at"
             f" {RESULTS_VERSION}; run `python -m repro.tools.regen_goldens`"
         )
-        counters, residency = golden_run(
+        counters, residency, energy = golden_run(
             GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key]
         )
         diffs = diff_counters(golden["counters"], counters)
         if "residency" in golden:
             assert residency is not None
             diffs += diff_residency(golden["residency"], residency)
+        if "energy" in golden:
+            assert energy is not None
+            diffs += diff_energy(golden["energy"], energy)
         assert not diffs, (
             f"simulator semantics drifted from golden {case_name}:\n  "
             + "\n  ".join(diffs)
@@ -120,6 +124,38 @@ class TestGoldenCoverage:
                 model.chip_watts(K40_VF_CURVE, points)
                 <= config.power_cap_watts
             )
+
+    def test_mixedclock_golden_attributes_per_gpm(self):
+        """The mixed-clock golden must pin heterogeneous per-GPM pricing:
+        distinct core scales, and chip core-domain components that are the
+        exact sums of the per-GPM attributions."""
+        golden = _load_golden("shared-micro_4gpm-mixedclock")
+        energy = golden["energy"]
+        per_gpm = energy["per_gpm"]
+        assert len(per_gpm) == 4
+        scales = [entry["core_scale"] for entry in per_gpm]
+        assert len(set(scales)) == 4, "mixed-clock golden has uniform scales"
+        components = energy["components"]
+        for chip_key, gpm_key in [
+            ("sm_busy", "sm_busy"),
+            ("sm_idle", "sm_idle"),
+            ("shared_to_rf", "shared_to_rf"),
+            ("l1_to_rf", "l1_to_rf"),
+            ("l2_to_l1", "l2_to_l1"),
+        ]:
+            assert components[chip_key] == sum(
+                entry[gpm_key] for entry in per_gpm
+            )
+
+    def test_mixedclock_golden_keeps_uniform_counters(self):
+        """Clock heterogeneity must not perturb event counts: the mixed-clock
+        run sees the same instruction stream as the plain ring config."""
+        mixed = _load_golden("shared-micro_4gpm-mixedclock")
+        ring = _load_golden("shared-micro_4gpm-ring")
+        assert (
+            mixed["counters"]["instructions"]
+            == ring["counters"]["instructions"]
+        )
 
     def test_multidomain_golden_scales_every_domain(self):
         golden = _load_golden("shared-micro_4gpm-multidomain")

@@ -70,3 +70,30 @@ class TestDvfsSubcommand:
         with pytest.raises(SystemExit) as excinfo:
             main(["dvfs", "NotAWorkload"])
         assert excinfo.value.code != 0
+
+    def test_infeasible_cap_exits_with_one_line_error(self, capsys):
+        # 4 GPMs draw far more than 1 W even at the ladder floor: the CLI
+        # must reject the budget up front with a single stderr line and a
+        # nonzero exit code, not a traceback after the ladder sweep.
+        assert main(
+            ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+             "--cap-watts", "1"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "infeasible" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.strip().count("\n") == 0
+        assert "V/f sweep" not in captured.out
+
+
+class TestProfileSubcommand:
+    def test_profile_reports_per_gpm_energy(self, capsys):
+        assert main(["profile", "Stream", "--gpms", "2", "--ctas", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "energy" in out
+        assert "core scale" in out
+        # One attribution row per GPM.
+        assert len([
+            line for line in out.splitlines()
+            if line.strip().startswith(("0 ", "1 "))
+        ]) >= 2
