@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke perf-smoke perf-baseline reproduce examples trace-smoke clean-cache loc
+.PHONY: install test bench bench-smoke perf-smoke perf-baseline differential reproduce examples trace-smoke clean-cache loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,15 @@ bench-smoke:
 perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bench --quick \
 	  --out .cache/BENCH_sim.json --check BENCH_sim.json --tolerance 0.2
+
+# Sharded-engine bit-identity harness plus its perf smoke: the differential
+# suite diffs sharded vs single-process results exactly, then the bench
+# asserts sharded events/sec never falls below the single-engine column
+# (see docs/PERFORMANCE.md).
+differential:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/differential -q
+	PYTHONPATH=src $(PYTHON) -m repro bench --quick \
+	  --out .cache/BENCH_sim.json --sharded-smoke --tolerance 0.2
 
 # Regenerate the committed throughput baseline (full sweep; quiet machine).
 perf-baseline:

@@ -7,6 +7,10 @@ DESIGN.md's experiment-index order.
 Two observability subcommands sit beside the experiments (see
 ``docs/OBSERVABILITY.md``):
 
+* ``repro run <workload>`` — simulate a scaled-down copy of a Table II
+  workload once and print its timing/counter summary; ``--shards N`` runs
+  the per-GPM sharded engine (bit-identical results, see
+  ``docs/PERFORMANCE.md``).
 * ``repro trace <workload>`` — simulate a scaled-down copy of a Table II
   workload with the Chrome tracer attached and write a ``trace_event`` JSON
   file viewable at https://ui.perfetto.dev.
@@ -134,6 +138,60 @@ def _add_observe_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="number of kernel launches to keep (default: 1)",
     )
+
+
+def _run_main(argv: list[str]) -> int:
+    """``repro run``: simulate one scaled-down workload, optionally sharded."""
+    from repro.gpu.simulator import simulate
+
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Simulate a scaled-down workload once and print its timing and"
+            " counter summary.  --shards N runs the per-GPM sharded engine"
+            " (bit-identical results; see docs/PERFORMANCE.md)."
+        ),
+    )
+    _add_observe_arguments(parser)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="per-GPM shard engines (default: 1, the single-process engine)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="OS processes for the shards (default: min(shards, cores))",
+    )
+    args = parser.parse_args(argv)
+
+    spec, workload, config = _observed_pair(parser, args)
+    result = simulate(
+        workload, config, shards=args.shards, shard_workers=args.shard_workers
+    )
+    print(f"{spec.abbr} on {config.label()}")
+    sharding = result.sharding
+    if sharding is None:
+        print("  engine            single-process")
+    elif sharding.fallback_reason is not None:
+        print(f"  engine            single-process (fallback: {sharding.fallback_reason})")
+    else:
+        print(
+            f"  engine            {sharding.shards} shards over"
+            f" {sharding.workers} worker(s)"
+        )
+    counters = result.counters
+    print(f"  cycles            {counters.elapsed_cycles:14.0f}")
+    print(f"  instructions      {counters.total_instructions:14d}")
+    print(f"  sm utilization    {result.sm_utilization:14.3f}")
+    print(f"  l1 hit rate       {counters.l1_hit_rate:14.3f}")
+    print(f"  l2 hit rate       {counters.l2_hit_rate:14.3f}")
+    print(f"  events processed  {result.events_processed:14d}")
+    print(f"  sim wall time     {result.wall_time_s:14.3f}s")
+    print(f"  events/sec        {result.events_per_sec:14.0f}")
+    return 0
 
 
 def _trace_main(argv: list[str]) -> int:
@@ -425,6 +483,12 @@ def _capsweep_main(argv: list[str]) -> int:
         action="store_true",
         help="ignore and do not write the sweep result cache",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="per-GPM shard engines per simulation (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     settings_kwargs = {}
@@ -432,6 +496,8 @@ def _capsweep_main(argv: list[str]) -> int:
         settings_kwargs["processes"] = args.processes
     if args.no_cache:
         settings_kwargs["use_cache"] = False
+    if args.shards != 1:
+        settings_kwargs["shards"] = args.shards
     runner = SweepRunner(SweepSettings(**settings_kwargs))
 
     start = time.time()
@@ -458,6 +524,8 @@ def _capsweep_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run experiments, print their rows."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "profile":
@@ -505,6 +573,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="ignore and do not write the sweep result cache",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "per-GPM shard engines per simulation (bit-identical results;"
+            " default: 1)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     settings_kwargs = {}
@@ -512,6 +589,8 @@ def main(argv: list[str] | None = None) -> int:
         settings_kwargs["processes"] = args.processes
     if args.no_cache:
         settings_kwargs["use_cache"] = False
+    if args.shards != 1:
+        settings_kwargs["shards"] = args.shards
     runner = SweepRunner(SweepSettings(**settings_kwargs))
 
     if "all" in args.experiments:

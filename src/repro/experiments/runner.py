@@ -64,6 +64,10 @@ class SweepSettings:
     progress: bool = field(default_factory=_default_progress)
     #: Write a RunManifest beside every freshly simulated cache entry.
     write_manifests: bool = True
+    #: Per-GPM shard engines per simulation (see :mod:`repro.sim.sharded`).
+    #: Sharded results are bit-identical to single-engine runs, so the shard
+    #: count deliberately stays out of the cache key.
+    shards: int = 1
 
 
 def _config_fingerprint(config: GpuConfig) -> dict:
@@ -155,11 +159,13 @@ def _record_from_result(
     )
 
 
-def run_pair(spec: WorkloadSpec, config: GpuConfig) -> RunRecord:
+def run_pair(
+    spec: WorkloadSpec, config: GpuConfig, shards: int = 1
+) -> RunRecord:
     """Simulate one (workload, configuration) pair (no caching)."""
     workload = build_workload(spec)
     metrics = MetricsRegistry()
-    result = simulate(workload, config, metrics=metrics)
+    result = simulate(workload, config, metrics=metrics, shards=shards)
     return _record_from_result(spec, config, result, metrics)
 
 
@@ -173,13 +179,14 @@ class _PairTiming:
 
 
 def _timed_run_pair(
-    args: tuple[WorkloadSpec, GpuConfig]
+    args: tuple[WorkloadSpec, GpuConfig] | tuple[WorkloadSpec, GpuConfig, int]
 ) -> tuple[RunRecord, _PairTiming]:
-    spec, config = args
+    spec, config = args[0], args[1]
+    shards = args[2] if len(args) > 2 else 1
     start = time.perf_counter()
     workload = build_workload(spec)
     metrics = MetricsRegistry()
-    result = simulate(workload, config, metrics=metrics)
+    result = simulate(workload, config, metrics=metrics, shards=shards)
     wall_time_s = time.perf_counter() - start
     timing = _PairTiming(
         wall_time_s=wall_time_s,
@@ -283,6 +290,19 @@ class SweepRunner:
 
     # ------------------------------------------------------------------- runs
 
+    def _worker_count(self, missing_count: int) -> int:
+        """Sweep processes to launch, budgeting cores for shard engines.
+
+        Each simulation may fork up to ``settings.shards`` shard workers
+        (see :mod:`repro.sim.sharded`), so the pool is clamped such that
+        ``workers * shards`` never exceeds the machine's core count — a
+        sweep larger than the core count gains nothing from extra
+        processes, and oversubscribing forked shards actively hurts.
+        """
+        shards = max(1, self.settings.shards)
+        core_budget = max(1, (os.cpu_count() or 1) // shards)
+        return min(self.settings.processes, missing_count, core_budget)
+
     def run(
         self, pairs: list[tuple[WorkloadSpec, GpuConfig]]
     ) -> list[RunRecord]:
@@ -348,15 +368,15 @@ class SweepRunner:
 
         if missing:
             # Cached pairs were short-circuited above; only genuinely missing
-            # work reaches the pool.  Clamp workers to the machine: a sweep
-            # larger than the core count gains nothing from extra processes.
-            workers = min(
-                self.settings.processes, len(missing), os.cpu_count() or 1
-            )
+            # work reaches the pool.
+            workers = self._worker_count(len(missing))
+            shards = max(1, self.settings.shards)
             if workers > 1 and len(missing) > 1:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
-                        pool.submit(_timed_run_pair, pair): index
+                        pool.submit(
+                            _timed_run_pair, (pair[0], pair[1], shards)
+                        ): index
                         for index, pair in missing
                     }
                     for future in as_completed(futures):
@@ -364,7 +384,9 @@ class SweepRunner:
                         _finish(futures[future], record, timing)
             else:
                 for index, pair in missing:
-                    record, timing = _timed_run_pair(pair)
+                    record, timing = _timed_run_pair(
+                        (pair[0], pair[1], shards)
+                    )
                     _finish(index, record, timing)
 
         results = [record for record in records if record is not None]

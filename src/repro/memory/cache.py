@@ -11,6 +11,23 @@ Both behaviours are selectable per instance via :class:`CacheConfig`.
 
 Each cache line remembers the *home GPM* of its page so module-side L2s can
 bulk-invalidate remote lines at kernel boundaries (software coherence).
+
+Two implementations share the exact same contract:
+
+* :class:`Cache` — the production tag store on the simulator hot path.  Each
+  way is a plain 3-slot list cell ``[tag, dirty, home]`` ordered MRU-first,
+  sets are created lazily on first touch, and the eviction path *reuses* the
+  victim's cell for the incoming line instead of allocating.  This layout was
+  chosen by microbenchmark: the simulated workloads are miss-dominated
+  (streaming traffic misses nearly every L1 probe), and cell reuse plus
+  allocation-free probes beat both the original per-line objects and a flat
+  numpy tag/LRU array layout, whose per-access scalar indexing costs more
+  than the Python list walk it replaces (see docs/PERFORMANCE.md).
+* :class:`ReferenceCache` — the original per-line-object implementation,
+  kept verbatim as the executable specification.  The property suite in
+  ``tests/differential/test_cache_equivalence.py`` replays random access
+  streams through both and requires identical hit/miss/writeback/eviction
+  sequences and :class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -93,8 +110,153 @@ class CacheStats:
         self.invalidations += other.invalidations
 
 
+# Cell layout of the production tag store: each way is a plain list
+# [tag, dirty, home], MRU-first within its set.
+_TAG, _DIRTY, _HOME = 0, 1, 2
+
+
+class Cache:
+    """True-LRU set-associative cache with per-line home-GPM tracking."""
+
+    __slots__ = (
+        "config",
+        "stats",
+        "_line_shift",
+        "_num_sets",
+        "_associativity",
+        "_write_back",
+        "_write_allocate",
+        "_sets",
+    )
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
+        self._write_back = config.write_back
+        self._write_allocate = config.write_allocate
+        # Sets are created lazily: large caches in large GPM counts touch a
+        # small fraction of their sets in a short kernel, and a [None] * n
+        # backbone is much cheaper to build than n empty lists.
+        self._sets: list[list[list] | None] = [None] * self._num_sets
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_addr = address >> self._line_shift
+        return line_addr % self._num_sets, line_addr
+
+    def probe(self, address: int) -> bool:
+        """Non-mutating presence check (no LRU update, no stats)."""
+        tag = address >> self._line_shift
+        ways = self._sets[tag % self._num_sets]
+        if not ways:
+            return False
+        for cell in ways:
+            if cell[_TAG] == tag:
+                return True
+        return False
+
+    def access(
+        self, address: int, is_store: bool = False, home: int = 0
+    ) -> tuple[bool, bool]:
+        """Perform one access.
+
+        Args:
+            address: byte address.
+            is_store: store accesses follow the configured write policy.
+            home: home GPM of the page backing this address (for coherence).
+
+        Returns:
+            ``(hit, dirty_eviction)`` — ``dirty_eviction`` is True when the
+            access displaced a dirty line that must be written downstream.
+        """
+        tag = address >> self._line_shift
+        sets = self._sets
+        index = tag % self._num_sets
+        ways = sets[index]
+        stats = self.stats
+        if ways:
+            position = 0
+            for cell in ways:
+                if cell[_TAG] == tag:
+                    if position:
+                        del ways[position]
+                        ways.insert(0, cell)
+                    if is_store:
+                        stats.write_hits += 1
+                        if self._write_back:
+                            cell[_DIRTY] = True
+                    else:
+                        stats.read_hits += 1
+                    return True, False
+                position += 1
+        elif ways is None:
+            ways = sets[index] = []
+
+        # Miss path.
+        if is_store:
+            stats.write_misses += 1
+            if not self._write_allocate:
+                return False, False
+        else:
+            stats.read_misses += 1
+
+        if len(ways) >= self._associativity:
+            cell = ways.pop()
+            stats.evictions += 1
+            dirty_evicted = cell[_DIRTY]
+            if dirty_evicted:
+                stats.dirty_evictions += 1
+            # Reuse the victim's cell for the incoming line: the eviction
+            # path runs once per miss in a full set — the steady state of a
+            # streaming workload — and skipping the allocation is the bulk
+            # of this implementation's win over per-line objects.
+            cell[_TAG] = tag
+            cell[_DIRTY] = is_store and self._write_back
+            cell[_HOME] = home
+            ways.insert(0, cell)
+            return False, dirty_evicted
+        ways.insert(0, [tag, is_store and self._write_back, home])
+        return False, False
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop every line for which ``predicate(home_gpm) is True``.
+
+        Models the bulk flash-invalidate of software coherence.  Dirty lines
+        are dropped too: the software protocol guarantees writers flushed
+        before the boundary, so no writeback traffic is generated here.
+
+        Returns the number of lines invalidated.
+        """
+        invalidated = 0
+        for ways in self._sets:
+            if not ways:
+                continue
+            keep = [cell for cell in ways if not predicate(cell[_HOME])]
+            invalidated += len(ways) - len(keep)
+            ways[:] = keep
+        self.stats.invalidations += invalidated
+        return invalidated
+
+    def flush(self) -> int:
+        """Invalidate everything (kernel-boundary flush of a whole cache)."""
+        return self.invalidate_where(lambda _home: True)
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets if ways)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"Cache({cfg.name!r}, {cfg.capacity_bytes // 1024}KiB,"
+            f" {cfg.associativity}-way, {cfg.line_bytes}B lines)"
+        )
+
+
 class _Line:
-    """Tag-store entry."""
+    """Tag-store entry of the reference implementation."""
 
     __slots__ = ("tag", "dirty", "home")
 
@@ -104,8 +266,13 @@ class _Line:
         self.home = home
 
 
-class Cache:
-    """True-LRU set-associative cache with per-line home-GPM tracking."""
+class ReferenceCache:
+    """The original per-line-object tag store, kept as the executable spec.
+
+    Bit-for-bit the behaviour :class:`Cache` must reproduce; only used by the
+    differential property suite and available for ad-hoc cross-checking.  Do
+    not put it on a hot path.
+    """
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -130,17 +297,7 @@ class Cache:
     def access(
         self, address: int, is_store: bool = False, home: int = 0
     ) -> tuple[bool, bool]:
-        """Perform one access.
-
-        Args:
-            address: byte address.
-            is_store: store accesses follow the configured write policy.
-            home: home GPM of the page backing this address (for coherence).
-
-        Returns:
-            ``(hit, dirty_eviction)`` — ``dirty_eviction`` is True when the
-            access displaced a dirty line that must be written downstream.
-        """
+        """Perform one access (same contract as :meth:`Cache.access`)."""
         tag = address >> self._line_shift
         ways = self._sets[tag % self._num_sets]
         stats = self.stats
@@ -181,14 +338,7 @@ class Cache:
         return False, dirty_evicted
 
     def invalidate_where(self, predicate) -> int:
-        """Drop every line for which ``predicate(home_gpm) is True``.
-
-        Models the bulk flash-invalidate of software coherence.  Dirty lines
-        are dropped too: the software protocol guarantees writers flushed
-        before the boundary, so no writeback traffic is generated here.
-
-        Returns the number of lines invalidated.
-        """
+        """Drop every line for which ``predicate(home_gpm) is True``."""
         invalidated = 0
         for ways in self._sets:
             if not ways:
@@ -210,6 +360,6 @@ class Cache:
     def __repr__(self) -> str:
         cfg = self.config
         return (
-            f"Cache({cfg.name!r}, {cfg.capacity_bytes // 1024}KiB,"
+            f"ReferenceCache({cfg.name!r}, {cfg.capacity_bytes // 1024}KiB,"
             f" {cfg.associativity}-way, {cfg.line_bytes}B lines)"
         )

@@ -178,8 +178,9 @@ class GpmMemory:
     ) -> "float | Event":
         counters = self.counters
         counters.l1_rf_txns += 1
-        home = self.placement.home(line_address, self.gpm_id)
-        if home == self.gpm_id:
+        gpm_id = self.gpm_id
+        home = self.placement.home(line_address, gpm_id)
+        if home == gpm_id:
             counters.local_accesses += 1
         else:
             counters.remote_accesses += 1
@@ -188,7 +189,7 @@ class GpmMemory:
             # Write-through, no-write-allocate at L1: stores bypass the L1
             # tag store entirely and head downstream.
             return self._store_line(line_address, home, earliest)
-        hit, _ = self.l1s[sm_index].access(line_address, home=home)
+        hit, _ = self.l1s[sm_index].access(line_address, False, home)
         if hit:
             counters.l1_hits += 1
             return earliest + self.latencies.l1
@@ -205,7 +206,7 @@ class GpmMemory:
         counters = self.counters
         at_l2 = earliest + self.latencies.l1
         counters.l2_l1_txns += SECTORS_PER_LINE
-        hit, dirty_evicted = self.l2.access(line_address, is_store=False, home=home)
+        hit, dirty_evicted = self.l2.access(line_address, False, home)
         if dirty_evicted:
             self._writeback_local(at_l2)
         if hit:
@@ -220,7 +221,7 @@ class GpmMemory:
 
         if home == self.gpm_id:
             counters.dram_l2_txns += SECTORS_PER_LINE
-            return self.dram.read(CACHE_LINE_BYTES, earliest=after_l2)
+            return self.dram.read(CACHE_LINE_BYTES, after_l2)
 
         process = self.engine.process(
             self._remote_load_body(line_address, home, after_l2),
@@ -284,7 +285,7 @@ class GpmMemory:
         left_sm = earliest + self.latencies.l1
         if home == self.gpm_id:
             counters.l2_l1_txns += SECTORS_PER_LINE
-            _, dirty_evicted = self.l2.access(line_address, is_store=True, home=home)
+            _, dirty_evicted = self.l2.access(line_address, True, home)
             if dirty_evicted:
                 self._writeback_local(left_sm)
             return left_sm
@@ -327,7 +328,7 @@ class GpmMemory:
         """Drain one dirty local line to local DRAM (fire-and-forget)."""
         self.counters.dram_l2_txns += SECTORS_PER_LINE
         self.counters.dirty_writebacks += 1
-        self.dram.write(CACHE_LINE_BYTES, earliest=earliest)
+        self.dram.write(CACHE_LINE_BYTES, earliest)
 
     # ------------------------------------------------------------------ wiring
 

@@ -70,14 +70,17 @@ class PagePlacement:
             toucher_gpm: GPM performing the access (the would-be first
                 toucher under FIRST_TOUCH).
         """
+        page = address >> self._page_shift
+        assigned = self._homes.get(page)
+        if assigned is not None:
+            # Mapped pages dominate (one first touch per page, then an
+            # access stream); the toucher validation only guards the
+            # assignment below, so the hot path skips it.
+            return assigned
         if not 0 <= toucher_gpm < self.num_gpms:
             raise ConfigError(
                 f"toucher_gpm {toucher_gpm} out of range [0, {self.num_gpms})"
             )
-        page = address >> self._page_shift
-        assigned = self._homes.get(page)
-        if assigned is not None:
-            return assigned
         interleave = (
             self._interleaved_from_page is not None
             and page >= self._interleaved_from_page

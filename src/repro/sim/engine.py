@@ -150,8 +150,12 @@ class Process:
             self.done.succeed(stop.value)
             return
         # Inline dispatch of the common commands; `_dispatch` only exists as
-        # a seam for the error path and the rare AllOf case.
-        if isinstance(command, Timeout):
+        # a seam for the error path and the rare AllOf case.  Exact class
+        # checks instead of isinstance: the command protocol has no
+        # subclasses, and the identity test is the cheapest branch CPython
+        # offers on this per-event path.
+        cls = command.__class__
+        if cls is Timeout:
             engine = self.engine
             delay = command.delay
             if delay == 0.0:
@@ -162,7 +166,7 @@ class Process:
                     (engine.now + delay, engine._seq, self._step, None),
                 )
                 engine._seq += 1
-        elif isinstance(command, Event):
+        elif cls is Event:
             if command.triggered:
                 self.engine._nowq.append((self._step, command.value))
             else:
@@ -292,8 +296,30 @@ class Engine:
         pop = heapq.heappop
         popleft = nowq.popleft
         processed = self._events_processed
-        limit = float("inf") if max_events is None else max_events
         try:
+            if max_events is None:
+                # Fast loop: no per-event limit comparison.  Identical
+                # dispatch order to the guarded loop below.
+                while True:
+                    while nowq:
+                        callback, value = popleft()
+                        processed += 1
+                        callback(value)
+                    if not heap:
+                        break
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        break
+                    self.now = when
+                    while True:
+                        entry = pop(heap)
+                        processed += 1
+                        entry[2](entry[3])
+                        if not heap or heap[0][0] != when:
+                            break
+                return self.now
+            limit = max_events
             while True:
                 while nowq:
                     callback, value = popleft()

@@ -1,0 +1,775 @@
+"""Per-GPM sharded execution of the multi-module GPU model.
+
+The single-process engine interleaves every GPM's events on one heap.  For
+*decoupled* workloads — no page is touched by more than one GPM and no
+access ever crosses a module boundary — that interleaving is unnecessary:
+each GPM's timeline is a pure function of its own state, so each module (or
+group of modules) can run its kernels on a **private engine** and the chip
+only needs to synchronize at kernel boundaries, exactly where the
+bulk-synchronous driver already barriers.
+
+The contract of this module is **bit identity**: counters (including the
+per-GPM shards), DVFS residency, kernel timing, and the
+``events_processed`` total of a sharded run are exactly equal to the
+single-process run of the same (workload, config) pair.  That holds because
+
+* per-GPM event outcomes depend only on module-local state (caches, DRAM
+  horizon, issue servers) and on absolute time values, never on the global
+  event interleaving;
+* every kernel starts at the same absolute barrier time on every shard
+  (each shard engine's clock is jumped to the chip-wide barrier, which is
+  safe at quiescence: the heap and now-queue are empty);
+* the governor/residency bookkeeping is replicated on the coordinator from
+  the same per-GPM busy-cycle inputs, in the same order, with the same
+  float association as :class:`~repro.gpu.multigpu.MultiGpu`;
+* the chip totals merge the per-GPM shards in GPM-id order — the same
+  association order the single-process driver uses;
+* the event count differs from the shard engines' sum only by the driver
+  process's own callbacks, which are reconstructed exactly: one initial
+  driver step plus one barrier-hit callback per non-empty GPM partition
+  per kernel.
+
+Workloads that *do* couple modules (shared interleaved pages, halo traffic
+across a partition boundary, striped placement) cannot be split without
+changing remote-access timing, so :func:`run_sharded` detects coupling
+statically — from the same vectorized address synthesis the run would use —
+and falls back to the single-process engine.  The fallback is the exact
+single-process path, so it is trivially bit-identical; the
+:class:`~repro.gpu.simulator.ShardingSummary` on the result records why.
+
+Layering note: this module lives in :mod:`repro.sim` for discoverability
+(it is the sharded *execution mode* of the engine) but is layered above
+:mod:`repro.gpu` — it drives :class:`~repro.gpu.gpm.Gpm` instances the same
+way ``MultiGpu`` does.  Nothing inside :mod:`repro.gpu` imports it at
+module scope.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dvfs.config import IDENTITY_SCALES
+from repro.dvfs.governor import Governor, GpmObservation, PowerCapGovernor
+from repro.dvfs.operating_point import K40_OPERATING_POINT, K40_VF_CURVE, OperatingPoint, VfCurve
+from repro.dvfs.residency import DvfsResidency, ResidencyHistogram
+from repro.errors import ConfigError, SimulationError
+from repro.gpu.config import GpuConfig
+from repro.gpu.counters import CounterSet
+from repro.gpu.cta_scheduler import CtaPartitioning, partition_ctas
+from repro.gpu.gpm import Gpm
+from repro.gpu.multigpu import KernelStats
+from repro.gpu.simulator import GpuSimulator, RunResult, ShardingSummary
+from repro.isa.kernel import Workload
+from repro.memory.coherence import SoftwareCoherence
+from repro.memory.pages import PagePlacement, PlacementPolicy
+from repro.sim.engine import Engine
+from repro.trace.metrics import MetricsRegistry
+from repro.units import PAGE_BYTES
+
+_PAGE_SHIFT = PAGE_BYTES.bit_length() - 1
+
+#: CTAs synthesized per analyzer batch: bounds peak array size and lets the
+#: coupling scan bail out early on the first conflicting page.
+_ANALYZER_CHUNK_CTAS = 64
+
+
+# --------------------------------------------------------------------- planning
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of GPM ids to shards (one private engine per shard)."""
+
+    groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.groups)
+
+
+def plan_shards(num_gpms: int, shards: int) -> ShardPlan:
+    """Split ``num_gpms`` modules into ``shards`` contiguous groups.
+
+    Mirrors the contiguous CTA partitioner: the first ``num_gpms % shards``
+    groups get one extra module.  Requests for more shards than modules
+    clamp to one module per shard.
+    """
+    if num_gpms <= 0:
+        raise ConfigError(f"num_gpms must be positive, got {num_gpms}")
+    if shards <= 0:
+        raise ConfigError(f"shards must be positive, got {shards}")
+    shards = min(shards, num_gpms)
+    base, extra = divmod(num_gpms, shards)
+    groups = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    return ShardPlan(groups=tuple(groups))
+
+
+# ------------------------------------------------------------ coupling analysis
+
+
+def _contiguous_runs(cta_ids: list[int]):
+    """Yield ``(lo, hi)`` half-open runs of consecutive ids."""
+    iterator = iter(cta_ids)
+    lo = prev = next(iterator)
+    for cta in iterator:
+        if cta != prev + 1:
+            yield lo, prev + 1
+            lo = cta
+        prev = cta
+    yield lo, prev + 1
+
+
+def coupling_reason(
+    workload: Workload,
+    config: GpuConfig,
+    partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+) -> str | None:
+    """Why this (workload, config) pair cannot shard, or ``None`` if it can.
+
+    The check is static and timing-independent: it walks the same vectorized
+    address synthesis the run would execute (``_synthesize`` on each
+    kernel's program factory) and accumulates, across **all** kernels, which
+    GPM partitions touch which pages.  The pair is decoupled exactly when
+
+    * no first-touch page is touched by more than one GPM (page homes and
+      cache/DRAM state persist across kernels, hence the cross-kernel
+      accumulation), and
+    * every interleaved/striped page — whose home is ``page % num_gpms``
+      regardless of toucher — is only ever touched by its home GPM.
+
+    Shared-memory (LDS) accesses never reach page placement and are
+    excluded.  Program factories without batched synthesis are reported as
+    coupled: without the address stream there is nothing to prove.
+    """
+    num_gpms = config.num_gpms
+    if num_gpms == 1:
+        return None
+    striped_all = config.placement_policy is PlacementPolicy.STRIPED
+    interleaved_page = (
+        None
+        if workload.interleaved_base is None
+        else workload.interleaved_base >> _PAGE_SHIFT
+    )
+    owner: dict[int, int] = {}
+    for kernel in workload.kernels:
+        synthesize = getattr(kernel.program_factory, "_synthesize", None)
+        if synthesize is None:
+            return (
+                f"kernel {kernel.name!r}: program factory does not expose"
+                " batched address synthesis"
+            )
+        partitions = partition_ctas(kernel.num_ctas, num_gpms, partitioning)
+        for gpm_id, cta_ids in enumerate(partitions):
+            if not cta_ids:
+                continue
+            for lo, hi in _contiguous_runs(cta_ids):
+                for start in range(lo, hi, _ANALYZER_CHUNK_CTAS):
+                    end = min(start + _ANALYZER_CHUNK_CTAS, hi)
+                    addresses, _is_store, is_lds = synthesize(start, end)
+                    pages = np.unique(addresses[~is_lds] >> _PAGE_SHIFT)
+                    if striped_all:
+                        interleaved = np.ones(pages.shape, dtype=bool)
+                    elif interleaved_page is not None:
+                        interleaved = pages >= interleaved_page
+                    else:
+                        interleaved = np.zeros(pages.shape, dtype=bool)
+                    striped_pages = pages[interleaved]
+                    if striped_pages.size and bool(
+                        np.any(striped_pages % num_gpms != gpm_id)
+                    ):
+                        return (
+                            f"kernel {kernel.name!r}: GPM {gpm_id} touches"
+                            " interleaved pages homed on other modules"
+                        )
+                    for page in pages[~interleaved].tolist():
+                        previous = owner.get(page)
+                        if previous is None:
+                            owner[page] = gpm_id
+                        elif previous != gpm_id:
+                            return (
+                                f"kernel {kernel.name!r}: page {page:#x} is"
+                                f" touched by GPM {previous} and GPM {gpm_id}"
+                            )
+    return None
+
+
+# ------------------------------------------------------------------ shard runtime
+
+
+class _ShardRuntime:
+    """One shard: a private engine driving a subset of the chip's GPMs.
+
+    The shard replicates exactly what :class:`~repro.gpu.multigpu.MultiGpu`
+    builds for its modules — same GPM ids, same per-GPM DVFS scales, a page
+    table spanning the *full* chip (so interleaved homes compute
+    identically), and a per-shard software-coherence instance.  The memory
+    hierarchies are connected with no topology: a decoupled workload never
+    takes the remote path, and if the static analysis were ever wrong the
+    first remote access raises instead of silently diverging.
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        gpm_ids: tuple[int, ...],
+        interleaved_base: int | None,
+        initial_points: list[OperatingPoint] | None,
+        curve: VfCurve | None,
+    ):
+        self.config = config
+        self.engine = Engine()
+        self.placement = PagePlacement(
+            num_gpms=config.num_gpms, policy=config.placement_policy
+        )
+        self.placement.set_interleaved_from(interleaved_base)
+        self.counters: dict[int, CounterSet] = {}
+        self.gpms: list[Gpm] = []
+        for gpm_id in gpm_ids:
+            scales = (
+                IDENTITY_SCALES
+                if config.dvfs is None
+                else config.dvfs.scales_for_gpm(gpm_id)
+            )
+            shard_counters = CounterSet()
+            gpm = Gpm(
+                self.engine, gpm_id, config.gpm, self.placement,
+                shard_counters, scales=scales,
+            )
+            gpm.memory.connect(None, [])
+            self.counters[gpm_id] = shard_counters
+            self.gpms.append(gpm)
+        self.coherence = SoftwareCoherence()
+        for gpm in self.gpms:
+            self.coherence.register_l2(gpm.gpm_id, gpm.memory.l2)
+        self._curve = curve
+        if initial_points is not None and curve is not None:
+            for gpm in self.gpms:
+                gpm.apply_core_point(initial_points[gpm.gpm_id], curve)
+
+    def run_epoch(self, kernel, partitions: list[list[int]]) -> float:
+        """Run this shard's share of one kernel to quiescence."""
+        engine = self.engine
+        for gpm in self.gpms:
+            cta_ids = partitions[gpm.gpm_id]
+            if cta_ids:
+                engine.process(
+                    gpm.run_kernel(kernel, cta_ids),
+                    name=f"gpm{gpm.gpm_id}.{kernel.name}",
+                )
+        return engine.run()
+
+    def busy_by_gpm(self) -> dict[int, float]:
+        return {gpm.gpm_id: gpm.busy_cycles() for gpm in self.gpms}
+
+    def close_epoch(
+        self, barrier: float, new_points: dict[int, OperatingPoint] | None
+    ) -> None:
+        """Advance to the chip-wide barrier and apply governor decisions.
+
+        Jumping the clock directly is safe: ``run_epoch`` returned at
+        quiescence, so the heap and now-queue are empty and no callback can
+        observe the skipped interval.
+        """
+        self.engine.now = barrier
+        if new_points:
+            for gpm in self.gpms:
+                point = new_points.get(gpm.gpm_id)
+                if point is not None:
+                    gpm.apply_core_point(point, self._curve)
+        if self.config.num_gpms > 1:
+            self.coherence.kernel_boundary()
+
+    def finalize(self, elapsed: float):
+        """Fill per-GPM utilization counters; return (counters, events, metrics)."""
+        for gpm in self.gpms:
+            shard = self.counters[gpm.gpm_id]
+            shard.elapsed_cycles = elapsed
+            shard.sm_busy_cycles = gpm.busy_cycles()
+            shard.sm_idle_cycles = gpm.idle_cycles(elapsed)
+        return self.counters, self.engine.events_processed, self.engine.metrics
+
+
+# -------------------------------------------------------- governor replication
+
+
+class _GovernorMirror:
+    """Coordinator-side replica of ``MultiGpu``'s governor/residency loop.
+
+    Consumes the same per-GPM busy-cycle readings at the same barrier times
+    in the same GPM order, so every observation, decision, residency bucket
+    and metrics sample is float-identical to the single-process driver.
+    """
+
+    def __init__(
+        self, config: GpuConfig, governor: Governor | None, registry: MetricsRegistry
+    ):
+        self.config = config
+        self.governor = governor
+        num_gpms = config.num_gpms
+        self._core_residency: list[dict[OperatingPoint, float]] = [
+            {} for _ in range(num_gpms)
+        ]
+        self._last_core_point: list[OperatingPoint | None] = [None] * num_gpms
+        if governor is not None:
+            self._core_points = list(governor.initial_points(num_gpms))
+            self._busy_snapshot = [0.0] * num_gpms
+            self._interval_utilization = registry.accumulator(
+                "dvfs.interval_utilization"
+            )
+            self._core_mhz = registry.accumulator("dvfs.core_mhz")
+
+    def initial_points(self) -> list[OperatingPoint] | None:
+        return None if self.governor is None else list(self._core_points)
+
+    def govern(
+        self, start: float, now: float, busy_by_gpm: dict[int, float]
+    ) -> dict[int, OperatingPoint] | None:
+        """One governor consultation; returns the points that changed."""
+        governor = self.governor
+        if governor is None:
+            return None
+        window = now - start
+        num_sms = self.config.gpm.num_sms
+        observations = []
+        for gpm_id in range(self.config.num_gpms):
+            current = self._core_points[gpm_id]
+            busy = busy_by_gpm[gpm_id]
+            busy_delta = busy - self._busy_snapshot[gpm_id]
+            self._busy_snapshot[gpm_id] = busy
+            utilization = (
+                0.0 if window <= 0
+                else min(1.0, busy_delta / (window * num_sms))
+            )
+            if window > 0:
+                hist = self._core_residency[gpm_id]
+                hist[current] = hist.get(current, 0.0) + window
+                self._last_core_point[gpm_id] = current
+            observations.append(
+                GpmObservation(
+                    gpm_id=gpm_id, utilization=utilization, current=current
+                )
+            )
+        chosen_points = governor.on_chip_interval(observations, now, window)
+        changed: dict[int, OperatingPoint] = {}
+        for observed, chosen in zip(observations, chosen_points):
+            self._interval_utilization.add(observed.utilization)
+            self._core_mhz.add(chosen.frequency_hz / 1e6)
+            if chosen != observed.current:
+                self._core_points[observed.gpm_id] = chosen
+                changed[observed.gpm_id] = chosen
+        return changed
+
+    def _normalized_core_histogram(
+        self, gpm_id: int, elapsed: float
+    ) -> ResidencyHistogram:
+        # Same residual-bucket renormalization as MultiGpu: the last point's
+        # bucket absorbs float dust so total_cycles == elapsed exactly.
+        recorded = self._core_residency[gpm_id]
+        last = self._last_core_point[gpm_id]
+        if not recorded or last is None:
+            return ResidencyHistogram(dict(recorded))
+        cycles = {
+            point: window
+            for point, window in recorded.items()
+            if point != last
+        }
+        residual = elapsed - sum(cycles.values())
+        cycles[last] = residual if residual > 0.0 else recorded[last]
+        return ResidencyHistogram(cycles)
+
+    def residency(self, elapsed: float) -> DvfsResidency:
+        dvfs = self.config.dvfs
+        dram_point = dvfs.dram if dvfs is not None else K40_OPERATING_POINT
+        ic_point = (
+            dvfs.interconnect if dvfs is not None else K40_OPERATING_POINT
+        )
+        if self.governor is not None:
+            return DvfsResidency(
+                core=tuple(
+                    self._normalized_core_histogram(gpm_id, elapsed)
+                    for gpm_id in range(self.config.num_gpms)
+                ),
+                dram=ResidencyHistogram.single(dram_point, elapsed),
+                interconnect=ResidencyHistogram.single(ic_point, elapsed),
+            )
+        core_points = [
+            dvfs.core_point_for(gpm_id) if dvfs is not None
+            else K40_OPERATING_POINT
+            for gpm_id in range(self.config.num_gpms)
+        ]
+        return DvfsResidency.static_run(
+            elapsed, core_points, dram_point, ic_point
+        )
+
+
+# ------------------------------------------------------------------ executors
+
+
+class _InlineExecutor:
+    """All shards in this process: private engines, no forking.
+
+    This is the default on machines without spare cores — the gain is
+    engine-locality (smaller heaps, smaller now-queues), not parallelism —
+    and it is the reference implementation the fork executor must match.
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        workload: Workload,
+        partitioning: CtaPartitioning,
+        plan: ShardPlan,
+        initial_points: list[OperatingPoint] | None,
+        curve: VfCurve | None,
+    ):
+        self._config = config
+        self._workload = workload
+        self._partitioning = partitioning
+        self._runtimes = {
+            shard_id: _ShardRuntime(
+                config, group, workload.interleaved_base, initial_points, curve
+            )
+            for shard_id, group in enumerate(plan.groups)
+        }
+
+    def run(self, kernel_index: int) -> dict[int, tuple[float, dict[int, float]]]:
+        kernel = self._workload.kernels[kernel_index]
+        partitions = partition_ctas(
+            kernel.num_ctas, self._config.num_gpms, self._partitioning
+        )
+        replies = {}
+        for shard_id, runtime in self._runtimes.items():
+            now = runtime.run_epoch(kernel, partitions)
+            replies[shard_id] = (now, runtime.busy_by_gpm())
+        return replies
+
+    def close(
+        self, barrier: float, points: dict[int, OperatingPoint] | None
+    ) -> None:
+        for runtime in self._runtimes.values():
+            runtime.close_epoch(barrier, points)
+
+    def finish(self, elapsed: float):
+        return {
+            shard_id: runtime.finalize(elapsed)
+            for shard_id, runtime in self._runtimes.items()
+        }
+
+    def shutdown(self) -> None:
+        pass
+
+
+def _worker_main(conn, config, workload, partitioning, groups, initial_points, curve):
+    """Fork-worker loop: epoch-synchronous shard execution over a pipe.
+
+    ``groups`` is this worker's list of ``(shard_id, gpm_ids)`` pairs.  The
+    protocol is strictly parent-driven: ``("run", k)`` executes kernel ``k``
+    to quiescence on every owned shard, ``("close", barrier, points)``
+    advances the clocks and applies governor decisions (no reply), and
+    ``("finish", elapsed)`` returns the final per-GPM counters, event count,
+    and serialized metrics, then exits.
+    """
+    try:
+        runtimes = {
+            shard_id: _ShardRuntime(
+                config, gpm_ids, workload.interleaved_base, initial_points, curve
+            )
+            for shard_id, gpm_ids in groups
+        }
+        kernels = workload.kernels
+        while True:
+            message = conn.recv()
+            tag = message[0]
+            if tag == "run":
+                kernel = kernels[message[1]]
+                partitions = partition_ctas(
+                    kernel.num_ctas, config.num_gpms, partitioning
+                )
+                replies = {}
+                for shard_id, runtime in runtimes.items():
+                    now = runtime.run_epoch(kernel, partitions)
+                    replies[shard_id] = (now, runtime.busy_by_gpm())
+                conn.send(("ok", replies))
+            elif tag == "close":
+                _, barrier, points = message
+                for runtime in runtimes.values():
+                    runtime.close_epoch(barrier, points)
+            elif tag == "finish":
+                elapsed = message[1]
+                payload = {}
+                for shard_id, runtime in runtimes.items():
+                    counters, events, metrics = runtime.finalize(elapsed)
+                    payload[shard_id] = (counters, events, metrics.to_json())
+                conn.send(("ok", payload))
+                return
+            else:  # pragma: no cover - protocol bug guard
+                raise SimulationError(f"unknown shard message {tag!r}")
+    except Exception as error:  # surface to the parent instead of hanging it
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _ForkExecutor:
+    """Shards distributed over forked worker processes.
+
+    Workers are forked (not spawned) so they inherit the already-built
+    workload — program chunks and all — without pickling it; only the small
+    epoch messages cross the pipes.  Floats survive pickling exactly, so
+    the protocol preserves bit identity.
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        workload: Workload,
+        partitioning: CtaPartitioning,
+        plan: ShardPlan,
+        workers: int,
+        initial_points: list[OperatingPoint] | None,
+        curve: VfCurve | None,
+    ):
+        context = multiprocessing.get_context("fork")
+        assignments: list[list[tuple[int, tuple[int, ...]]]] = [
+            [] for _ in range(workers)
+        ]
+        for shard_id, group in enumerate(plan.groups):
+            assignments[shard_id % workers].append((shard_id, group))
+        self._conns = []
+        self._procs = []
+        for worker_groups in assignments:
+            if not worker_groups:
+                continue
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_worker_main,
+                args=(
+                    child_conn, config, workload, partitioning,
+                    worker_groups, initial_points, curve,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    def _recv(self, conn):
+        try:
+            tag, payload = conn.recv()
+        except EOFError:
+            raise SimulationError("sharded worker exited unexpectedly") from None
+        if tag != "ok":
+            raise SimulationError(f"sharded worker failed: {payload}")
+        return payload
+
+    def run(self, kernel_index: int) -> dict[int, tuple[float, dict[int, float]]]:
+        for conn in self._conns:
+            conn.send(("run", kernel_index))
+        merged: dict[int, tuple[float, dict[int, float]]] = {}
+        for conn in self._conns:
+            merged.update(self._recv(conn))
+        return merged
+
+    def close(
+        self, barrier: float, points: dict[int, OperatingPoint] | None
+    ) -> None:
+        for conn in self._conns:
+            conn.send(("close", barrier, points))
+
+    def finish(self, elapsed: float):
+        for conn in self._conns:
+            conn.send(("finish", elapsed))
+        merged = {}
+        for conn in self._conns:
+            payload = self._recv(conn)
+            for shard_id, (counters, events, metrics_json) in payload.items():
+                merged[shard_id] = (
+                    counters, events, MetricsRegistry.from_json(metrics_json)
+                )
+        self.shutdown()
+        return merged
+
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker cleanup
+                proc.terminate()
+                proc.join(timeout=5)
+        self._conns = []
+        self._procs = []
+
+
+# ------------------------------------------------------------------ entry point
+
+
+def fallback_reason(
+    workload: Workload,
+    config: GpuConfig,
+    shards: int,
+    partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+    tracer=None,
+    max_events: int | None = None,
+) -> str | None:
+    """Why this run must take the single-process engine, or ``None``."""
+    if shards <= 1:
+        return "shards <= 1 selects the single-process engine"
+    if config.num_gpms == 1:
+        return "single-GPM configurations have nothing to shard"
+    if tracer is not None:
+        return "tracing requires the single-process event order"
+    if max_events is not None:
+        return "max_events accounting is engine-global"
+    return coupling_reason(workload, config, partitioning)
+
+
+def run_sharded(
+    workload: Workload,
+    config: GpuConfig,
+    shards: int,
+    partitioning: CtaPartitioning = CtaPartitioning.CONTIGUOUS,
+    governor: Governor | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer=None,
+    max_events: int | None = None,
+    workers: int | None = None,
+) -> RunResult:
+    """Simulate ``workload`` with per-GPM shards, bit-identical to one engine.
+
+    Args:
+        shards: requested shard count (clamped to the GPM count).
+        workers: OS processes to spread the shards over.  ``None`` picks
+            ``min(shards, cpu_count)``; ``1`` keeps every shard in-process
+            (private engines, no forking).
+        governor: as in :meth:`~repro.gpu.simulator.GpuSimulator.run`; a
+            config with ``power_cap_watts`` auto-attaches a
+            :class:`~repro.dvfs.governor.PowerCapGovernor`.
+
+    Runs that cannot shard (coupled workload, tracing, ``max_events``,
+    single GPM) fall back to the exact single-process path; the returned
+    result's ``sharding`` summary records the reason either way.
+
+    Note on metrics: counters, residency, kernel timing and event counts
+    are bit-identical; :class:`~repro.trace.MetricsRegistry` contents merge
+    per-shard via the parallel Welford combine, which matches the
+    single-process stream only up to float rounding.
+    """
+    if governor is None and config.power_cap_watts is not None:
+        curve = config.dvfs.curve if config.dvfs is not None else K40_VF_CURVE
+        governor = PowerCapGovernor(
+            curve=curve, cap_watts=config.power_cap_watts
+        )
+    reason = fallback_reason(
+        workload, config, shards, partitioning, tracer, max_events
+    )
+    if reason is not None:
+        result = GpuSimulator(config, partitioning=partitioning).run(
+            workload,
+            max_events=max_events,
+            tracer=tracer,
+            metrics=metrics,
+            governor=governor,
+        )
+        result.sharding = ShardingSummary(
+            requested=shards, shards=1, workers=1, fallback_reason=reason
+        )
+        return result
+
+    plan = plan_shards(config.num_gpms, shards)
+    if workers is None:
+        workers = min(plan.num_shards, os.cpu_count() or 1)
+    workers = max(1, min(workers, plan.num_shards))
+
+    start_wall = time.perf_counter()
+    registry = metrics if metrics is not None else MetricsRegistry()
+    mirror = _GovernorMirror(config, governor, registry)
+    initial_points = mirror.initial_points()
+    curve = governor.curve if governor is not None else None
+    if workers > 1:
+        executor = _ForkExecutor(
+            config, workload, partitioning, plan, workers, initial_points, curve
+        )
+    else:
+        executor = _InlineExecutor(
+            config, workload, partitioning, plan, initial_points, curve
+        )
+    kernel_stats: list[KernelStats] = []
+    barrier = 0.0
+    # The single-process driver's own callbacks, reconstructed: one initial
+    # process step plus one counted barrier-hit per non-empty partition.
+    driver_events = 1
+    try:
+        for index, kernel in enumerate(workload.kernels):
+            start = barrier
+            partitions = partition_ctas(
+                kernel.num_ctas, config.num_gpms, partitioning
+            )
+            driver_events += sum(1 for cta_ids in partitions if cta_ids)
+            replies = executor.run(index)
+            barrier = max(now for now, _busy in replies.values())
+            kernel_stats.append(
+                KernelStats(kernel.name, start_cycle=start, end_cycle=barrier)
+            )
+            busy_by_gpm: dict[int, float] = {}
+            for _now, busy in replies.values():
+                busy_by_gpm.update(busy)
+            points = mirror.govern(start, barrier, busy_by_gpm)
+            executor.close(barrier, points)
+        elapsed = barrier
+        payloads = executor.finish(elapsed)
+    except BaseException:
+        executor.shutdown()
+        raise
+
+    counters_by_gpm: dict[int, CounterSet] = {}
+    shard_events = 0
+    for shard_id in sorted(payloads):
+        counters, events, shard_metrics = payloads[shard_id]
+        counters_by_gpm.update(counters)
+        shard_events += events
+        registry.merge(shard_metrics)
+    totals = CounterSet(
+        per_gpm=tuple(
+            counters_by_gpm[gpm_id] for gpm_id in range(config.num_gpms)
+        )
+    )
+    for shard in totals.per_gpm:
+        totals.merge(shard)
+    totals.elapsed_cycles = elapsed
+    wall_time_s = time.perf_counter() - start_wall
+    return RunResult(
+        workload_name=workload.name,
+        config_label=config.label(),
+        counters=totals,
+        kernel_stats=kernel_stats,
+        clock_hz=config.gpm.clock_hz,
+        metrics=registry,
+        events_processed=shard_events + driver_events,
+        wall_time_s=wall_time_s,
+        residency=mirror.residency(elapsed),
+        governor=governor,
+        sharding=ShardingSummary(
+            requested=shards,
+            shards=plan.num_shards,
+            workers=workers,
+            fallback_reason=None,
+        ),
+    )

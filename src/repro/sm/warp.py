@@ -65,7 +65,11 @@ class WarpContext:
         """
         engine = sm.engine
         reserve = sm.issue.reserve
-        memory_access = sm.memory_access
+        # Call straight into the GPM memory path: SmCore.memory_access is a
+        # one-line forwarding wrapper, and at one call per access the extra
+        # frame is measurable on the hot path.
+        memory_access = sm.memory.access
+        local_index = sm.local_index
         count_compute = sm.counters.count_compute_map
         # Reused command/buffer objects: the engine consumes a yielded Timeout
         # synchronously and AllOf copies its event list, so one mutable
@@ -83,7 +87,7 @@ class WarpContext:
             completion = issue_done
             pending.clear()
             for access in segment.accesses:
-                done, events = memory_access(access, earliest=issue_done)
+                done, events = memory_access(local_index, access, issue_done)
                 if done > completion:
                     completion = done
                 if events:

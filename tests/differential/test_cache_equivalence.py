@@ -1,0 +1,88 @@
+"""Property harness: the fast tag store vs the reference implementation.
+
+:class:`repro.memory.cache.Cache` is the vectorized cell-based rewrite on the
+simulator's hottest path; :class:`~repro.memory.cache.ReferenceCache` is the
+original object-per-line implementation, kept verbatim as an executable
+oracle.  Hypothesis drives random access/probe/invalidate streams through
+both and demands identical observable behaviour at every step: per-access
+``(hit, dirty_eviction)`` results, probe outcomes, invalidation counts,
+resident-line totals, and the final :class:`~repro.memory.cache.CacheStats`.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache, CacheConfig, ReferenceCache
+
+# Small geometries force conflict misses fast; addresses span a few hundred
+# lines so streams revisit sets, evict, and re-fill.
+_configs = st.builds(
+    CacheConfig,
+    capacity_bytes=st.sampled_from([256, 512, 1024, 4096]),
+    line_bytes=st.sampled_from([32, 64]),
+    associativity=st.sampled_from([1, 2, 4]),
+    write_allocate=st.booleans(),
+    write_back=st.booleans(),
+)
+
+# One stream operation: an access (address, is_store, home), a probe, or a
+# bulk invalidation keyed on home-GPM parity.
+_accesses = st.tuples(
+    st.just("access"),
+    st.integers(min_value=0, max_value=16 * 1024),
+    st.booleans(),
+    st.integers(min_value=0, max_value=3),
+)
+_probes = st.tuples(
+    st.just("probe"),
+    st.integers(min_value=0, max_value=16 * 1024),
+    st.none(),
+    st.none(),
+)
+_invalidates = st.tuples(
+    st.just("invalidate"),
+    st.integers(min_value=0, max_value=3),
+    st.none(),
+    st.none(),
+)
+_streams = st.lists(
+    st.one_of(_accesses, _accesses, _accesses, _probes, _invalidates),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=_configs, stream=_streams)
+def test_cache_matches_reference(config, stream):
+    fast = Cache(config)
+    oracle = ReferenceCache(config)
+    for step, (op, a, b, c) in enumerate(stream):
+        if op == "access":
+            got = fast.access(a, is_store=b, home=c)
+            want = oracle.access(a, is_store=b, home=c)
+        elif op == "probe":
+            got = fast.probe(a)
+            want = oracle.probe(a)
+        else:
+            got = fast.invalidate_where(lambda home, m=a: home == m)
+            want = oracle.invalidate_where(lambda home, m=a: home == m)
+        assert got == want, f"step {step}: {op} diverged: fast={got} ref={want}"
+        assert fast.resident_lines == oracle.resident_lines, f"step {step}"
+    assert fast.stats == oracle.stats
+
+
+@settings(max_examples=50, deadline=None)
+@given(config=_configs, stream=_streams)
+def test_cache_flush_matches_reference(config, stream):
+    fast = Cache(config)
+    oracle = ReferenceCache(config)
+    for op, a, b, c in stream:
+        if op == "access":
+            fast.access(a, is_store=b, home=c)
+            oracle.access(a, is_store=b, home=c)
+    assert fast.flush() == oracle.flush()
+    assert fast.resident_lines == oracle.resident_lines == 0
+    assert fast.stats == oracle.stats

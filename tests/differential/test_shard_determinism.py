@@ -1,0 +1,104 @@
+"""Same (config, seed) at 1/2/N shards must leave byte-identical provenance.
+
+The sweep cache deliberately keeps the shard count out of its key: a sharded
+run promises the same results as a single-engine run, so a cache entry
+produced at any shard count must be interchangeable.  This test enforces the
+promise at the artifact level — the :class:`~repro.trace.manifest.RunManifest`
+written beside each fresh cache entry must serialize to identical bytes at
+shard counts 1, 2, and 4 once the genuinely volatile fields (wall clock,
+host, timestamps) are dropped.
+
+On divergence the assertion message names the first differing field — for
+counter drift that is the first diverging counter, which is the thing you
+need to start bisecting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.tools.regen_goldens import GOLDEN_CONFIGS, GOLDEN_SPECS
+
+#: Manifest fields that legitimately differ between producing runs.
+VOLATILE_FIELDS = ("wall_time_s", "events_per_sec", "host", "created_at")
+
+
+def _first_divergence(want, got, path=""):
+    """Depth-first name of the first differing leaf between two JSON trees."""
+    if isinstance(want, dict) and isinstance(got, dict):
+        for key in sorted(set(want) | set(got)):
+            hit = _first_divergence(
+                want.get(key), got.get(key), f"{path}.{key}" if path else key
+            )
+            if hit is not None:
+                return hit
+        return None
+    if isinstance(want, list) and isinstance(got, list):
+        if len(want) != len(got):
+            return f"{path}: length {len(want)} != {len(got)}"
+        for index, (w, g) in enumerate(zip(want, got)):
+            hit = _first_divergence(w, g, f"{path}[{index}]")
+            if hit is not None:
+                return hit
+        return None
+    if want != got:
+        return f"{path}: {want!r} != {got!r}"
+    return None
+
+
+def _manifest_and_counters(tmp_path, spec, config, shards):
+    """Run one pair through a fresh sweep cache; return its provenance."""
+    settings = SweepSettings(
+        cache_dir=tmp_path / f"shards{shards}",
+        processes=1,
+        progress=False,
+        shards=shards,
+    )
+    runner = SweepRunner(settings)
+    (record,) = runner.run([(spec, config)])
+    manifests = sorted(settings.cache_dir.glob("*.manifest.json"))
+    assert len(manifests) == 1
+    data = json.loads(manifests[0].read_text())
+    for field in VOLATILE_FIELDS:
+        data.pop(field, None)
+    canonical = json.dumps(data, sort_keys=True, indent=2).encode()
+    return canonical, data, record
+
+
+@pytest.mark.parametrize("spec_key", ["stream-micro", "shared-micro"])
+@pytest.mark.parametrize("config_key", ["4gpm-ring", "4gpm-mixedclock"])
+def test_manifest_bytes_identical_across_shard_counts(
+    tmp_path, spec_key, config_key
+):
+    spec = GOLDEN_SPECS[spec_key]
+    config = GOLDEN_CONFIGS[config_key]
+    runs = {
+        shards: _manifest_and_counters(tmp_path, spec, config, shards)
+        for shards in (1, 2, 4)
+    }
+    base_bytes, base_data, base_record = runs[1]
+    for shards in (2, 4):
+        got_bytes, got_data, got_record = runs[shards]
+        if got_bytes != base_bytes:
+            counter_diff = _first_divergence(
+                base_record.to_json()["counters"],
+                got_record.to_json()["counters"],
+            )
+            manifest_diff = _first_divergence(base_data, got_data)
+            pytest.fail(
+                f"manifest for shards={shards} diverged from shards=1:"
+                f" first manifest field: {manifest_diff};"
+                f" first diverging counter: {counter_diff}"
+            )
+
+
+def test_repeated_runs_identical_at_same_shard_count(tmp_path):
+    """Two fresh runs at the same shard count are themselves reproducible."""
+    spec = GOLDEN_SPECS["stream-micro"]
+    config = GOLDEN_CONFIGS["4gpm-ring"]
+    first, _, _ = _manifest_and_counters(tmp_path / "a", spec, config, 2)
+    second, _, _ = _manifest_and_counters(tmp_path / "b", spec, config, 2)
+    assert first == second

@@ -1,0 +1,129 @@
+"""Differential harness: sharded engine vs single-process engine, bit-exact.
+
+Every golden (workload, configuration) pair is simulated twice — once through
+the single-process engine and once through :mod:`repro.sim.sharded` — and the
+full observable result surface is compared with **zero tolerance**: counters
+(including the per-GPM shards), kernel timing, DVFS residency, per-GPM priced
+energy, and the engine event count.  Sharding is an execution strategy, not a
+model change, so any difference at all is a bug.
+
+The golden set deliberately spans both sides of the coupling predicate:
+``stream-micro`` is decoupled (first-touch private pages only) and exercises
+the real shard engines, while ``shared-micro`` touches striped interleaved
+pages and must fall back — bit-identically — to the single-process path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.energy_model import EnergyParams
+from repro.gpu.simulator import RunResult, simulate
+from repro.tools.regen_goldens import (
+    GOLDEN_CONFIGS,
+    GOLDEN_SPECS,
+    counters_to_json,
+    diff_counters,
+    diff_residency,
+    golden_cases,
+)
+from repro.workloads.generator import build_workload
+
+#: Shard counts the harness drives every golden case through.
+SHARD_COUNTS = (2, 4)
+
+CASES = [
+    pytest.param(spec_key, config_key, shards, id=f"{case}-{shards}sh")
+    for case, spec_key, config_key in golden_cases()
+    for shards in SHARD_COUNTS
+]
+
+
+def _run_pair(spec_key: str, config_key: str, shards: int, **kwargs):
+    spec = GOLDEN_SPECS[spec_key]
+    config = GOLDEN_CONFIGS[config_key]
+    single = simulate(build_workload(spec), config)
+    sharded = simulate(build_workload(spec), config, shards=shards, **kwargs)
+    return single, sharded
+
+
+def _assert_bit_identical(single: RunResult, sharded: RunResult) -> None:
+    diffs = diff_counters(
+        counters_to_json(single.counters), counters_to_json(sharded.counters)
+    )
+    assert not diffs, "counter divergence:\n" + "\n".join(diffs)
+    # The canonical JSON omits the per-GPM counter shards; compare the whole
+    # dataclass too so per-module attribution is held to the same standard.
+    assert asdict(single.counters) == asdict(sharded.counters)
+    assert sharded.events_processed == single.events_processed
+    assert sharded.kernel_stats == single.kernel_stats
+    assert sharded.clock_hz == single.clock_hz
+    if single.residency is None:
+        assert sharded.residency is None
+    else:
+        assert sharded.residency is not None
+        rdiffs = diff_residency(
+            single.residency.to_json(), sharded.residency.to_json()
+        )
+        assert not rdiffs, "residency divergence:\n" + "\n".join(rdiffs)
+        assert sharded.residency.to_json() == single.residency.to_json()
+
+
+@pytest.mark.parametrize("spec_key,config_key,shards", CASES)
+def test_sharded_matches_single(spec_key, config_key, shards):
+    single, sharded = _run_pair(spec_key, config_key, shards)
+    assert sharded.sharding is not None
+    assert sharded.sharding.requested == shards
+    _assert_bit_identical(single, sharded)
+
+
+@pytest.mark.parametrize("spec_key,config_key,shards", CASES)
+def test_sharded_energy_attribution_matches(spec_key, config_key, shards):
+    """Per-GPM priced energy — the paper's headline metric — is bit-equal."""
+    config = GOLDEN_CONFIGS[config_key]
+    single, sharded = _run_pair(spec_key, config_key, shards)
+    params = EnergyParams.for_operating_point(config, residency=single.residency)
+    want = single.energy_breakdown(params)
+    got = sharded.energy_breakdown(
+        EnergyParams.for_operating_point(config, residency=sharded.residency)
+    )
+    assert got.total == want.total
+    assert got.as_dict() == want.as_dict()
+    assert [g.as_dict() for g in got.per_gpm] == [
+        g.as_dict() for g in want.per_gpm
+    ]
+
+
+def test_decoupled_case_actually_shards():
+    """Guard against the harness silently testing fallback-vs-single only."""
+    _, sharded = _run_pair("stream-micro", "4gpm-ring", 4)
+    assert sharded.sharding is not None
+    assert sharded.sharding.fallback_reason is None
+    assert sharded.sharding.shards == 4
+    assert sharded.sharding.used_sharding
+
+
+def test_coupled_case_falls_back_with_reason():
+    _, sharded = _run_pair("shared-micro", "4gpm-ring", 4)
+    assert sharded.sharding is not None
+    assert not sharded.sharding.used_sharding
+    assert "interleaved" in sharded.sharding.fallback_reason
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("config_key", ["4gpm-ring", "4gpm-mixedclock"])
+def test_forked_workers_match_single(config_key, shards):
+    """The multi-process executor path is held to the same bit contract.
+
+    The container default resolves to inline execution (one worker), so this
+    forces two OS workers to cover the pipe/merge protocol.
+    """
+    single, sharded = _run_pair(
+        "stream-micro", config_key, shards, shard_workers=2
+    )
+    assert sharded.sharding is not None
+    assert sharded.sharding.fallback_reason is None
+    assert sharded.sharding.workers == 2
+    _assert_bit_identical(single, sharded)

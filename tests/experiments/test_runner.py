@@ -272,3 +272,50 @@ class TestSerialization:
         assert clone.counters.sm_idle_cycles == pytest.approx(
             record.counters.sm_idle_cycles
         )
+
+
+class TestWorkerCount:
+    """Sweep processes are budgeted against forked shard engines."""
+
+    def _runner(self, tmp_path, processes, shards):
+        return SweepRunner(
+            SweepSettings(cache_dir=tmp_path, processes=processes, shards=shards)
+        )
+
+    def test_unsharded_sweeps_keep_full_pool(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 8)
+        runner = self._runner(tmp_path, processes=8, shards=1)
+        assert runner._worker_count(100) == 8
+
+    def test_shards_divide_the_core_budget(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 8)
+        runner = self._runner(tmp_path, processes=8, shards=4)
+        # workers * shards must not exceed the 8 cores: 8 // 4 = 2 workers.
+        assert runner._worker_count(100) == 2
+
+    def test_oversized_shard_requests_still_leave_one_worker(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 8)
+        runner = self._runner(tmp_path, processes=8, shards=64)
+        assert runner._worker_count(100) == 1
+
+    def test_missing_count_still_clamps(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 16)
+        runner = self._runner(tmp_path, processes=8, shards=2)
+        assert runner._worker_count(3) == 3
+
+    def test_unknown_cpu_count_defaults_to_one(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: None)
+        runner = self._runner(tmp_path, processes=8, shards=2)
+        assert runner._worker_count(100) == 1

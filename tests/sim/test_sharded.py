@@ -1,0 +1,144 @@
+"""Unit tests for the sharded-engine planner, coupling analysis, and fallback.
+
+The bit-identity contract itself is enforced end-to-end by
+``tests/differential``; these tests pin the supporting machinery — how GPMs
+map onto shards, which workloads the static analyzer admits, and the exact
+reasons a run declines to shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.simulator import simulate
+from repro.sim.sharded import coupling_reason, fallback_reason, plan_shards
+from repro.tools.regen_goldens import GOLDEN_CONFIGS, GOLDEN_SPECS
+from repro.trace.tracer import ChromeTracer
+from repro.workloads.generator import build_workload
+
+
+# ------------------------------------------------------------------- planning
+
+
+def test_plan_shards_even_split():
+    assert plan_shards(8, 4).groups == ((0, 1), (2, 3), (4, 5), (6, 7))
+
+
+def test_plan_shards_remainder_goes_first():
+    assert plan_shards(8, 3).groups == ((0, 1, 2), (3, 4, 5), (6, 7))
+
+
+def test_plan_shards_clamps_to_gpm_count():
+    plan = plan_shards(2, 8)
+    assert plan.num_shards == 2
+    assert plan.groups == ((0,), (1,))
+
+
+def test_plan_shards_one_group_is_everything():
+    assert plan_shards(4, 1).groups == ((0, 1, 2, 3),)
+
+
+def test_plan_shards_covers_every_gpm_exactly_once():
+    for num_gpms in (1, 3, 5, 8, 32):
+        for shards in (1, 2, 3, 7, 32):
+            plan = plan_shards(num_gpms, shards)
+            flat = [gpm for group in plan.groups for gpm in group]
+            assert flat == list(range(num_gpms))
+            assert all(group for group in plan.groups)
+
+
+def test_plan_shards_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        plan_shards(0, 2)
+    with pytest.raises(ConfigError):
+        plan_shards(4, 0)
+
+
+# ---------------------------------------------------------- coupling analysis
+
+
+def test_stream_micro_is_decoupled():
+    workload = build_workload(GOLDEN_SPECS["stream-micro"])
+    config = GOLDEN_CONFIGS["4gpm-ring"]
+    assert coupling_reason(workload, config) is None
+
+
+def test_shared_micro_is_coupled_with_named_kernel():
+    workload = build_workload(GOLDEN_SPECS["shared-micro"])
+    config = GOLDEN_CONFIGS["4gpm-ring"]
+    reason = coupling_reason(workload, config)
+    assert reason is not None
+    assert "shared-micro" in reason
+
+
+def test_kernel_without_synthesizer_is_coupled():
+    """Hand-built kernels can't be statically analyzed, so they can't shard."""
+    workload = build_workload(GOLDEN_SPECS["stream-micro"])
+    object.__setattr__(workload.kernels[0], "program_factory", object())
+    reason = coupling_reason(workload, GOLDEN_CONFIGS["4gpm-ring"])
+    assert reason is not None
+    assert "synthesis" in reason
+
+
+# ------------------------------------------------------------------- fallback
+
+
+def _stream_pair():
+    return build_workload(GOLDEN_SPECS["stream-micro"]), GOLDEN_CONFIGS["4gpm-ring"]
+
+
+def test_fallback_shards_leq_one():
+    workload, config = _stream_pair()
+    assert "single-process" in fallback_reason(workload, config, shards=1)
+
+
+def test_fallback_single_gpm():
+    workload = build_workload(GOLDEN_SPECS["stream-micro"])
+    reason = fallback_reason(workload, GOLDEN_CONFIGS["1gpm"], shards=4)
+    assert "single-GPM" in reason
+
+
+def test_fallback_tracer():
+    workload, config = _stream_pair()
+    reason = fallback_reason(workload, config, shards=2, tracer=ChromeTracer())
+    assert "tracing" in reason
+
+
+def test_fallback_max_events():
+    workload, config = _stream_pair()
+    reason = fallback_reason(workload, config, shards=2, max_events=100)
+    assert "max_events" in reason
+
+
+def test_decoupled_multi_gpm_does_not_fall_back():
+    workload, config = _stream_pair()
+    assert fallback_reason(workload, config, shards=2) is None
+
+
+# ------------------------------------------------------- result-surface wiring
+
+
+def test_sharding_summary_reports_plan():
+    workload, config = _stream_pair()
+    result = simulate(workload, config, shards=8)
+    assert result.sharding is not None
+    # Requests beyond the GPM count clamp to one module per shard.
+    assert result.sharding.requested == 8
+    assert result.sharding.shards == 4
+    assert result.sharding.used_sharding
+
+
+def test_single_engine_runs_have_no_summary():
+    workload, config = _stream_pair()
+    assert simulate(workload, config).sharding is None
+
+
+def test_fallback_runs_carry_reason_and_match():
+    workload = build_workload(GOLDEN_SPECS["shared-micro"])
+    config = GOLDEN_CONFIGS["4gpm-ring"]
+    single = simulate(workload, config)
+    sharded = simulate(build_workload(GOLDEN_SPECS["shared-micro"]), config, shards=2)
+    assert sharded.sharding.fallback_reason is not None
+    assert sharded.counters.elapsed_cycles == single.counters.elapsed_cycles
+    assert sharded.events_processed == single.events_processed
