@@ -1,0 +1,70 @@
+"""Sweep-service overhead benchmarks (not a paper figure).
+
+The service promises that its scheduling machinery is cheap relative to
+simulation: a cache-hit lookup is an in-memory dict probe plus manifest
+assembly, and a submit->result round trip adds queue/admission overhead on
+top of the simulation itself.  These benchmarks pin both::
+
+    pytest benchmarks/bench_service.py --benchmark-only
+
+* ``test_cache_hit_lookup`` — steady-state latency of submitting a recipe
+  whose result is already in the store (no engine work).
+* ``test_submit_uncached_overhead`` — full submit->simulate->result round
+  trip through the service thread on a tiny workload, i.e. the ceiling on
+  per-job service overhead.
+* ``test_http_cache_hit`` — the same hit served over the local HTTP front,
+  pricing the wire protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.job import request_from_recipe
+from repro.service.server import ServiceConfig, ServiceThread
+
+RECIPE = {"workload": "Stream", "ctas": 8, "gpms": 1}
+
+
+@pytest.fixture(scope="module")
+def service_thread(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("service-bench-cache")
+    with ServiceThread(ServiceConfig(workers=2, cache_dir=cache_dir)) as thread:
+        yield thread
+
+
+def test_cache_hit_lookup(benchmark, service_thread):
+    request = request_from_recipe(RECIPE)
+    warm = service_thread.submit(request)  # populate the store
+    assert warm.cache in ("miss", "hit")
+
+    outcome = benchmark(lambda: service_thread.submit(request))
+    assert outcome.cache == "hit"
+    assert outcome.record == warm.record
+
+
+def test_submit_uncached_overhead(benchmark, service_thread):
+    # A fresh key every round: vary CTAs so no submission ever hits.
+    counter = iter(range(10_000))
+
+    def submit_fresh():
+        ctas = 4 + next(counter)
+        return service_thread.submit(
+            request_from_recipe({**RECIPE, "ctas": ctas})
+        )
+
+    outcome = benchmark(submit_fresh)
+    assert outcome.cache == "miss"
+
+
+def test_http_cache_hit(benchmark, service_thread):
+    client = ServiceClient(
+        service_thread.host, service_thread.port, client_id="bench"
+    )
+    warm = client.submit_recipe(RECIPE)
+    assert warm["cache"] in ("miss", "hit")
+
+    outcome = benchmark(lambda: client.submit_recipe(RECIPE))
+    assert outcome["cache"] == "hit"
+    assert outcome["record"] == warm["record"]

@@ -29,6 +29,13 @@ Two observability subcommands sit beside the experiments (see
   1–32 GPM sweep, or ``--quick`` for a single small case) and write
   ``BENCH_sim.json``; ``--check`` compares against a committed baseline
   (see ``docs/PERFORMANCE.md``).
+* ``repro serve`` / ``repro submit`` — run the sweep-as-a-service job queue
+  (admission control, priority lanes, single-flight dedup, content-addressed
+  result store) and submit jobs to it (see ``docs/SERVICE.md``).
+
+Every subcommand maps configuration errors (bad DVFS grids, infeasible
+power caps, malformed recipes) to a single ``repro <cmd>: <message>`` line
+on stderr and exit code 2.
 """
 
 from __future__ import annotations
@@ -85,18 +92,19 @@ _EXPERIMENTS = {
 
 
 def _observed_pair(parser: argparse.ArgumentParser, args: argparse.Namespace):
-    """(workload, config) for one trace/profile invocation."""
-    from repro.errors import ConfigError
+    """(workload, config) for one trace/profile invocation.
+
+    Invalid combinations raise :class:`~repro.errors.ConfigError`, which the
+    subcommand guard in :func:`main` maps to a one-line stderr message and
+    exit code 2 — uniformly across every subcommand.
+    """
     from repro.gpu.config import TopologyKind, table_iii_config
     from repro.workloads.generator import build_workload
     from repro.workloads.suite import shrunken_spec
 
-    try:
-        spec = shrunken_spec(
-            args.workload, total_ctas=args.ctas, kernels=args.kernels
-        )
-    except ConfigError as exc:
-        parser.error(str(exc))
+    spec = shrunken_spec(
+        args.workload, total_ctas=args.ctas, kernels=args.kernels
+    )
     config = table_iii_config(
         args.gpms, topology=TopologyKind(args.topology)
     )
@@ -339,19 +347,16 @@ def _dvfs_main(argv: list[str]) -> int:
 
     spec, workload, config = _observed_pair(parser, args)
     if args.cap_watts is not None:
-        # Reject an unsatisfiable budget up front with a one-line error
-        # instead of tracebacking after the (expensive) ladder sweep.
+        # Reject an unsatisfiable budget up front (one-line error via the
+        # subcommand guard) instead of tracebacking after the (expensive)
+        # ladder sweep.  Same feasibility check the sweep service runs at
+        # admission (repro.service.admission.validate_request).
         from repro.dvfs.governor import PowerCapGovernor
-        from repro.errors import ConfigError
 
         curve = config.dvfs.curve if config.dvfs is not None else K40_VF_CURVE
-        try:
-            PowerCapGovernor(
-                curve=curve, cap_watts=args.cap_watts
-            ).initial_points(config.num_gpms)
-        except ConfigError as error:
-            print(f"repro dvfs: {error}", file=sys.stderr)
-            return 2
+        PowerCapGovernor(
+            curve=curve, cap_watts=args.cap_watts
+        ).initial_points(config.num_gpms)
     anchor_hz = K40_VF_CURVE.anchor.frequency_hz
     samples = []
     for point in K40_VF_CURVE.points:
@@ -521,23 +526,192 @@ def _capsweep_main(argv: list[str]) -> int:
     return 0
 
 
+def _serve_main(argv: list[str]) -> int:
+    """``repro serve``: run the sweep service in the foreground."""
+    from pathlib import Path
+
+    from repro.service.server import ServiceConfig, run_service
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the sweep-as-a-service job queue: admission-validated"
+            " submissions, size-classed priority lanes with aging,"
+            " single-flight dedup, and a content-addressed result store"
+            " shared with the sweep cache (see docs/SERVICE.md)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="concurrent job executions"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="per-GPM shard engines per execution (default: 1)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=256, help="queue depth bound"
+    )
+    parser.add_argument(
+        "--max-age-s", type=float, default=300.0,
+        help="evict jobs pending longer than this (seconds)",
+    )
+    parser.add_argument(
+        "--rate-per-s", type=float, default=None,
+        help="per-client submission rate limit (default: unlimited)",
+    )
+    parser.add_argument(
+        "--aging-seconds", type=float, default=30.0,
+        help="priority aging interval (one lane class per this many seconds)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result store directory (default: the shared sweep cache)",
+    )
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="keep results in memory only",
+    )
+    args = parser.parse_args(argv)
+    return run_service(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            shards=args.shards,
+            max_pending=args.max_pending,
+            max_age_s=args.max_age_s,
+            rate_per_s=args.rate_per_s,
+            aging_seconds=args.aging_seconds,
+            cache_dir=None if args.cache_dir is None else Path(args.cache_dir),
+            use_disk_cache=not args.no_disk_cache,
+        )
+    )
+
+
+def _submit_main(argv: list[str]) -> int:
+    """``repro submit``: send one job recipe to a running sweep service."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description=(
+            "Submit one (workload, configuration) job to a running"
+            " 'repro serve' instance and print how it was served"
+            " (see docs/SERVICE.md)."
+        ),
+    )
+    _add_observe_arguments(parser)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="simulate the full Table II workload instead of a shrunken copy",
+    )
+    parser.add_argument(
+        "--bandwidth", choices=["1x-BW", "2x-BW"], default="2x-BW",
+        help="inter-GPM bandwidth setting (default: 2x-BW)",
+    )
+    parser.add_argument(
+        "--core-mhz", type=float, default=None,
+        help="pin the core domain to this K40-ladder operating point",
+    )
+    parser.add_argument(
+        "--cap-watts", type=float, default=None,
+        help="run under a chip power budget (validated at admission)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="per-GPM shard engines for the execution (default: 1)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="service address")
+    parser.add_argument("--port", type=int, default=8787, help="service port")
+    parser.add_argument(
+        "--client", default="cli", help="client id for rate limiting"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the full outcome JSON"
+    )
+    args = parser.parse_args(argv)
+
+    recipe: dict = {
+        "workload": args.workload,
+        "gpms": args.gpms,
+        "topology": args.topology,
+        "bandwidth": args.bandwidth,
+    }
+    if args.full:
+        recipe["full"] = True
+    else:
+        recipe["ctas"] = args.ctas
+        recipe["kernels"] = args.kernels
+    if args.core_mhz is not None:
+        recipe["core_mhz"] = args.core_mhz
+    if args.cap_watts is not None:
+        recipe["cap_watts"] = args.cap_watts
+    if args.shards != 1:
+        recipe["shards"] = args.shards
+
+    client = ServiceClient(args.host, args.port, client_id=args.client)
+    outcome = client.submit_recipe(recipe)
+    if args.json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+        return 0
+    job = outcome["job"]
+    record = outcome["record"]
+    print(f"{job['workload']} on {job['config_label']}: {outcome['cache']}")
+    print(f"  job id        {job['job_id']}")
+    print(f"  cache key     {job['cache_key']}")
+    print(f"  lane          {job['lane']}")
+    print(f"  queue wait    {job['queue_wait_s'] * 1e3:10.1f}ms")
+    print(f"  execution     {job['exec_s'] * 1e3:10.1f}ms")
+    print(f"  total         {job['total_s'] * 1e3:10.1f}ms")
+    print(f"  sim seconds   {record['seconds']:12.6f}")
+    return 0
+
+
+#: Subcommand dispatch: every entry runs under the same ConfigError guard,
+#: so invalid configuration anywhere in the CLI is one stderr line + exit 2.
+_SUBCOMMANDS = {
+    "run": _run_main,
+    "trace": _trace_main,
+    "profile": _profile_main,
+    "dvfs": _dvfs_main,
+    "capsweep": _capsweep_main,
+    "serve": _serve_main,
+    "submit": _submit_main,
+}
+
+
+def _guarded(name: str, command, argv: list[str]) -> int:
+    """Uniform error surface for every subcommand.
+
+    ``ConfigError`` (bad grids, infeasible caps, malformed recipes) and
+    ``ServiceError`` (a service turned the request away) both map to one
+    ``repro <name>: <message>`` line on stderr and exit code 2 — never a
+    traceback, never argparse's multi-line usage dump.
+    """
+    from repro.errors import ConfigError, ServiceError
+
+    try:
+        return command(argv)
+    except (ConfigError, ServiceError) as error:
+        print(f"repro {name}: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments, run experiments, print their rows."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "run":
-        return _run_main(argv[1:])
-    if argv and argv[0] == "trace":
-        return _trace_main(argv[1:])
-    if argv and argv[0] == "profile":
-        return _profile_main(argv[1:])
-    if argv and argv[0] == "dvfs":
-        return _dvfs_main(argv[1:])
-    if argv and argv[0] == "capsweep":
-        return _capsweep_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _guarded(argv[0], _SUBCOMMANDS[argv[0]], argv[1:])
     if argv and argv[0] == "bench":
         from repro.tools.bench_engine import main as bench_main
 
-        return bench_main(argv[1:])
+        return _guarded("bench", bench_main, argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -584,26 +758,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    settings_kwargs = {}
-    if args.processes is not None:
-        settings_kwargs["processes"] = args.processes
-    if args.no_cache:
-        settings_kwargs["use_cache"] = False
-    if args.shards != 1:
-        settings_kwargs["shards"] = args.shards
-    runner = SweepRunner(SweepSettings(**settings_kwargs))
+    def _experiments_main(_argv: list[str]) -> int:
+        settings_kwargs = {}
+        if args.processes is not None:
+            settings_kwargs["processes"] = args.processes
+        if args.no_cache:
+            settings_kwargs["use_cache"] = False
+        if args.shards != 1:
+            settings_kwargs["shards"] = args.shards
+        runner = SweepRunner(SweepSettings(**settings_kwargs))
 
-    if "all" in args.experiments:
-        names = sorted(_EXPERIMENTS)
-    else:
-        names = list(dict.fromkeys(args.experiments))
-    for name in names:
-        start = time.time()
-        result = _EXPERIMENTS[name](runner)
-        print(result.render())
-        print(f"[{name}: {time.time() - start:.1f}s]")
-        print()
-    return 0
+        if "all" in args.experiments:
+            names = sorted(_EXPERIMENTS)
+        else:
+            names = list(dict.fromkeys(args.experiments))
+        for name in names:
+            start = time.time()
+            result = _EXPERIMENTS[name](runner)
+            print(result.render())
+            print(f"[{name}: {time.time() - start:.1f}s]")
+            print()
+        return 0
+
+    # Experiments run under the same guard as the subcommands, so e.g.
+    # `repro sweetspot --shards 0` fails with one line and exit 2 too.
+    return _guarded(args.experiments[0], _experiments_main, [])
 
 
 if __name__ == "__main__":

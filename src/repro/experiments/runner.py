@@ -13,26 +13,34 @@ cores, capped at 12); ``REPRO_CACHE_DIR`` to relocate the cache.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.experiments.results import RunRecord
 from repro.gpu.config import GpuConfig
 from repro.gpu.simulator import simulate
+
+# Result identity (fingerprints, spec hash, cache key, RESULTS_VERSION)
+# lives in repro.service.keys — the public content-address API shared with
+# the sweep service.  The underscore aliases keep this module's historical
+# import surface stable for existing callers and tests.
+from repro.service.keys import (
+    RESULTS_VERSION,
+    cache_key as _cache_key,
+    config_fingerprint as _config_fingerprint,
+    spec_fingerprint as _spec_fingerprint,
+    spec_hash as _spec_hash,
+)
 from repro.trace.manifest import RunManifest
 from repro.trace.metrics import MetricsRegistry
 from repro.workloads.generator import build_workload
 from repro.workloads.spec import WorkloadSpec
-
-#: Bump when simulator semantics change, invalidating every cached record.
-RESULTS_VERSION = 4
 
 
 def _default_cache_dir() -> Path:
@@ -69,77 +77,15 @@ class SweepSettings:
     #: count deliberately stays out of the cache key.
     shards: int = 1
 
-
-def _config_fingerprint(config: GpuConfig) -> dict:
-    return {
-        "num_gpms": config.num_gpms,
-        "gpm": asdict(config.gpm),
-        "interconnect": (
-            None if config.interconnect is None
-            else {
-                "kind": config.interconnect.kind.value,
-                "bw": config.interconnect.per_gpm_bandwidth_gbps,
-                "lat": config.interconnect.link_latency_cycles,
-            }
-        ),
-        "domain": config.integration_domain.value,
-        "placement": config.placement_policy.value,
-        # Only fingerprint compression when configured, so plain configs
-        # keep their cache identity across library versions.
-        **(
-            {}
-            if config.compression is None
-            else {
-                "compression": {
-                    "ratio": config.compression.data_ratio,
-                    "lat": config.compression.codec_latency_cycles,
-                    "min": config.compression.min_payload_bytes,
-                }
-            }
-        ),
-        # Same precedent for DVFS: only off-anchor configurations carry the
-        # operating points in their key.
-        **(
-            {}
-            if config.dvfs is None
-            else {"dvfs": config.dvfs.fingerprint()}
-        ),
-        # And for power capping: the cap changes runtime behaviour (a
-        # PowerCapGovernor is attached), so capped configs must never share
-        # a cache entry with uncapped ones — or with a different budget.
-        **(
-            {}
-            if config.power_cap_watts is None
-            else {"power_cap_watts": config.power_cap_watts}
-        ),
-    }
-
-
-def _spec_fingerprint(spec: WorkloadSpec) -> dict:
-    return {
-        key: (value if not isinstance(value, dict) else
-              {opcode.value: weight for opcode, weight in value.items()})
-        for key, value in asdict(spec).items()
-        if key != "compute_mix"
-    } | {"mix": {op.value: w for op, w in spec.compute_mix.items()}}
-
-
-def _spec_hash(spec: WorkloadSpec) -> str:
-    blob = json.dumps(_spec_fingerprint(spec), sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode()).hexdigest()[:24]
-
-
-def _cache_key(spec: WorkloadSpec, config: GpuConfig) -> str:
-    blob = json.dumps(
-        {
-            "version": RESULTS_VERSION,
-            "spec": _spec_fingerprint(spec),
-            "config": _config_fingerprint(config),
-        },
-        sort_keys=True,
-        default=str,
-    )
-    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ConfigError(
+                f"sweep processes must be >= 1, got {self.processes!r}"
+            )
+        if self.shards < 1:
+            raise ConfigError(
+                f"sweep shards must be >= 1, got {self.shards!r}"
+            )
 
 
 def _record_from_result(
@@ -196,6 +142,29 @@ def _timed_run_pair(
     return _record_from_result(spec, config, result, metrics), timing
 
 
+def expand_operating_points(
+    configs: list[GpuConfig], operating_points=None, curve=None
+) -> list[GpuConfig]:
+    """Expand configurations along a chip-wide core operating-point axis.
+
+    Each configuration becomes one variant per point (core domain on
+    ``curve``, default the K40 ladder); ``operating_points=None`` returns
+    the configurations unchanged.  Shared by :meth:`SweepRunner.run_grid`
+    and the service adapter so both spell grid expansion identically.
+    """
+    if operating_points is None:
+        return configs
+    from repro.dvfs.config import DvfsConfig
+    from repro.dvfs.operating_point import K40_VF_CURVE
+
+    vf_curve = curve if curve is not None else K40_VF_CURVE
+    return [
+        replace(config, dvfs=DvfsConfig.core_only(point, curve=vf_curve))
+        for config in configs
+        for point in operating_points
+    ]
+
+
 class SweepRunner:
     """Executes (workload, configuration) grids with caching.
 
@@ -209,6 +178,9 @@ class SweepRunner:
         self.settings = settings or SweepSettings()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Duplicate (spec, config) pairs within one grid that were served
+        #: by another pair's simulation instead of dispatching their own.
+        self.dedup_skips = 0
         #: Merged component metrics across every record this runner returned.
         self.metrics = MetricsRegistry()
 
@@ -315,14 +287,25 @@ class SweepRunner:
         records: list[RunRecord | None] = []
         missing: list[tuple[int, tuple[WorkloadSpec, GpuConfig]]] = []
         keys: list[str] = []
+        # Content-address -> input index of the pair that will simulate it.
+        # Duplicate pairs within one grid (same fingerprint, possibly
+        # distinct objects) dispatch exactly once; followers copy the
+        # leader's record after the pool drains.
+        leader_for_key: dict[str, int] = {}
+        followers: list[int] = []
         for index, (spec, config) in enumerate(pairs):
             key = _cache_key(spec, config)
             keys.append(key)
             cached = self._load_cached(key)
             if cached is None:
                 records.append(None)
-                missing.append((index, (spec, config)))
-                self.cache_misses += 1
+                if key in leader_for_key:
+                    followers.append(index)
+                    self.dedup_skips += 1
+                else:
+                    leader_for_key[key] = index
+                    missing.append((index, (spec, config)))
+                    self.cache_misses += 1
             else:
                 # The content-hash key guarantees (spec, config) identity;
                 # the label is derived presentation data, so re-stamp it
@@ -389,6 +372,15 @@ class SweepRunner:
                     )
                     _finish(index, record, timing)
 
+        for index in followers:
+            spec, config = pairs[index]
+            leader_record = records[leader_for_key[keys[index]]]
+            records[index] = replace(
+                leader_record,
+                workload=spec.abbr,
+                config_label=config.label(),
+            )
+
         results = [record for record in records if record is not None]
         for record in results:
             if record.metrics:
@@ -409,19 +401,7 @@ class SweepRunner:
         (chip-wide core domain on ``curve``, default the K40 ladder), and the
         grid keys carry the point suffix (``...@core@k40-562`` style).
         """
-        if operating_points is not None:
-            from repro.dvfs.config import DvfsConfig
-            from repro.dvfs.operating_point import K40_VF_CURVE
-
-            vf_curve = curve if curve is not None else K40_VF_CURVE
-            configs = [
-                replace(
-                    config,
-                    dvfs=DvfsConfig.core_only(point, curve=vf_curve),
-                )
-                for config in configs
-                for point in operating_points
-            ]
+        configs = expand_operating_points(configs, operating_points, curve)
         pairs = [(spec, config) for config in configs for spec in specs]
         records = self.run(pairs)
         grid: dict[str, dict[str, RunRecord]] = {}

@@ -1,0 +1,102 @@
+"""Stdlib HTTP client for a running sweep service.
+
+Deliberately dependency-free (``http.client`` only) so ``repro submit``
+works in the same environment that runs the server.  Server-side
+rejections arrive as JSON ``{"error": ..., "kind": ...}`` bodies and are
+re-raised as :class:`~repro.errors.ServiceError` with the original kind,
+so a client sees the same exception surface as in-process callers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.errors import ServiceError
+from repro.service.job import JobRequest, recipe_from_request
+
+
+class ServiceClient:
+    """Talks JSON-over-HTTP to one :class:`~repro.service.server.SweepService`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        client_id: str = "cli",
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------- http
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {"X-Repro-Client": self.client_id}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as error:
+                raise ServiceError(
+                    f"cannot reach service at {self.host}:{self.port}: {error}"
+                ) from error
+            try:
+                data = json.loads(raw.decode() or "{}")
+            except json.JSONDecodeError as error:
+                raise ServiceError(
+                    f"service returned non-JSON ({response.status}):"
+                    f" {raw[:200]!r}"
+                ) from error
+            if response.status != 200:
+                raise ServiceError(
+                    data.get("error", f"HTTP {response.status}"),
+                    kind=data.get("kind", "unavailable"),
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------- api
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit_recipe(self, recipe: dict) -> dict:
+        """Submit one wire-format recipe; returns the outcome JSON
+        (``{"cache", "job", "record"}``)."""
+        return self._request("POST", "/v1/jobs", payload=recipe)
+
+    def submit(self, request: JobRequest) -> dict:
+        """Submit an in-process :class:`JobRequest` over the wire.
+
+        Only recipe-expressible requests can travel; anything custom raises
+        ``ServiceError(kind="invalid-config")`` — use the in-process
+        :meth:`ServiceThread.submit` path for those.
+        """
+        recipe = recipe_from_request(request)
+        if recipe is None:
+            raise ServiceError(
+                "request is not expressible as a wire recipe; submit"
+                " in-process instead",
+                kind="invalid-config",
+            )
+        return self.submit_recipe(recipe)

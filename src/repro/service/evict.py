@@ -1,0 +1,68 @@
+"""Stale-job eviction: the policy that bounds the pending queue.
+
+Two bounds keep the queue finite under overload:
+
+* **Age** — a job pending longer than ``max_age_s`` is presumed abandoned
+  (its client timed out or went away) and is evicted on the next sweep.
+* **Depth** — when the queue holds ``max_pending`` jobs, a new admission
+  first evicts whatever is stale; if nothing is, the *incoming* request is
+  rejected with a queue-full error.  Rejecting the newcomer rather than the
+  queue's tail keeps admission honest: a job that was admitted stays
+  admitted until it runs or goes stale, so clients can rely on their
+  admission decision.
+
+Eviction only ever considers *pending* jobs: a running job is on a worker
+and is never dropped (``tests/service/test_evict.py`` holds the Hypothesis
+proof).  Evicted jobs resolve their waiters' futures with a
+:class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.service.job import Job, JobState
+from repro.service.queue import JobQueue
+
+
+@dataclass(frozen=True)
+class EvictionPolicy:
+    """Queue bounds: depth cap and pending-age cap."""
+
+    max_pending: int = 256
+    max_age_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ConfigError(
+                f"max_pending must be >= 1, got {self.max_pending!r}"
+            )
+        if self.max_age_s < 0:
+            raise ConfigError(
+                f"max_age_s must be >= 0, got {self.max_age_s!r}"
+            )
+
+    # ----------------------------------------------------------------- policy
+
+    def stale(self, queue: JobQueue, now: float) -> list[Job]:
+        """Pending jobs whose wait exceeds ``max_age_s`` (oldest first).
+
+        Only pending jobs are candidates by construction — the queue never
+        holds running jobs — and the state is asserted anyway, because
+        evicting a job a worker is executing would corrupt single-flight.
+        """
+        victims = [
+            job
+            for job in queue.pending()
+            if now - job.enqueued_at > self.max_age_s
+        ]
+        for job in victims:
+            assert job.state is JobState.PENDING, (
+                f"eviction candidate {job.id} is {job.state}, not pending"
+            )
+        return sorted(victims, key=lambda job: job.seq)
+
+    def admits(self, queue: JobQueue) -> bool:
+        """True when the queue has room for one more admission."""
+        return len(queue) < self.max_pending

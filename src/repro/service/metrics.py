@@ -1,0 +1,95 @@
+"""Service observability: every decision the layer makes, as metrics.
+
+All counters, gauges, and histograms live in one PR 1
+:class:`~repro.trace.MetricsRegistry`, so the service's metrics merge,
+serialize, and export exactly like the simulator's own component metrics —
+``GET /v1/metrics`` returns the registry JSON plus a flat ``counts`` map,
+and the end-to-end tests assert scheduling behaviour purely through these
+counters (see ``docs/SERVICE.md`` for the full table).
+
+Counter convention: a counter is an accumulator whose *count* is the
+metric; gauges sample a value into an accumulator (mean/max of the sampled
+series); latencies record into fixed-width millisecond histograms.
+"""
+
+from __future__ import annotations
+
+from repro.service.priority import Lane
+from repro.trace.metrics import MetricsRegistry
+
+# Admission.
+ADMISSION_ACCEPTED = "service.admission.accepted"
+ADMISSION_REJECTED = "service.admission.rejected"   # invalid configuration
+ADMISSION_RATE_LIMITED = "service.admission.rate_limited"
+ADMISSION_QUEUE_FULL = "service.admission.queue_full"
+
+# Result store / single flight.
+CACHE_HITS = "service.cache.hits"
+CACHE_MISSES = "service.cache.misses"
+SINGLEFLIGHT_COALESCED = "service.singleflight.coalesced"
+
+# Execution.
+SIM_RUNS = "service.sim.runs"
+JOBS_COMPLETED = "service.jobs.completed"
+JOBS_FAILED = "service.jobs.failed"
+JOBS_EVICTED = "service.jobs.evicted"
+
+# Queue gauges (sampled on every push/pop).
+QUEUE_DEPTH = "service.queue.depth"
+
+
+def lane_occupancy_metric(lane: Lane) -> str:
+    return f"service.lane.{lane.value}.occupancy"
+
+
+# Latency histograms (milliseconds).
+QUEUE_WAIT_MS = "service.latency.queue_wait_ms"
+EXEC_MS = "service.latency.exec_ms"
+TOTAL_MS = "service.latency.total_ms"
+LATENCY_BUCKET_MS = 5.0
+
+
+class ServiceMetrics:
+    """Typed facade over the service's metric names."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # ---------------------------------------------------------------- counters
+
+    def inc(self, name: str) -> None:
+        self.registry.accumulator(name).add(1.0)
+
+    def count(self, name: str) -> int:
+        """Observed count of one counter/gauge/histogram (0 when unused)."""
+        return self.registry.count(name)
+
+    # ------------------------------------------------------------------ gauges
+
+    def sample_queue(self, depth: int, lane_depths: dict[Lane, int]) -> None:
+        self.registry.accumulator(QUEUE_DEPTH).add(float(depth))
+        for lane, lane_depth in lane_depths.items():
+            self.registry.accumulator(lane_occupancy_metric(lane)).add(
+                float(lane_depth)
+            )
+
+    # -------------------------------------------------------------- histograms
+
+    def observe_ms(self, name: str, seconds: float) -> None:
+        self.registry.histogram(name, LATENCY_BUCKET_MS).add(seconds * 1e3)
+
+    # ----------------------------------------------------------------- export
+
+    def counts(self) -> dict[str, int]:
+        """Flat ``name -> count`` map (the smoke/e2e assertion surface)."""
+        return {
+            name: self.registry.count(name)
+            for name in self.registry.names()
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "counts": self.counts(),
+            "snapshot": self.registry.snapshot(),
+            "registry": self.registry.to_json(),
+        }

@@ -1,0 +1,88 @@
+"""Size-classed scheduling lanes with aging.
+
+Jobs are classified by how much engine time they plausibly cost — GPM count
+and grid size are the dominant terms — into three lanes:
+
+* ``INTERACTIVE`` — small chips (1-4 GPMs) with shrunken grids: the
+  ``repro submit`` / notebook loop.  Served first.
+* ``STANDARD`` — everything in between.
+* ``BATCH`` — 16-32 GPM sweep legs and full-size grids: throughput work
+  that must never block a human.
+
+Preemption here is *queue-jumping*: a newly admitted interactive job is
+popped ahead of queued batch jobs, but a batch job already on a worker is
+never interrupted (the engine is deterministic and runs to completion).
+
+Starvation is prevented by aging: a job's effective priority improves
+linearly with its wait, one lane level per :attr:`AgingPolicy.aging_seconds`,
+so any batch job outranks *fresh* interactive arrivals once it has waited
+``aging_seconds * (BATCH.base_priority - INTERACTIVE.base_priority)``.
+``tests/service/test_queue.py`` holds a Hypothesis proof of that bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.config import GpuConfig
+from repro.workloads.spec import WorkloadSpec
+
+#: Lane classification thresholds.
+INTERACTIVE_MAX_GPMS = 4
+INTERACTIVE_MAX_CTAS = 256
+BATCH_MIN_GPMS = 16
+BATCH_MIN_CTAS = 4096
+
+
+class Lane(enum.Enum):
+    """Scheduling class of one job; lower ``base_priority`` serves first."""
+
+    INTERACTIVE = "interactive"
+    STANDARD = "standard"
+    BATCH = "batch"
+
+    @property
+    def base_priority(self) -> int:
+        return _BASE_PRIORITY[self]
+
+
+_BASE_PRIORITY = {Lane.INTERACTIVE: 0, Lane.STANDARD: 1, Lane.BATCH: 2}
+
+
+def classify(spec: WorkloadSpec, config: GpuConfig) -> Lane:
+    """The scheduling lane of one (workload, configuration) pair."""
+    if (
+        config.num_gpms >= BATCH_MIN_GPMS
+        or spec.total_ctas >= BATCH_MIN_CTAS
+    ):
+        return Lane.BATCH
+    if (
+        config.num_gpms <= INTERACTIVE_MAX_GPMS
+        and spec.total_ctas <= INTERACTIVE_MAX_CTAS
+    ):
+        return Lane.INTERACTIVE
+    return Lane.STANDARD
+
+
+@dataclass(frozen=True)
+class AgingPolicy:
+    """How fast waiting erodes a lane's priority handicap.
+
+    ``effective_priority`` is what the queue minimizes: the lane's base
+    priority minus the job's wait measured in aging periods.  It decreases
+    without bound as a job waits, so every job eventually outranks every
+    possible fresh arrival — the no-starvation guarantee.
+    """
+
+    aging_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.aging_seconds <= 0:
+            raise ConfigError(
+                f"aging_seconds must be positive, got {self.aging_seconds!r}"
+            )
+
+    def effective_priority(self, lane: Lane, waited_s: float) -> float:
+        return lane.base_priority - max(0.0, waited_s) / self.aging_seconds

@@ -1,0 +1,95 @@
+"""The pending-job queue: size-classed lanes, aged-priority popping.
+
+Within a lane, jobs age identically, so the lane head is always the lane's
+best candidate and plain FIFO deques suffice; popping compares the heads of
+the non-empty lanes by :meth:`~repro.service.priority.AgingPolicy.effective_priority`
+(submission order breaks ties).  That makes every operation O(#lanes) — the
+queue never sorts — while still giving the scheduler the two properties the
+service needs: interactive work jumps ahead of queued batch work, and aging
+bounds every job's wait (see ``tests/service/test_queue.py``).
+
+The queue is a plain synchronous data structure with an injectable clock;
+the asyncio service wraps it with a condition variable, and property tests
+drive it with a fake clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+
+from repro.service.job import Job, JobState
+from repro.service.priority import AgingPolicy, Lane
+
+
+class JobQueue:
+    """Pending jobs in per-lane FIFO order with aged-priority popping."""
+
+    def __init__(
+        self,
+        aging: AgingPolicy | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.aging = aging or AgingPolicy()
+        self._clock = clock
+        self._lanes: dict[Lane, deque[Job]] = {lane: deque() for lane in Lane}
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------ state
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def __bool__(self) -> bool:
+        return any(self._lanes.values())
+
+    def lane_depths(self) -> dict[Lane, int]:
+        return {lane: len(jobs) for lane, jobs in self._lanes.items()}
+
+    def pending(self) -> list[Job]:
+        """Every queued job (scheduling order not implied)."""
+        return [job for jobs in self._lanes.values() for job in jobs]
+
+    # -------------------------------------------------------------- push / pop
+
+    def push(self, job: Job, now: float | None = None) -> None:
+        """Enqueue one admitted job at the tail of its lane."""
+        job.seq = next(self._seq)
+        job.enqueued_at = self._clock() if now is None else now
+        job.state = JobState.PENDING
+        self._lanes[job.lane].append(job)
+
+    def effective_priority(self, job: Job, now: float | None = None) -> float:
+        now = self._clock() if now is None else now
+        return self.aging.effective_priority(job.lane, now - job.enqueued_at)
+
+    def pop_next(self, now: float | None = None) -> Job | None:
+        """Remove and return the best-priority job, or ``None`` when empty.
+
+        Best = minimal ``(effective priority, submission seq)`` over the
+        lane heads; the seq tiebreak makes equal-priority service FIFO
+        across lanes, so the pop order is deterministic for a fixed clock.
+        """
+        now = self._clock() if now is None else now
+        best_lane: Lane | None = None
+        best_rank: tuple[float, int] | None = None
+        for lane, jobs in self._lanes.items():
+            if not jobs:
+                continue
+            head = jobs[0]
+            rank = (self.effective_priority(head, now), head.seq)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_lane = lane
+        if best_lane is None:
+            return None
+        return self._lanes[best_lane].popleft()
+
+    def remove(self, job: Job) -> bool:
+        """Remove one specific pending job (eviction); False when absent."""
+        try:
+            self._lanes[job.lane].remove(job)
+        except ValueError:
+            return False
+        return True

@@ -1,0 +1,130 @@
+"""Content-addressed result store with single-flight dedup.
+
+The store maps :func:`repro.service.keys.cache_key` content addresses to
+``RunRecord.to_json()`` payloads through two tiers:
+
+* a bounded in-memory LRU (the O(1) hot path a repeated paper-study config
+  hits), and
+* the sweep cache's own on-disk layout (``<cache_dir>/<key>.json``) — the
+  *same* files :class:`~repro.experiments.runner.SweepRunner` reads and
+  writes, so a result simulated by either layer is a hit for both and the
+  two caches can never skew.
+
+:class:`SingleFlight` is the companion in-flight index: the first submitter
+of a key becomes the *leader* whose job simulates; everyone arriving while
+it is in flight joins the leader's job and awaits the same future, so N
+identical concurrent submissions cost exactly one simulation and all
+waiters receive the identical (bit-for-bit, same object) payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.service.job import Job
+
+
+def default_cache_dir() -> Path:
+    """The sweep cache directory (same resolution as the sweep runner)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / ".cache" / "sweeps"
+
+
+class ResultStore:
+    """Two-tier (memory LRU over shared disk) content-addressed store."""
+
+    def __init__(
+        self,
+        cache_dir: Path | None = None,
+        use_disk: bool = True,
+        memory_capacity: int = 1024,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.use_disk = use_disk
+        self.memory_capacity = memory_capacity
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------ lookup
+
+    def get(self, key: str) -> dict | None:
+        """The stored record payload for ``key``, or ``None``."""
+        record = self._memory.get(key)
+        if record is not None:
+            self._memory.move_to_end(key)
+            return record
+        if not self.use_disk:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open() as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            # A corrupt entry must never poison a response; drop it and
+            # let the next submission re-simulate.
+            path.unlink(missing_ok=True)
+            return None
+        self._remember(key, record)
+        return record
+
+    # ------------------------------------------------------------------- store
+
+    def put(self, key: str, record: dict) -> None:
+        """Store one record payload under its content address."""
+        self._remember(key, record)
+        if not self.use_disk:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as handle:
+            json.dump(record, handle)
+        tmp.replace(path)
+
+    def _remember(self, key: str, record: dict) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_capacity:
+            self._memory.popitem(last=False)
+
+
+class SingleFlight:
+    """In-flight jobs by key; duplicates coalesce onto the leader's job.
+
+    All methods run on the service's event loop, so check-then-act
+    sequences here are atomic with respect to other submissions.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, Job] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def leader_job(self, key: str) -> Job | None:
+        """The in-flight job a duplicate submission should join, if any."""
+        return self._inflight.get(key)
+
+    def start(self, key: str, job: Job) -> None:
+        assert key not in self._inflight, f"key {key} already in flight"
+        self._inflight[key] = job
+
+    def finish(self, key: str) -> None:
+        """Retire a flight (after its future resolved and the store was
+        updated); later submissions hit the store instead."""
+        self._inflight.pop(key, None)
+
+    def keys(self) -> list[str]:
+        return sorted(self._inflight)

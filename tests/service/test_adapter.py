@@ -1,0 +1,81 @@
+"""ServiceSweepRunner: the drop-in sweep facade over the service."""
+
+import json
+
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.gpu.config import table_iii_config
+from repro.service.adapter import ServiceSweepRunner
+from repro.service.server import ServiceConfig
+from repro.workloads.suite import shrunken_spec
+
+
+def canonical(record) -> str:
+    return json.dumps(record.to_json(), sort_keys=True)
+
+
+class TestServiceSweepRunner:
+    def test_matches_the_batch_runner_bit_for_bit(self, tmp_path):
+        spec = shrunken_spec("Stream", total_ctas=8)
+        configs = [table_iii_config(1), table_iii_config(2)]
+        pairs = [(spec, config) for config in configs]
+
+        batch = SweepRunner(
+            SweepSettings(cache_dir=tmp_path / "batch", processes=1)
+        ).run(pairs)
+        with ServiceSweepRunner(
+            config=ServiceConfig(workers=2, cache_dir=tmp_path / "svc")
+        ) as runner:
+            served = runner.run(pairs)
+        assert [canonical(r) for r in served] == [
+            canonical(r) for r in batch
+        ]
+        assert runner.cache_misses == 2
+
+    def test_in_grid_duplicates_cost_one_simulation(self, tmp_path):
+        spec = shrunken_spec("Stream", total_ctas=8)
+        config = table_iii_config(1)
+        pairs = [(spec, config)] * 3
+        with ServiceSweepRunner(
+            config=ServiceConfig(workers=2, cache_dir=tmp_path)
+        ) as runner:
+            records = run_metrics = None
+            records = runner.run(pairs)
+            run_metrics = runner.thread.service.metrics
+        assert len(records) == 3
+        assert {canonical(r) for r in records} == {canonical(records[0])}
+        # One miss; the other two were hits or coalesced onto the leader.
+        assert runner.cache_misses == 1
+        assert runner.dedup_skips + runner.cache_hits == 2
+        from repro.service.metrics import SIM_RUNS
+
+        assert run_metrics.count(SIM_RUNS) == 1
+
+    def test_run_grid_shape_matches_sweep_runner(self, tmp_path):
+        from repro.dvfs.operating_point import K40_VF_CURVE
+
+        spec = shrunken_spec("Stream", total_ctas=8)
+        points = [K40_VF_CURVE.anchor, K40_VF_CURVE.points[0]]
+        with ServiceSweepRunner(
+            config=ServiceConfig(workers=2, cache_dir=tmp_path)
+        ) as runner:
+            grid = runner.run_grid(
+                [spec], [table_iii_config(1)], operating_points=points
+            )
+        assert len(grid) == 2  # one label per operating point
+        for label, row in grid.items():
+            assert set(row) == {"Stream"}
+            assert row["Stream"].config_label == label
+
+    def test_shares_the_sweep_cache(self, tmp_path):
+        # A batch-runner result is a service-adapter hit: same disk layout.
+        spec = shrunken_spec("Stream", total_ctas=8)
+        config = table_iii_config(1)
+        SweepRunner(
+            SweepSettings(cache_dir=tmp_path, processes=1)
+        ).run([(spec, config)])
+        with ServiceSweepRunner(
+            config=ServiceConfig(workers=1, cache_dir=tmp_path)
+        ) as runner:
+            runner.run([(spec, config)])
+        assert runner.cache_hits == 1
+        assert runner.cache_misses == 0

@@ -1,0 +1,97 @@
+"""Eviction policy: age and depth bounds, and the running-job guarantee."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.service.evict import EvictionPolicy
+from repro.service.job import Job, JobState
+from repro.service.priority import AgingPolicy, Lane
+from repro.service.queue import JobQueue
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_job(index: int, lane: Lane = Lane.STANDARD) -> Job:
+    return Job(
+        id=f"job-{index}", request=None, client="test",
+        key=f"key-{index}", lane=lane,
+    )
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            EvictionPolicy(max_pending=0)
+        with pytest.raises(ConfigError):
+            EvictionPolicy(max_age_s=-1.0)
+
+
+class TestStaleness:
+    def test_only_overdue_jobs_are_stale(self):
+        clock = FakeClock()
+        queue = JobQueue(AgingPolicy(), clock=clock)
+        old, fresh = make_job(0), make_job(1)
+        queue.push(old, now=0.0)
+        queue.push(fresh, now=90.0)
+        policy = EvictionPolicy(max_age_s=100.0)
+        assert policy.stale(queue, now=150.0) == [old]
+
+    def test_stale_jobs_come_oldest_first(self):
+        clock = FakeClock()
+        queue = JobQueue(AgingPolicy(), clock=clock)
+        jobs = [make_job(i) for i in range(5)]
+        for i, job in enumerate(jobs):
+            queue.push(job, now=float(i))
+        policy = EvictionPolicy(max_age_s=1.0)
+        assert policy.stale(queue, now=1000.0) == jobs
+
+    def test_admits_up_to_max_pending(self):
+        clock = FakeClock()
+        queue = JobQueue(AgingPolicy(), clock=clock)
+        policy = EvictionPolicy(max_pending=2)
+        assert policy.admits(queue)
+        queue.push(make_job(0))
+        assert policy.admits(queue)
+        queue.push(make_job(1))
+        assert not policy.admits(queue)
+
+
+lanes = st.sampled_from(list(Lane))
+
+
+class TestNeverDropsRunning:
+    @given(
+        lane_list=st.lists(lanes, min_size=1, max_size=30),
+        running_count=st.integers(min_value=0, max_value=30),
+        now=st.floats(min_value=0.0, max_value=1e6),
+        max_age_s=st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_eviction_never_selects_a_running_job(
+        self, lane_list, running_count, now, max_age_s
+    ):
+        # Jobs leave the queue the moment a worker picks them up, so a
+        # RUNNING job is structurally invisible to the policy — whatever
+        # the clock says and however stale everything else is.
+        clock = FakeClock()
+        queue = JobQueue(AgingPolicy(), clock=clock)
+        jobs = [make_job(i, lane) for i, lane in enumerate(lane_list)]
+        for job in jobs:
+            queue.push(job, now=0.0)
+        running = []
+        for _ in range(min(running_count, len(jobs))):
+            job = queue.pop_next(now=0.0)
+            job.state = JobState.RUNNING
+            running.append(job)
+        victims = EvictionPolicy(max_age_s=max_age_s).stale(queue, now=now)
+        assert all(victim.state is JobState.PENDING for victim in victims)
+        assert not set(map(id, victims)) & set(map(id, running))
+        # And every victim genuinely exceeded the age bound.
+        assert all(now - v.enqueued_at > max_age_s for v in victims)

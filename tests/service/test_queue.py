@@ -1,0 +1,152 @@
+"""Priority queue: lane classification, aged ordering, no starvation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.config import table_iii_config
+from repro.service.job import Job, JobRequest, JobState
+from repro.service.priority import AgingPolicy, Lane, classify
+from repro.service.queue import JobQueue
+from repro.workloads.suite import shrunken_spec
+
+AGING_S = 10.0
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_job(index: int, lane: Lane) -> Job:
+    return Job(
+        id=f"job-{index}", request=None, client="test",
+        key=f"key-{index}", lane=lane,
+    )
+
+
+def make_queue(clock: FakeClock) -> JobQueue:
+    return JobQueue(AgingPolicy(aging_seconds=AGING_S), clock=clock)
+
+
+class TestClassification:
+    def test_small_runs_are_interactive(self):
+        spec = shrunken_spec("Stream", total_ctas=16)
+        assert classify(spec, table_iii_config(1)) is Lane.INTERACTIVE
+        assert classify(spec, table_iii_config(4)) is Lane.INTERACTIVE
+
+    def test_large_chips_are_batch(self):
+        spec = shrunken_spec("Stream", total_ctas=16)
+        assert classify(spec, table_iii_config(16)) is Lane.BATCH
+        assert classify(spec, table_iii_config(32)) is Lane.BATCH
+
+    def test_middle_ground_is_standard(self):
+        spec = shrunken_spec("Stream", total_ctas=512)
+        assert classify(spec, table_iii_config(8)) is Lane.STANDARD
+
+
+class TestPopOrder:
+    def test_interactive_preempts_batch(self):
+        clock = FakeClock()
+        queue = make_queue(clock)
+        batch = make_job(0, Lane.BATCH)
+        interactive = make_job(1, Lane.INTERACTIVE)
+        queue.push(batch)
+        queue.push(interactive)
+        assert queue.pop_next() is interactive
+        assert queue.pop_next() is batch
+
+    def test_fifo_within_a_lane(self):
+        clock = FakeClock()
+        queue = make_queue(clock)
+        jobs = [make_job(i, Lane.STANDARD) for i in range(5)]
+        for job in jobs:
+            queue.push(job)
+        assert [queue.pop_next() for _ in jobs] == jobs
+
+    def test_aged_batch_outranks_fresh_interactive(self):
+        # The starvation bound: after 2 lane-classes of aging, a batch job
+        # beats a freshly arrived interactive job.
+        clock = FakeClock()
+        queue = make_queue(clock)
+        batch = make_job(0, Lane.BATCH)
+        queue.push(batch)
+        clock.now = 2 * AGING_S + 1.0
+        fresh = make_job(1, Lane.INTERACTIVE)
+        queue.push(fresh)
+        assert queue.pop_next() is batch
+
+
+lanes = st.sampled_from(list(Lane))
+
+
+class TestProperties:
+    @given(st.lists(lanes, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_every_pushed_job_is_popped_exactly_once(self, lane_list):
+        clock = FakeClock()
+        queue = make_queue(clock)
+        jobs = [make_job(i, lane) for i, lane in enumerate(lane_list)]
+        for job in jobs:
+            queue.push(job)
+        popped = []
+        while queue:
+            popped.append(queue.pop_next())
+        assert sorted(popped, key=id) == sorted(jobs, key=id)
+        assert len(popped) == len(jobs)
+
+    @given(st.lists(lanes, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_pop_is_best_effective_priority_then_fifo(self, lane_list):
+        clock = FakeClock()
+        queue = make_queue(clock)
+        for i, lane in enumerate(lane_list):
+            queue.push(make_job(i, lane))
+        clock.now = 3.0
+        while queue:
+            best = min(
+                queue.pending(),
+                key=lambda j: (queue.effective_priority(j, clock.now), j.seq),
+            )
+            assert queue.pop_next() is best
+
+    @given(
+        st.lists(
+            st.floats(min_value=2 * AGING_S, max_value=10 * AGING_S),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batch_job_never_starves(self, interactive_arrivals):
+        # A batch job enqueued at t=0 outranks every interactive job that
+        # arrives >= 2 aging intervals later, no matter how many arrive:
+        # aging grows the batch job's claim faster than fresh arrivals can
+        # reset theirs.
+        clock = FakeClock()
+        queue = make_queue(clock)
+        starved = make_job(0, Lane.BATCH)
+        queue.push(starved)
+        for i, arrival in enumerate(sorted(interactive_arrivals)):
+            clock.now = arrival
+            queue.push(make_job(i + 1, Lane.INTERACTIVE))
+        clock.now = max(interactive_arrivals)
+        assert queue.pop_next() is starved
+
+    @given(st.lists(lanes, min_size=1, max_size=30), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_remove_only_detaches_the_target(self, lane_list, data):
+        clock = FakeClock()
+        queue = make_queue(clock)
+        jobs = [make_job(i, lane) for i, lane in enumerate(lane_list)]
+        for job in jobs:
+            queue.push(job)
+        victim = data.draw(st.sampled_from(jobs))
+        assert queue.remove(victim) is True
+        assert queue.remove(victim) is False
+        remaining = []
+        while queue:
+            remaining.append(queue.pop_next())
+        assert victim not in remaining
+        assert len(remaining) == len(jobs) - 1

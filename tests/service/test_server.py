@@ -1,0 +1,316 @@
+"""End-to-end service tests: the PR's acceptance criteria.
+
+The headline test runs a real 2-worker server and asserts, purely through
+the exported :class:`~repro.trace.metrics.MetricsRegistry` counters:
+
+* N identical concurrent submissions cost exactly one simulation
+  (single-flight), and every response payload is bit-identical to what a
+  direct ``simulate()``/``run_pair()`` of the same pair produces;
+* resubmitting after completion is a store hit with no engine work;
+* an infeasible-power-cap submission is rejected at admission without a
+  worker ever seeing it.
+
+The rest of the file drives the asyncio service directly (stub executor,
+fake clock) for the scheduling edges: coalesced bit-identity as a
+Hypothesis property, queue-full rejection, stale eviction, rate limiting,
+and shutdown behaviour.
+"""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ServiceError
+from repro.experiments.runner import run_pair
+from repro.gpu.config import table_iii_config
+from repro.service.job import JobRequest, request_from_recipe
+from repro.service.metrics import (
+    ADMISSION_ACCEPTED,
+    ADMISSION_QUEUE_FULL,
+    ADMISSION_RATE_LIMITED,
+    ADMISSION_REJECTED,
+    CACHE_HITS,
+    CACHE_MISSES,
+    JOBS_COMPLETED,
+    JOBS_EVICTED,
+    SIM_RUNS,
+    SINGLEFLIGHT_COALESCED,
+)
+from repro.service.server import ServiceConfig, ServiceThread, SweepService
+from repro.trace.manifest import ServiceManifest
+from repro.trace.metrics import MetricsRegistry
+from repro.workloads.suite import shrunken_spec
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestEndToEndAcceptance:
+    def test_dedup_bit_identity_hit_and_rejection(self, tmp_path):
+        registry = MetricsRegistry()
+        spec = shrunken_spec("Stream", total_ctas=16)
+        config = table_iii_config(2)
+        request = JobRequest(spec=spec, config=config)
+        n = 4
+
+        with ServiceThread(
+            ServiceConfig(workers=2, cache_dir=tmp_path), registry=registry
+        ) as thread:
+            # N identical concurrent submissions -> exactly one simulation.
+            futures = [
+                thread.submit_async(request, client=f"client-{i}")
+                for i in range(n)
+            ]
+            outcomes = [future.result(timeout=120) for future in futures]
+
+            assert registry.count(SIM_RUNS) == 1
+            assert registry.count(CACHE_MISSES) == 1
+            assert registry.count(SINGLEFLIGHT_COALESCED) == n - 1
+            assert registry.count(ADMISSION_ACCEPTED) == n
+            assert sorted(o.cache for o in outcomes) == (
+                ["coalesced"] * (n - 1) + ["miss"]
+            )
+
+            # Bit-identical across waiters AND vs the direct engine path.
+            payloads = {canonical(o.record) for o in outcomes}
+            assert len(payloads) == 1
+            direct = run_pair(spec, config)
+            assert payloads == {canonical(direct.to_json())}
+
+            # Resubmission is a store hit: no new engine work.
+            again = thread.submit(request, client="latecomer")
+            assert again.cache == "hit"
+            assert canonical(again.record) == canonical(direct.to_json())
+            assert registry.count(CACHE_HITS) == 1
+            assert registry.count(SIM_RUNS) == 1
+
+            # Infeasible cap: rejected at admission, zero worker time.
+            bad = request_from_recipe(
+                {"workload": "Stream", "ctas": 16, "gpms": 4, "cap_watts": 1.0}
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                thread.submit(bad, client="latecomer")
+            assert excinfo.value.kind == "invalid-config"
+            assert registry.count(ADMISSION_REJECTED) == 1
+            assert registry.count(SIM_RUNS) == 1
+            assert registry.count(JOBS_COMPLETED) == 1
+
+    def test_manifest_describes_how_the_job_was_served(self, tmp_path):
+        request = request_from_recipe(
+            {"workload": "Stream", "ctas": 8, "gpms": 1}
+        )
+        with ServiceThread(
+            ServiceConfig(workers=1, cache_dir=tmp_path)
+        ) as thread:
+            miss = thread.submit(request, client="alice")
+            hit = thread.submit(request, client="bob")
+        assert miss.manifest.cache == "miss"
+        assert miss.manifest.lane == "interactive"
+        assert miss.manifest.client == "alice"
+        assert miss.manifest.cache_key == request.key()
+        assert miss.manifest.exec_s > 0
+        assert hit.manifest.cache == "hit"
+        assert hit.manifest.client == "bob"
+        assert hit.manifest.cache_key == miss.manifest.cache_key
+        # And the manifest round-trips through JSON.
+        reparsed = ServiceManifest.from_json(miss.manifest.to_json())
+        assert reparsed == miss.manifest
+
+
+def _stub_execute(request: JobRequest):
+    return {"key": request.key(), "ctas": request.spec.total_ctas}, 0.001
+
+
+async def _coalesce_round(n_waiters: int) -> tuple[SweepService, list]:
+    calls = []
+
+    def execute(request):
+        calls.append(request.key())
+        return _stub_execute(request)
+
+    service = SweepService(
+        ServiceConfig(workers=2, use_disk_cache=False), execute=execute
+    )
+    await service.start()
+    request = request_from_recipe({"workload": "Stream", "ctas": 8, "gpms": 1})
+    outcomes = await asyncio.gather(
+        *(service.submit(request, client=f"c{i}") for i in range(n_waiters))
+    )
+    await service.stop()
+    assert len(calls) == 1
+    return service, outcomes
+
+
+class TestSingleFlightProperty:
+    @given(n_waiters=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_all_waiters_receive_bit_identical_payloads(self, n_waiters):
+        service, outcomes = asyncio.run(_coalesce_round(n_waiters))
+        records = [outcome.record for outcome in outcomes]
+        # Same object, hence trivially bit-identical — the leader's payload
+        # is shared, never copied or re-serialized per waiter.
+        assert all(record is records[0] for record in records)
+        assert service.metrics.count(SIM_RUNS) == 1
+        assert service.metrics.count(SINGLEFLIGHT_COALESCED) == n_waiters - 1
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _paused_service(clock, **config_kwargs) -> SweepService:
+    """A service whose jobs never execute (workers=0): pure scheduling."""
+    return SweepService(
+        ServiceConfig(workers=0, use_disk_cache=False, **config_kwargs),
+        execute=_stub_execute,
+        clock=clock,
+    )
+
+
+def _recipe(ctas: int) -> JobRequest:
+    return request_from_recipe(
+        {"workload": "Stream", "ctas": ctas, "gpms": 1}
+    )
+
+
+class TestSchedulingEdges:
+    def test_queue_full_rejects_the_newcomer(self):
+        async def scenario():
+            clock = FakeClock()
+            service = _paused_service(clock, max_pending=1, max_age_s=1e9)
+            await service.start()
+            first = asyncio.ensure_future(
+                service.submit(_recipe(4), client="a")
+            )
+            await asyncio.sleep(0)  # let the leader enqueue
+            with pytest.raises(ServiceError) as excinfo:
+                await service.submit(_recipe(8), client="b")
+            assert excinfo.value.kind == "queue-full"
+            assert service.metrics.count(ADMISSION_QUEUE_FULL) == 1
+            await service.stop()
+            with pytest.raises(ServiceError):
+                await first
+
+        asyncio.run(scenario())
+
+    def test_stale_pending_job_is_evicted_for_a_newcomer(self):
+        async def scenario():
+            clock = FakeClock()
+            service = _paused_service(clock, max_pending=1, max_age_s=10.0)
+            await service.start()
+            first = asyncio.ensure_future(
+                service.submit(_recipe(4), client="a")
+            )
+            await asyncio.sleep(0)
+            clock.now = 11.0  # first is now stale
+            second = asyncio.ensure_future(
+                service.submit(_recipe(8), client="b")
+            )
+            await asyncio.sleep(0)
+            # The stale job was evicted to admit the newcomer.
+            with pytest.raises(ServiceError) as excinfo:
+                await first
+            assert excinfo.value.kind == "evicted"
+            assert service.metrics.count(JOBS_EVICTED) == 1
+            assert len(service.queue) == 1  # the newcomer
+            await service.stop()
+            with pytest.raises(ServiceError):
+                await second
+
+        asyncio.run(scenario())
+
+    def test_rate_limited_client_is_turned_away(self):
+        async def scenario():
+            clock = FakeClock()
+            service = SweepService(
+                ServiceConfig(
+                    workers=0, use_disk_cache=False,
+                    rate_per_s=0.001, burst=1.0,
+                ),
+                execute=_stub_execute,
+                clock=clock,
+            )
+            await service.start()
+            # Pre-populate the store so allowed submissions resolve as hits.
+            request = _recipe(4)
+            service.store.put(request.key(), {"cached": True})
+            first = await service.submit(request, client="chatty")
+            assert first.cache == "hit"
+            with pytest.raises(ServiceError) as excinfo:
+                await service.submit(request, client="chatty")
+            assert excinfo.value.kind == "rate-limited"
+            # Other clients are unaffected.
+            other = await service.submit(request, client="quiet")
+            assert other.cache == "hit"
+            assert service.metrics.count(ADMISSION_RATE_LIMITED) == 1
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_stop_fails_pending_jobs_cleanly(self):
+        async def scenario():
+            clock = FakeClock()
+            service = _paused_service(clock, max_pending=8, max_age_s=1e9)
+            await service.start()
+            pending = [
+                asyncio.ensure_future(
+                    service.submit(_recipe(4 + i), client="a")
+                )
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)
+            await service.stop()
+            for future in pending:
+                with pytest.raises(ServiceError) as excinfo:
+                    await future
+                assert excinfo.value.kind == "unavailable"
+            assert len(service.queue) == 0
+            assert len(service.singleflight) == 0
+
+        asyncio.run(scenario())
+
+
+class TestHttpSurface:
+    def test_routes_and_error_mapping(self, tmp_path):
+        import http.client
+
+        from repro.service.client import ServiceClient
+
+        with ServiceThread(
+            ServiceConfig(workers=1, cache_dir=tmp_path)
+        ) as thread:
+            client = ServiceClient(thread.host, thread.port)
+            assert client.healthz()["status"] == "ok"
+            assert "queue_depth" in client.stats()
+            assert "counts" in client.metrics()
+
+            # Unknown route -> ServiceError from the 404 body.
+            with pytest.raises(ServiceError):
+                client._request("GET", "/v1/nope")
+
+            # Malformed recipe -> invalid-config, counted as a rejection.
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit_recipe({"workload": "Stream", "gmps": 4})
+            assert excinfo.value.kind == "invalid-config"
+            assert (
+                thread.service.metrics.count(ADMISSION_REJECTED) == 1
+            )
+
+            # Non-JSON body -> 400, not a crash.
+            connection = http.client.HTTPConnection(
+                thread.host, thread.port, timeout=30
+            )
+            connection.request(
+                "POST", "/v1/jobs", body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            connection.close()

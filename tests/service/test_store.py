@@ -1,0 +1,113 @@
+"""Result store: two-tier lookup, shared disk layout, corruption safety."""
+
+import json
+
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.gpu.config import table_iii_config
+from repro.service.job import Job
+from repro.service.keys import cache_key
+from repro.service.priority import Lane
+from repro.service.store import ResultStore, SingleFlight
+from repro.workloads.suite import shrunken_spec
+
+
+class TestResultStore:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        assert store.get("abc") is None
+        store.put("abc", {"value": 1})
+        assert store.get("abc") == {"value": 1}
+
+    def test_disk_survives_a_new_store_instance(self, tmp_path):
+        ResultStore(cache_dir=tmp_path).put("abc", {"value": 1})
+        fresh = ResultStore(cache_dir=tmp_path)
+        assert len(fresh) == 0  # memory tier empty
+        assert fresh.get("abc") == {"value": 1}  # served from disk
+        assert len(fresh) == 1  # and promoted
+
+    def test_memory_only_mode_never_touches_disk(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path, use_disk=False)
+        store.put("abc", {"value": 1})
+        assert store.get("abc") == {"value": 1}
+        assert list(tmp_path.iterdir()) == []
+
+    def test_memory_tier_is_bounded_lru(self, tmp_path):
+        store = ResultStore(
+            cache_dir=tmp_path, use_disk=False, memory_capacity=2
+        )
+        store.put("a", {"n": 1})
+        store.put("b", {"n": 2})
+        assert store.get("a") == {"n": 1}  # refresh a
+        store.put("c", {"n": 3})  # evicts b (least recently used)
+        assert store.get("b") is None
+        assert store.get("a") == {"n": 1}
+        assert store.get("c") == {"n": 3}
+
+    def test_corrupt_disk_entry_is_dropped_not_served(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert store.get("bad") is None
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_layout_is_shared_with_the_sweep_runner(self, tmp_path):
+        # A record simulated by the batch sweep runner must be a service
+        # store hit (and vice versa): same directory, same file name, same
+        # payload schema.
+        spec = shrunken_spec("Stream", total_ctas=8)
+        config = table_iii_config(1)
+        runner = SweepRunner(SweepSettings(cache_dir=tmp_path, processes=1))
+        [record] = runner.run([(spec, config)])
+        assert runner.cache_misses == 1
+
+        key = cache_key(spec, config)
+        store = ResultStore(cache_dir=tmp_path)
+        assert store.get(key) == record.to_json()
+
+        # And the reverse direction: a service-side put is a runner hit.
+        store.put(key, record.to_json())
+        runner2 = SweepRunner(SweepSettings(cache_dir=tmp_path, processes=1))
+        runner2.run([(spec, config)])
+        assert runner2.cache_hits == 1
+        assert runner2.cache_misses == 0
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        store.put("abc", {"value": 1})
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["abc.json"]
+        assert json.loads((tmp_path / "abc.json").read_text()) == {"value": 1}
+
+
+class TestSingleFlight:
+    def _job(self, key: str) -> Job:
+        return Job(
+            id=f"job-{key}", request=None, client="test",
+            key=key, lane=Lane.STANDARD,
+        )
+
+    def test_leader_then_finish(self):
+        flight = SingleFlight()
+        assert flight.leader_job("k") is None
+        leader = self._job("k")
+        flight.start("k", leader)
+        assert flight.leader_job("k") is leader
+        assert len(flight) == 1
+        flight.finish("k")
+        assert flight.leader_job("k") is None
+        assert len(flight) == 0
+
+    def test_finish_is_idempotent(self):
+        flight = SingleFlight()
+        flight.start("k", self._job("k"))
+        flight.finish("k")
+        flight.finish("k")  # no error
+        assert flight.keys() == []
+
+    def test_distinct_keys_fly_independently(self):
+        flight = SingleFlight()
+        a, b = self._job("a"), self._job("b")
+        flight.start("a", a)
+        flight.start("b", b)
+        assert flight.keys() == ["a", "b"]
+        flight.finish("a")
+        assert flight.leader_job("b") is b

@@ -86,6 +86,49 @@ class TestDvfsSubcommand:
         assert "V/f sweep" not in captured.out
 
 
+class TestUnifiedErrorHandling:
+    """Every subcommand maps ConfigError to one stderr line + exit 2."""
+
+    @pytest.mark.parametrize(
+        ("name", "argv"),
+        [
+            ("run", ["run", "Stream", "--ctas", "0"]),
+            ("trace", ["trace", "Stream", "--ctas", "0"]),
+            ("profile", ["profile", "Stream", "--ctas", "0"]),
+            ("dvfs", ["dvfs", "Stream", "--ctas", "0"]),
+            (
+                "dvfs",
+                ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--cap-watts", "1"],
+            ),
+            ("capsweep", ["capsweep", "--quick", "--shards", "0"]),
+            ("serve", ["serve", "--shards", "0"]),
+            ("serve", ["serve", "--aging-seconds", "0"]),
+            (
+                "submit",
+                # Port 1 is never listening: the client's connection error
+                # surfaces through the same guard.
+                ["submit", "Stream", "--ctas", "8", "--port", "1"],
+            ),
+            ("sweetspot", ["sweetspot", "--shards", "0"]),
+        ],
+    )
+    def test_config_errors_are_one_line_exit_2(self, capsys, name, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith(f"repro {name}: ")
+        assert "Traceback" not in captured.err
+        assert captured.err.strip().count("\n") == 0
+
+    def test_serve_and_submit_are_dispatched(self, capsys):
+        # --help exits 0 through argparse, proving the subcommands exist.
+        for name in ("serve", "submit"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([name, "--help"])
+            assert excinfo.value.code == 0
+            assert f"repro {name}" in capsys.readouterr().out
+
+
 class TestProfileSubcommand:
     def test_profile_reports_per_gpm_energy(self, capsys):
         assert main(["profile", "Stream", "--gpms", "2", "--ctas", "16"]) == 0
