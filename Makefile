@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke perf-smoke perf-baseline differential reproduce examples trace-smoke service-smoke clean-cache loc
+.PHONY: install test bench bench-smoke perf-smoke perf-baseline differential reproduce examples trace-smoke service-smoke roofline-smoke clean-cache loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,16 @@ trace-smoke:
 # (see docs/SERVICE.md).
 service-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.service_smoke
+
+# Roofline fast-path check: the committed error-bound manifest must hold
+# against a fresh golden re-simulation, the screened-sweep contract tests
+# must pass, and the screened-vs-exhaustive bench must clear its >= 5x bar
+# (see docs/MODELING.md).
+roofline-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.roofline_bounds
+	PYTHONPATH=src $(PYTHON) -m pytest tests/roofline -q
+	PYTHONPATH=src $(PYTHON) -m pytest --benchmark-disable -q \
+	  benchmarks/bench_roofline.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

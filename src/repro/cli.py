@@ -24,7 +24,11 @@ Two observability subcommands sit beside the experiments (see
   ``--cap-watts`` runs the chip under a power budget and prints the
   power-capping governor's decisions with residency-priced energy.
 * ``repro capsweep`` — sweep chip power budgets across GPM counts and report
-  residency-priced EDPSE per budget (``--quick`` for a small grid).
+  residency-priced EDPSE per budget (``--quick`` for a small grid;
+  ``--screen roofline`` prunes the budget grid analytically first).
+* ``repro roofline`` — score a workload's V/f ladder with the closed-form
+  roofline predictor and compare against simulation; ``--check-bounds``
+  verifies the committed error-bound manifest (see docs/MODELING.md).
 * ``repro bench`` — run the simulator throughput benchmark (the headline
   1–32 GPM sweep, or ``--quick`` for a single small case) and write
   ``BENCH_sim.json``; ``--check`` compares against a committed baseline
@@ -455,6 +459,154 @@ def _dvfs_main(argv: list[str]) -> int:
     return 0
 
 
+def _add_screen_arguments(parser: argparse.ArgumentParser) -> None:
+    """The screening knobs shared by sweep-shaped subcommands."""
+    parser.add_argument(
+        "--screen",
+        choices=["roofline"],
+        default=None,
+        help=(
+            "analytically rank the sweep grid and simulate only the top-k"
+            " points (exact mode when omitted; see docs/MODELING.md)"
+        ),
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="screened points simulated per curve (default: 3)",
+    )
+    parser.add_argument(
+        "--guard",
+        type=int,
+        default=1,
+        help="extra guard points simulated beyond top-k (default: 1)",
+    )
+
+
+def _roofline_main(argv: list[str]) -> int:
+    """``repro roofline``: predicted-vs-simulated table for one workload."""
+    parser = argparse.ArgumentParser(
+        prog="repro roofline",
+        description=(
+            "Score a workload's V/f ladder with the closed-form roofline"
+            " predictor and (unless --predict-only) compare every point"
+            " against simulation (see docs/MODELING.md).  --check-bounds"
+            " instead verifies the committed error-bound manifest"
+            " (ROOFLINE_bounds.json) like CI does."
+        ),
+    )
+    parser.add_argument(
+        "--check-bounds",
+        action="store_true",
+        help="validate ROOFLINE_bounds.json against the golden configs",
+    )
+    # The workload is optional so `repro roofline --check-bounds` works bare.
+    if "--check-bounds" in argv:
+        extra = [arg for arg in argv if arg != "--check-bounds"]
+        if extra:
+            parser.error(f"--check-bounds takes no other arguments, got {extra}")
+        from repro.tools.roofline_bounds import main as bounds_main
+
+        return bounds_main([])
+    _add_observe_arguments(parser)
+    parser.add_argument(
+        "--metric",
+        choices=["edp", "ed2p"],
+        default="edp",
+        help="ranking metric (default: edp)",
+    )
+    parser.add_argument(
+        "--predict-only",
+        action="store_true",
+        help="skip the simulations; print the analytic ranking only",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.energy_model import EnergyModel, EnergyParams
+    from repro.dvfs.operating_point import K40_VF_CURVE
+    from repro.dvfs.selection import best_candidate
+    from repro.dvfs.sweetspot import with_operating_point
+    from repro.gpu.simulator import simulate
+    from repro.roofline.model import RooflinePredictor
+
+    spec, workload, config = _observed_pair(parser, args)
+    predictor = RooflinePredictor()
+    points = K40_VF_CURVE.points
+    predictions = {
+        point: predictor.predict(spec, with_operating_point(config, point))
+        for point in points
+    }
+    predicted_best = best_candidate(
+        points,
+        score=lambda p: predictions[p].score(args.metric),
+        tie_key=lambda p: (p.frequency_hz, p.label()),
+    )
+
+    print(f"{spec.abbr} on {config.label()}: roofline ({args.metric})")
+    if args.predict_only:
+        print(
+            f"  {'point':<10} {'MHz':>5} {'pred delay us':>13}"
+            f" {'pred uJ':>9} {'pred EDP':>11} {'bound':>8}"
+        )
+        for point in points:
+            pred = predictions[point]
+            marker = " <- predicted best" if point is predicted_best else ""
+            print(
+                f"  {point.label():<10} {point.frequency_hz / 1e6:>5.0f}"
+                f" {pred.delay_s * 1e6:>13.2f} {pred.energy_j * 1e6:>9.2f}"
+                f" {pred.score(args.metric):>11.3e} {pred.bound:>8}{marker}"
+            )
+        return 0
+
+    simulated = {}
+    for point in points:
+        pointed = with_operating_point(config, point)
+        result = simulate(workload, pointed)
+        params = EnergyParams.for_operating_point(pointed)
+        energy = EnergyModel(params).evaluate(result.counters, result.seconds)
+        simulated[point] = (result.seconds, energy.total)
+    scores = {
+        point: (
+            delay * energy if args.metric == "edp" else delay**2 * energy
+        )
+        for point, (delay, energy) in simulated.items()
+    }
+    simulated_best = best_candidate(
+        points,
+        score=lambda p: scores[p],
+        tie_key=lambda p: (p.frequency_hz, p.label()),
+    )
+    print(
+        f"  {'point':<10} {'MHz':>5} {'pred us':>9} {'sim us':>9}"
+        f" {'derr%':>6} {'pred uJ':>9} {'sim uJ':>9} {'eerr%':>6}"
+        f" {'bound':>8}"
+    )
+    for point in points:
+        pred = predictions[point]
+        delay_s, energy_j = simulated[point]
+        markers = []
+        if point is predicted_best:
+            markers.append("predicted best")
+        if point is simulated_best:
+            markers.append("simulated best")
+        marker = f" <- {', '.join(markers)}" if markers else ""
+        print(
+            f"  {point.label():<10} {point.frequency_hz / 1e6:>5.0f}"
+            f" {pred.delay_s * 1e6:>9.2f} {delay_s * 1e6:>9.2f}"
+            f" {abs(pred.delay_s - delay_s) / delay_s * 100:>6.1f}"
+            f" {pred.energy_j * 1e6:>9.2f} {energy_j * 1e6:>9.2f}"
+            f" {abs(pred.energy_j - energy_j) / energy_j * 100:>6.1f}"
+            f" {pred.bound:>8}{marker}"
+        )
+    agree = "agrees with" if predicted_best is simulated_best else "differs from"
+    print(
+        f"  predicted best {predicted_best.label()} {agree} simulated best"
+        f" {simulated_best.label()}"
+    )
+    return 0
+
+
 def _capsweep_main(argv: list[str]) -> int:
     """``repro capsweep``: EDPSE-vs-power-budget study (docs/POWER.md)."""
     from repro.experiments import capping_study
@@ -494,6 +646,7 @@ def _capsweep_main(argv: list[str]) -> int:
         default=1,
         help="per-GPM shard engines per simulation (default: 1)",
     )
+    _add_screen_arguments(parser)
     args = parser.parse_args(argv)
 
     settings_kwargs = {}
@@ -505,6 +658,11 @@ def _capsweep_main(argv: list[str]) -> int:
         settings_kwargs["shards"] = args.shards
     runner = SweepRunner(SweepSettings(**settings_kwargs))
 
+    screen_kwargs = {}
+    if args.screen is not None:
+        screen_kwargs = {
+            "screen": args.screen, "top_k": args.top_k, "guard": args.guard
+        }
     start = time.time()
     if args.quick:
         result = capping_study.run(
@@ -512,9 +670,10 @@ def _capsweep_main(argv: list[str]) -> int:
             gpm_counts=(1, 4),
             fractions=(None, 0.7),
             workloads=("Stream", "BPROP"),
+            **screen_kwargs,
         )
     else:
-        result = capping_study.run(runner)
+        result = capping_study.run(runner, **screen_kwargs)
     rendered = result.render()
     print(rendered)
     print(f"[capsweep: {time.time() - start:.1f}s]")
@@ -627,6 +786,13 @@ def _submit_main(argv: list[str]) -> int:
         "--shards", type=int, default=1,
         help="per-GPM shard engines for the execution (default: 1)",
     )
+    parser.add_argument(
+        "--screen", choices=["roofline"], default=None,
+        help=(
+            "attach the roofline prediction for this job to the response"
+            " manifest (advisory; never changes the result or cache key)"
+        ),
+    )
     parser.add_argument("--host", default="127.0.0.1", help="service address")
     parser.add_argument("--port", type=int, default=8787, help="service port")
     parser.add_argument(
@@ -654,6 +820,8 @@ def _submit_main(argv: list[str]) -> int:
         recipe["cap_watts"] = args.cap_watts
     if args.shards != 1:
         recipe["shards"] = args.shards
+    if args.screen is not None:
+        recipe["screen"] = args.screen
 
     client = ServiceClient(args.host, args.port, client_id=args.client)
     outcome = client.submit_recipe(recipe)
@@ -670,6 +838,17 @@ def _submit_main(argv: list[str]) -> int:
     print(f"  execution     {job['exec_s'] * 1e3:10.1f}ms")
     print(f"  total         {job['total_s'] * 1e3:10.1f}ms")
     print(f"  sim seconds   {record['seconds']:12.6f}")
+    screen = job.get("screen")
+    if screen:
+        if "error" in screen:
+            print(f"  roofline      ({screen['error']})")
+        else:
+            err = abs(screen["predicted_delay_s"] - record["seconds"])
+            err_pct = err / record["seconds"] * 100 if record["seconds"] else 0.0
+            print(
+                f"  roofline      predicted {screen['predicted_delay_s']:.6f}s"
+                f" ({screen['bound']}-bound, {err_pct:.1f}% off)"
+            )
     return 0
 
 
@@ -680,6 +859,7 @@ _SUBCOMMANDS = {
     "trace": _trace_main,
     "profile": _profile_main,
     "dvfs": _dvfs_main,
+    "roofline": _roofline_main,
     "capsweep": _capsweep_main,
     "serve": _serve_main,
     "submit": _submit_main,
@@ -689,16 +869,17 @@ _SUBCOMMANDS = {
 def _guarded(name: str, command, argv: list[str]) -> int:
     """Uniform error surface for every subcommand.
 
-    ``ConfigError`` (bad grids, infeasible caps, malformed recipes) and
-    ``ServiceError`` (a service turned the request away) both map to one
+    ``ConfigError`` (bad grids, infeasible caps, malformed recipes),
+    ``ExperimentError`` (bad study knobs like an unknown screen mode), and
+    ``ServiceError`` (a service turned the request away) all map to one
     ``repro <name>: <message>`` line on stderr and exit code 2 — never a
     traceback, never argparse's multi-line usage dump.
     """
-    from repro.errors import ConfigError, ServiceError
+    from repro.errors import ConfigError, ExperimentError, ServiceError
 
     try:
         return command(argv)
-    except (ConfigError, ServiceError) as error:
+    except (ConfigError, ExperimentError, ServiceError) as error:
         print(f"repro {name}: {error}", file=sys.stderr)
         return 2
 
@@ -756,9 +937,12 @@ def main(argv: list[str] | None = None) -> int:
             " default: 1)"
         ),
     )
+    _add_screen_arguments(parser)
     args = parser.parse_args(argv)
 
     def _experiments_main(_argv: list[str]) -> int:
+        from repro.errors import ConfigError
+
         settings_kwargs = {}
         if args.processes is not None:
             settings_kwargs["processes"] = args.processes
@@ -768,13 +952,31 @@ def main(argv: list[str] | None = None) -> int:
             settings_kwargs["shards"] = args.shards
         runner = SweepRunner(SweepSettings(**settings_kwargs))
 
+        # Experiments whose grids the roofline screen can prune.
+        screenable = {
+            "sweetspot": sweetspot_study.run,
+            "capping": capping_study.run,
+        }
         if "all" in args.experiments:
             names = sorted(_EXPERIMENTS)
         else:
             names = list(dict.fromkeys(args.experiments))
+        if args.screen is not None:
+            unsupported = [n for n in names if n not in screenable]
+            if unsupported:
+                raise ConfigError(
+                    f"--screen applies to {sorted(screenable)} only,"
+                    f" got {unsupported}"
+                )
         for name in names:
             start = time.time()
-            result = _EXPERIMENTS[name](runner)
+            if args.screen is not None and name in screenable:
+                result = screenable[name](
+                    runner, screen=args.screen,
+                    top_k=args.top_k, guard=args.guard,
+                )
+            else:
+                result = _EXPERIMENTS[name](runner)
             print(result.render())
             print(f"[{name}: {time.time() - start:.1f}s]")
             print()

@@ -1,0 +1,65 @@
+"""Deterministic candidate ranking shared by exact search and screening.
+
+The sweet-spot search and the roofline screen both reduce a scored set of
+operating-point candidates to "the best one" (exact search) or "the top k
+worth simulating" (screening).  Both must agree on one tie-break rule, or a
+screened sweep could report a different winner than the exhaustive sweep it
+claims to approximate whenever two points score equal.
+
+The rule: ascending score, then ascending frequency, then label.  Lower
+frequency wins a tie because the lower point draws less power for the same
+score — the conservative choice for an energy study.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+from repro.errors import ExperimentError
+
+T = TypeVar("T")
+
+#: Tie-break key for one candidate: (frequency_hz, label).  Frequency comes
+#: first so equal-scoring points resolve to the lower-power one; the label
+#: makes the order total even across distinct curves at one frequency.
+TieKey = Callable[[T], tuple[float, str]]
+
+
+def rank_candidates(
+    candidates: Sequence[T],
+    score: Callable[[T], float],
+    tie_key: TieKey,
+) -> list[T]:
+    """All candidates, best (lowest score) first, deterministically.
+
+    Sorting is by ``(score, frequency, label)``; the input order never
+    matters, so exact search and screening rank identically no matter how
+    their grids were spelled.
+    """
+    if not candidates:
+        raise ExperimentError("cannot rank an empty candidate set")
+    return sorted(
+        candidates, key=lambda item: (score(item), *tie_key(item))
+    )
+
+
+def best_candidate(
+    candidates: Sequence[T],
+    score: Callable[[T], float],
+    tie_key: TieKey,
+) -> T:
+    """The single best candidate under the shared tie-break rule."""
+    return rank_candidates(candidates, score, tie_key)[0]
+
+
+def top_candidates(
+    candidates: Sequence[T],
+    k: int,
+    score: Callable[[T], float],
+    tie_key: TieKey,
+) -> list[T]:
+    """The ``k`` best candidates (all of them when ``k`` >= the set size)."""
+    if k < 1:
+        raise ExperimentError(f"top-k selection needs k >= 1, got {k}")
+    return rank_candidates(candidates, score, tie_key)[:k]

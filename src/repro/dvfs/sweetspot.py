@@ -18,14 +18,20 @@ DVFS literature calls sweet-spot chasing.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.core.energy_model import EnergyParams
 from repro.dvfs.config import ClockDomain, DvfsConfig
 from repro.dvfs.operating_point import K40_VF_CURVE, OperatingPoint, VfCurve
+from repro.dvfs.selection import best_candidate
 from repro.errors import ExperimentError
 from repro.experiments.runner import SweepRunner
 from repro.gpu.config import GpuConfig
 from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # deferred: repro.roofline is an optional fast path
+    from repro.roofline.model import RooflinePredictor
+    from repro.roofline.screen import ScreenDisposition
 
 #: Supported optimization metrics.
 METRICS = ("edp", "ed2p")
@@ -66,10 +72,20 @@ class SweetSpot:
     samples: tuple[FrequencySample, ...]
     #: Which clock domain the sweep walked ("core", "dram", "interconnect").
     domain: str = "core"
+    #: Roofline screening record when this sweep was screened (None for an
+    #: exhaustive sweep): which points were predicted vs. simulated.
+    disposition: "ScreenDisposition | None" = None
 
     @property
     def best(self) -> FrequencySample:
-        return min(self.samples, key=lambda sample: sample.score(self.metric))
+        return best_candidate(
+            self.samples,
+            score=lambda sample: sample.score(self.metric),
+            tie_key=lambda sample: (
+                sample.point.frequency_hz,
+                sample.point.label(),
+            ),
+        )
 
     @property
     def point(self) -> OperatingPoint:
@@ -122,6 +138,10 @@ class SweetSpotSearch:
         metric: str = "edp",
         points: tuple[OperatingPoint, ...] | None = None,
         domain: ClockDomain = ClockDomain.CORE,
+        screen: str | None = None,
+        top_k: int = 3,
+        guard: int = 1,
+        predictor: "RooflinePredictor | None" = None,
     ):
         if metric not in METRICS:
             raise ExperimentError(
@@ -139,6 +159,56 @@ class SweetSpotSearch:
                 raise ExperimentError(
                     f"sweep point {point!r} lies outside the search curve"
                 )
+        if screen is not None:
+            from repro.roofline.screen import validate_screen
+
+            validate_screen(screen)
+            if top_k < 1:
+                raise ExperimentError(
+                    f"screen top-k must be >= 1, got {top_k}"
+                )
+            if guard < 0:
+                raise ExperimentError(
+                    f"screen guard must be >= 0, got {guard}"
+                )
+        self.screen = screen
+        self.top_k = top_k
+        self.guard = guard
+        self._predictor = predictor
+
+    def _select_points(
+        self, specs: list[WorkloadSpec], configs: list[GpuConfig]
+    ) -> dict[tuple[str, str], tuple]:
+        """Per (config label, workload): (points to simulate, disposition).
+
+        Exact mode selects every point with no disposition; roofline mode
+        ranks the grid analytically and keeps the top ``top_k + guard``.
+        """
+        if self.screen is None:
+            return {
+                (config.label(), spec.abbr): (self.points, None)
+                for config in configs
+                for spec in specs
+            }
+        from repro.roofline.model import RooflinePredictor
+        from repro.roofline.screen import screen_operating_points
+
+        predictor = self._predictor or RooflinePredictor()
+        return {
+            (config.label(), spec.abbr): screen_operating_points(
+                predictor,
+                spec,
+                config,
+                self.points,
+                curve=self.curve,
+                domain=self.domain,
+                metric=self.metric,
+                top_k=self.top_k,
+                guard=self.guard,
+            )
+            for config in configs
+            for spec in specs
+        }
 
     def search(
         self, specs: list[WorkloadSpec], configs: list[GpuConfig]
@@ -148,6 +218,12 @@ class SweetSpotSearch:
         Results come back ordered by (config, workload) input order.  All
         simulations go through one :meth:`SweepRunner.run` call, so they
         parallelize and cache like any other sweep.
+
+        With ``screen="roofline"`` only the analytically ranked top
+        ``top_k + guard`` points per (workload, config) are simulated; the
+        simulated points go through the *same* pointed configurations (hence
+        the same cache keys) an exhaustive sweep would use, and each returned
+        :class:`SweetSpot` carries the screening disposition.
         """
         pointed = {
             (config.label(), point.frequency_hz): with_operating_point(
@@ -156,11 +232,12 @@ class SweetSpotSearch:
             for config in configs
             for point in self.points
         }
+        selected = self._select_points(specs, configs)
         pairs = [
             (spec, pointed[(config.label(), point.frequency_hz)])
             for config in configs
             for spec in specs
-            for point in self.points
+            for point in selected[(config.label(), spec.abbr)][0]
         ]
         records = {
             (record.workload, record.config_label): record
@@ -170,8 +247,9 @@ class SweetSpotSearch:
         spots: list[SweetSpot] = []
         for config in configs:
             for spec in specs:
+                points, disposition = selected[(config.label(), spec.abbr)]
                 samples = []
-                for point in self.points:
+                for point in points:
                     cfg = pointed[(config.label(), point.frequency_hz)]
                     record = records[(spec.abbr, cfg.label())]
                     params = EnergyParams.for_operating_point(cfg)
@@ -190,6 +268,7 @@ class SweetSpotSearch:
                         metric=self.metric,
                         samples=tuple(samples),
                         domain=self.domain.value,
+                        disposition=disposition,
                     )
                 )
         return spots

@@ -75,6 +75,10 @@ class CappingStudyResult:
     core_imbalance: dict[float | None, dict[int, float]] = field(
         default_factory=dict
     )
+    #: Screening record when the budget grid was pruned analytically
+    #: (``None`` = exhaustive): mode, knobs, and the predicted mean EDPSE
+    #: per budget fraction that drove the pruning.
+    screen: dict | None = None
 
     def record(
         self, fraction: float | None, num_gpms: int, workload: str
@@ -155,6 +159,20 @@ class CappingStudyResult:
                     ),
                 )
             )
+        if self.screen is not None:
+            predicted = self.screen.get("predicted_edpse", {})
+            skipped = self.screen.get("skipped", [])
+            lines = [
+                f"Roofline screen ({self.screen['mode']}): budgets ranked by"
+                f" predicted mean EDPSE, top {self.screen['top_k']}"
+                f" + {self.screen['guard']} guard simulated (uncapped"
+                " baseline always kept).",
+            ]
+            for label, value in predicted.items():
+                lines.append(f"  predicted {label}: {value:.1f}%")
+            if skipped:
+                lines.append(f"  skipped budgets: {', '.join(skipped)}")
+            tables.append("\n".join(lines))
         return "\n\n".join(tables)
 
 
@@ -167,19 +185,98 @@ def priced_params(config: GpuConfig, record: RunRecord) -> EnergyParams:
     return EnergyParams.for_operating_point(config, residency=residency)
 
 
+def _screen_fractions(
+    specs,
+    gpm_counts: tuple[int, ...],
+    fractions: tuple[float | None, ...],
+    top_k: int,
+    guard: int,
+) -> tuple[tuple[float | None, ...], dict]:
+    """Prune the budget grid to the analytically best fractions.
+
+    Every candidate budget is scored by its *predicted* mean EDPSE over the
+    study's (workload, GPM count) cells — same roofline predictor, same
+    capped configurations (the predictor reuses the governor's waterfill) —
+    and only the top ``top_k + guard`` fractions survive.  The uncapped
+    baseline is always kept: every EDPSE number is a ratio against it.
+    """
+    from repro.dvfs.selection import top_candidates
+    from repro.roofline.model import RooflinePredictor
+
+    predictor = RooflinePredictor()
+    baseline_n = min(gpm_counts)
+    baseline = {
+        spec.abbr: predictor.predict(spec, capped_config(baseline_n, None))
+        for spec in specs
+    }
+    candidates = [f for f in fractions if f is not None]
+    predicted: dict[float, float] = {}
+    for fraction in candidates:
+        ratios = []
+        for n in gpm_counts:
+            config = capped_config(n, fraction)
+            for spec in specs:
+                prediction = predictor.predict(spec, config)
+                ratios.append(
+                    baseline[spec.abbr].edp * 100.0 / (n * prediction.edp)
+                )
+        predicted[fraction] = mean(ratios)
+    # Higher EDPSE is better; selection ranks ascending, so negate.  The
+    # deterministic tie-break mirrors the sweet-spot search's rule.
+    ranked = top_candidates(
+        candidates,
+        len(candidates),
+        score=lambda fraction: -predicted[fraction],
+        tie_key=lambda fraction: (fraction, _budget_label(fraction)),
+    )
+    keep = set(ranked[: min(len(candidates), top_k + guard)])
+    pruned = tuple(f for f in fractions if f is None or f in keep)
+    note = {
+        "mode": "roofline",
+        "metric": "edpse",
+        "top_k": top_k,
+        "guard": guard,
+        "predicted_edpse": {
+            _budget_label(f): predicted[f] for f in ranked
+        },
+        "skipped": [_budget_label(f) for f in fractions if f not in pruned],
+    }
+    return pruned, note
+
+
 def run(
     runner: SweepRunner | None = None,
     gpm_counts: tuple[int, ...] = STUDY_GPM_COUNTS,
     fractions: tuple[float | None, ...] = BUDGET_FRACTIONS,
     workloads: tuple[str, ...] = SCALING_SUBSET,
+    screen: str | None = None,
+    top_k: int = 3,
+    guard: int = 1,
 ) -> CappingStudyResult:
-    """Execute (or fetch from cache) the power-capping study."""
+    """Execute (or fetch from cache) the power-capping study.
+
+    ``screen="roofline"`` prunes the budget grid analytically first (see
+    :func:`_screen_fractions`); the surviving budgets are simulated through
+    the exact same configurations — hence cache keys — as an exhaustive run.
+    """
     if None not in fractions:
         raise ExperimentError(
             "the capping study needs the uncapped baseline (fraction None)"
         )
     runner = runner or SweepRunner()
     specs = [WORKLOAD_SPECS[abbr] for abbr in workloads]
+    screen_note: dict | None = None
+    if screen is not None:
+        from repro.roofline.screen import validate_screen
+
+        validate_screen(screen)
+        if top_k < 1:
+            raise ExperimentError(f"screen top-k must be >= 1, got {top_k}")
+        if guard < 0:
+            raise ExperimentError(f"screen guard must be >= 0, got {guard}")
+        fractions, screen_note = _screen_fractions(
+            specs, gpm_counts, fractions, top_k, guard
+        )
     configs = {
         (fraction, n): capped_config(n, fraction)
         for fraction in fractions
@@ -200,7 +297,7 @@ def run(
                 by_key[(spec.abbr, config.label())]
             )
 
-    result = CappingStudyResult(records=records)
+    result = CappingStudyResult(records=records, screen=screen_note)
     baseline_n = min(gpm_counts)
     baseline_config = configs[(None, baseline_n)]
     for fraction in fractions:

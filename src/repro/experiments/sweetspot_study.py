@@ -68,6 +68,10 @@ class SweetSpotStudyResult:
     domain_spots: dict[str, dict[int, dict[str, SweetSpot]]] = field(
         default_factory=dict
     )
+    #: Screen mode the study ran under (``None`` = exhaustive).  Screened
+    #: runs skip the EDPSE surface: it needs every frequency simulated,
+    #: which is exactly what screening avoids.
+    screen: str | None = None
 
     def domain_spot(
         self, domain: ClockDomain, workload: str, num_gpms: int
@@ -94,21 +98,23 @@ class SweetSpotStudyResult:
 
     def render(self) -> str:
         """The EDPSE surface and the per-workload sweet-spot table."""
-        surface_rows = [
-            [f"{frequency / 1e6:.0f} MHz"]
-            + [self.edpse[frequency][n] for n in STUDY_GPM_COUNTS]
-            for frequency in STUDY_FREQUENCIES_HZ
-        ]
-        surface = render_table(
-            "Sweet-spot study: mean EDPSE (%) vs. core frequency",
-            ["core clock"] + [f"{n}-GPM" for n in STUDY_GPM_COUNTS],
-            surface_rows,
-            note=(
-                "EDPSE baseline: 1-GPM at the 745 MHz anchor (the paper's"
-                " fixed configuration).  Values above the anchor row's show"
-                " frequencies that beat the paper's operating point."
-            ),
-        )
+        sections = []
+        if self.edpse:
+            surface_rows = [
+                [f"{frequency / 1e6:.0f} MHz"]
+                + [self.edpse[frequency][n] for n in STUDY_GPM_COUNTS]
+                for frequency in STUDY_FREQUENCIES_HZ
+            ]
+            sections.append(render_table(
+                "Sweet-spot study: mean EDPSE (%) vs. core frequency",
+                ["core clock"] + [f"{n}-GPM" for n in STUDY_GPM_COUNTS],
+                surface_rows,
+                note=(
+                    "EDPSE baseline: 1-GPM at the 745 MHz anchor (the paper's"
+                    " fixed configuration).  Values above the anchor row's"
+                    " show frequencies that beat the paper's operating point."
+                ),
+            ))
 
         spot_rows = []
         for abbr in sorted(self.spots[STUDY_GPM_COUNTS[0]]):
@@ -120,19 +126,33 @@ class SweetSpotStudyResult:
                     for n in STUDY_GPM_COUNTS
                 ]
             )
+        spot_note = (
+            "Every workload's EDP optimum sits below the 875 MHz ceiling"
+            " (the top step's V² energy outruns its delay win), and"
+            " memory-intensive workloads settle lower still — stepping"
+            " down as GPM count grows and DRAM/interconnect stalls"
+            " lengthen."
+        )
+        if self.screen is not None:
+            simulated = scored = 0
+            for by_workload in self.spots.values():
+                for spot in by_workload.values():
+                    if spot.disposition is not None:
+                        simulated += spot.disposition.simulated_points
+                        scored += spot.disposition.scored_points
+            spot_note = (
+                f"Screened sweep ({self.screen}): each curve's optimum was"
+                f" picked from the analytically ranked top points only —"
+                f" {simulated} of {scored} grid points simulated.  The EDPSE"
+                " surface is omitted (it needs the full grid)."
+            )
         spots = render_table(
             "Per-workload EDP-optimal core frequency (MHz)",
             ["workload", "cat."] + [f"{n}-GPM" for n in STUDY_GPM_COUNTS],
             spot_rows,
-            note=(
-                "Every workload's EDP optimum sits below the 875 MHz ceiling"
-                " (the top step's V² energy outruns its delay win), and"
-                " memory-intensive workloads settle lower still — stepping"
-                " down as GPM count grows and DRAM/interconnect stalls"
-                " lengthen."
-            ),
+            note=spot_note,
         )
-        sections = [surface, spots]
+        sections.append(spots)
 
         for domain in (ClockDomain.DRAM, ClockDomain.INTERCONNECT):
             by_count = self.domain_spots.get(domain.value)
@@ -165,41 +185,57 @@ class SweetSpotStudyResult:
 
 
 def run(
-    runner: SweepRunner | None = None, domains: bool = True
+    runner: SweepRunner | None = None,
+    domains: bool = True,
+    screen: str | None = None,
+    top_k: int = 3,
+    guard: int = 1,
 ) -> SweetSpotStudyResult:
     """Execute (or fetch from cache) the sweet-spot study.
 
     ``domains=True`` additionally sweeps the DRAM and interconnect clock
     domains over :data:`DOMAIN_GPM_COUNTS` with the core held at the anchor;
     ``False`` restricts the study to the original core-frequency surface.
+
+    ``screen="roofline"`` simulates only the analytically ranked top
+    ``top_k + guard`` points per curve (same cache keys as the exhaustive
+    sweep, see :mod:`repro.roofline.screen`); the EDPSE surface — which
+    needs every frequency — is skipped in that mode.
     """
     runner = runner or SweepRunner()
     specs = [WORKLOAD_SPECS[abbr] for abbr in SCALING_SUBSET]
     configs = [table_iii_config(n) for n in STUDY_GPM_COUNTS]
-    search = SweetSpotSearch(runner, metric="edp", points=study_points())
+    search = SweetSpotSearch(
+        runner, metric="edp", points=study_points(),
+        screen=screen, top_k=top_k, guard=guard,
+    )
     all_spots = search.search(specs, configs)
 
     spots: dict[int, dict[str, SweetSpot]] = {}
     for spot in all_spots:
         spots.setdefault(spot.num_gpms, {})[spot.workload] = spot
 
-    anchor = spots[1]
     edpse: dict[float, dict[int, float]] = {}
-    for frequency in STUDY_FREQUENCIES_HZ:
-        edpse[frequency] = {}
-        for n in STUDY_GPM_COUNTS:
-            ratios = []
-            for abbr, spot in spots[n].items():
-                edp_baseline = anchor[abbr].sample_at(ANCHOR_FREQUENCY_HZ).edp
-                edp_here = spot.sample_at(frequency).edp
-                ratios.append(edp_baseline * 100.0 / (n * edp_here))
-            edpse[frequency][n] = mean(ratios)
+    if screen is None:
+        anchor = spots[1]
+        for frequency in STUDY_FREQUENCIES_HZ:
+            edpse[frequency] = {}
+            for n in STUDY_GPM_COUNTS:
+                ratios = []
+                for abbr, spot in spots[n].items():
+                    edp_baseline = (
+                        anchor[abbr].sample_at(ANCHOR_FREQUENCY_HZ).edp
+                    )
+                    edp_here = spot.sample_at(frequency).edp
+                    ratios.append(edp_baseline * 100.0 / (n * edp_here))
+                edpse[frequency][n] = mean(ratios)
 
     domain_spots: dict[str, dict[int, dict[str, SweetSpot]]] = {}
     if domains:
         for domain, counts in DOMAIN_GPM_COUNTS.items():
             domain_search = SweetSpotSearch(
-                runner, metric="edp", points=study_points(), domain=domain
+                runner, metric="edp", points=study_points(), domain=domain,
+                screen=screen, top_k=top_k, guard=guard,
             )
             found = domain_search.search(
                 specs, [table_iii_config(n) for n in counts]
@@ -209,5 +245,5 @@ def run(
                 by_count.setdefault(spot.num_gpms, {})[spot.workload] = spot
             domain_spots[domain.value] = by_count
     return SweetSpotStudyResult(
-        spots=spots, edpse=edpse, domain_spots=domain_spots
+        spots=spots, edpse=edpse, domain_spots=domain_spots, screen=screen
     )

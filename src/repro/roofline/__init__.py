@@ -1,0 +1,43 @@
+"""Analytical roofline fast path: closed-form energy/delay/EDPSE prediction.
+
+``repro.roofline`` approximates what a full discrete-event simulation would
+report for one (workload spec, GPU configuration) pair — instruction mix,
+memory-transaction counts, interconnect traffic, delay, and Eq.-4 energy —
+without running the engine.  Predictions price through the *real*
+:class:`~repro.core.energy_model.EnergyModel`, so DVFS V²/f scaling across
+operating points is exact even where the predicted counters are approximate.
+
+The package has three faces:
+
+* :mod:`repro.roofline.model` — the predictor itself;
+* :mod:`repro.roofline.calibration` — fits the model's free scalars against
+  the golden simulations and validates the committed error bound
+  (``ROOFLINE_bounds.json``, enforced by CI);
+* :mod:`repro.roofline.screen` — grid screening: score every candidate
+  analytically, pick the top-k worth simulating, and record the
+  screened-vs-simulated disposition.  Screening never alters a simulated
+  result or a cache key — only which grid points get simulated.
+
+See ``docs/MODELING.md`` (roofline section) for the model form and the
+calibration procedure.
+"""
+
+from repro.roofline.calibration import (
+    DEFAULT_CALIBRATION,
+    RooflineCalibration,
+    fit_calibration,
+    validate_calibration,
+)
+from repro.roofline.model import RooflinePredictor, RooflinePrediction
+from repro.roofline.screen import ScreenDisposition, screen_operating_points
+
+__all__ = [
+    "DEFAULT_CALIBRATION",
+    "RooflineCalibration",
+    "RooflinePredictor",
+    "RooflinePrediction",
+    "ScreenDisposition",
+    "fit_calibration",
+    "screen_operating_points",
+    "validate_calibration",
+]

@@ -1,0 +1,98 @@
+"""The roofline model's free parameters and their committed defaults.
+
+Kept in a leaf module so :mod:`repro.roofline.model` (which consumes the
+parameters) and :mod:`repro.roofline.calibration` (which fits them against
+simulation) never import each other.
+
+The committed defaults are the output of
+``python -m repro.tools.roofline_bounds --fit`` over the golden spec x
+config pairs (see ``ROOFLINE_bounds.json``); physically they are hit
+probabilities and overlap factors, so every value is a bounded, unitless
+scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RooflineCalibration:
+    """Free scalars of the roofline predictor.
+
+    Hit probabilities are expectations over the simulator's deterministic
+    but spec-dependent access streams; the two delay scalars absorb what
+    the closed form cannot see (queueing, barrier skew, partial overlap).
+    """
+
+    #: L1 hit probability of hot-block (reuse-class) loads.
+    l1_hit_reuse: float = 0.9
+    #: L2 hit probability of streaming loads (compulsory-miss dominated;
+    #: fitted).
+    l2_hit_stream: float = 0.05
+    #: L2 hit probability of halo loads (a neighbour recently streamed
+    #: them; fitted).
+    l2_hit_halo: float = 0.5
+    #: Ceiling on any modeled L2 hit probability.
+    l2_hit_cap: float = 0.95
+    #: Shared-region L2 hit probability per unit of L2-capacity coverage
+    #: (``total_l2_bytes / shared_footprint_bytes``), clamped to the cap.
+    l2_shared_coverage: float = 0.5
+    #: Fraction of local store write-allocates whose dirty line eventually
+    #: writes back to DRAM (fitted; the tiny goldens mostly fit in L2).
+    writeback_fraction: float = 0.1
+    #: Share of the on-module L2 pipeline latency a store charges the warp.
+    store_latency_weight: float = 1.0
+    #: With per-GPM core clocks, how much the chip's finish time leans on
+    #: the slowest module (0 = mean of the modules, 1 = pure straggler;
+    #: fitted).
+    straggler_weight: float = 0.65
+    #: Effective memory-level parallelism of the warp body's software
+    #: pipeline (depth 2 in the engine).
+    pipeline_overlap: float = 2.0
+    #: Global multiplier on the latency-chain delay bound (fitted).
+    latency_scale: float = 0.7174
+
+    def __post_init__(self) -> None:
+        for name in (
+            "l1_hit_reuse",
+            "l2_hit_stream",
+            "l2_hit_halo",
+            "l2_hit_cap",
+            "l2_shared_coverage",
+            "writeback_fraction",
+            "straggler_weight",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"calibration {name!r} is a probability in [0, 1];"
+                    f" got {value!r}"
+                )
+        for name in ("store_latency_weight", "pipeline_overlap", "latency_scale"):
+            value = getattr(self, name)
+            if value <= 0.0:
+                raise ConfigError(
+                    f"calibration {name!r} must be positive, got {value!r}"
+                )
+
+    def to_json(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_json(cls, data: dict[str, float]) -> "RooflineCalibration":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown calibration parameters: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+#: The committed calibration every production prediction uses.  Refit with
+#: ``python -m repro.tools.roofline_bounds --fit`` and keep in lockstep with
+#: ``ROOFLINE_bounds.json`` (CI cross-checks the two).
+DEFAULT_CALIBRATION = RooflineCalibration()

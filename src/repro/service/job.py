@@ -51,10 +51,23 @@ class JobRequest:
     #: Per-GPM shard engines for the execution (bit-identical results, so
     #: deliberately outside the cache key — mirrors ``SweepSettings.shards``).
     shards: int = 1
+    #: Ask the service to attach the analytical roofline prediction for this
+    #: (workload, config) to the response manifest.  Advisory provenance
+    #: only: like ``shards`` it never changes what is simulated or stored,
+    #: so it stays outside the cache key.
+    screen: str | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ConfigError(f"shards must be >= 1, got {self.shards!r}")
+        if self.screen is not None:
+            from repro.roofline.screen import SCREEN_MODES
+
+            if self.screen not in SCREEN_MODES:
+                raise ConfigError(
+                    f"screen must be one of {SCREEN_MODES} or None,"
+                    f" got {self.screen!r}"
+                )
 
     def key(self) -> str:
         """Content address of this request's result."""
@@ -120,7 +133,7 @@ class JobOutcome:
 RECIPE_FIELDS = frozenset(
     {
         "workload", "ctas", "kernels", "full", "gpms", "topology",
-        "bandwidth", "cap_watts", "core_mhz", "shards",
+        "bandwidth", "cap_watts", "core_mhz", "shards", "screen",
     }
 )
 
@@ -187,11 +200,14 @@ def request_from_recipe(recipe: dict) -> JobRequest:
                 config, power_cap_watts=float(recipe["cap_watts"])
             )
         shards = int(recipe.get("shards", 1))
+        screen = recipe.get("screen")
+        if screen is not None:
+            screen = str(screen)
     except (TypeError, ValueError) as error:
         # Enum misses and non-numeric knobs surface as ValueError/TypeError;
         # admission speaks ConfigError.
         raise ConfigError(str(error)) from error
-    return JobRequest(spec=spec, config=config, shards=shards)
+    return JobRequest(spec=spec, config=config, shards=shards, screen=screen)
 
 
 def recipe_from_request(request: JobRequest) -> dict | None:
@@ -230,6 +246,8 @@ def recipe_from_request(request: JobRequest) -> dict | None:
         return None
     if request.shards != 1:
         recipe["shards"] = request.shards
+    if request.screen is not None:
+        recipe["screen"] = request.screen
     reference = request_from_recipe(recipe)
     if reference.key() != request.key():
         return None

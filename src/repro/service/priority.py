@@ -71,7 +71,8 @@ class AgingPolicy:
     """How fast waiting erodes a lane's priority handicap.
 
     ``effective_priority`` is what the queue minimizes: the lane's base
-    priority minus the job's wait measured in aging periods.  It decreases
+    priority expressed in seconds of handicap (one aging period per lane
+    level) minus the job's wait.  It decreases
     without bound as a job waits, so every job eventually outranks every
     possible fresh arrival — the no-starvation guarantee.
     """
@@ -85,4 +86,9 @@ class AgingPolicy:
             )
 
     def effective_priority(self, lane: Lane, waited_s: float) -> float:
-        return lane.base_priority - max(0.0, waited_s) / self.aging_seconds
+        # Computed as base*aging - waited (seconds) rather than
+        # base - waited/aging (periods): same ordering, but the division
+        # form can round two mathematically-equal ranks apart, handing a
+        # tie that belongs to the FIFO seq tiebreak to whichever side
+        # rounded lower.
+        return lane.base_priority * self.aging_seconds - max(0.0, waited_s)

@@ -351,7 +351,34 @@ class SweepService:
             total_s=total_s,
             results_version=RESULTS_VERSION,
             spec_hash=spec_hash(request.spec),
+            screen=self._screen_note(request),
         )
+
+    def _screen_note(self, request: JobRequest) -> dict | None:
+        """Roofline prediction for a ``screen=``-annotated request.
+
+        Purely advisory manifest content — computed analytically (no engine
+        time), never stored with the record, never part of the cache key.
+        A predictor failure degrades to an error note rather than failing
+        the submission.
+        """
+        if request.screen is None:
+            return None
+        try:
+            from repro.roofline.model import RooflinePredictor
+
+            prediction = RooflinePredictor().predict(
+                request.spec, request.config
+            )
+        except ReproError as error:
+            return {"mode": request.screen, "error": str(error)}
+        return {
+            "mode": request.screen,
+            "predicted_delay_s": prediction.delay_s,
+            "predicted_energy_j": prediction.energy_j,
+            "predicted_edp": prediction.edp,
+            "bound": prediction.bound,
+        }
 
     # -------------------------------------------------------------- eviction
 

@@ -66,6 +66,10 @@ class CtaSlotScheduler:
         tracer = engine.tracer
         cta_cycles = engine.metrics.accumulator("sm.cta_cycles")
         track = f"sm{sm.sm_id}.slot{slot}"
+        # Warp-context pool: this slot runs CTAs serially, so every CTA's
+        # warp i can recycle the same context (and its scratch buffers)
+        # instead of allocating ctas x warps_per_cta contexts per kernel.
+        pool: list[WarpContext] = []
         while queue:
             cta_id = queue.popleft()
             self.ctas_started += 1
@@ -77,14 +81,19 @@ class CtaSlotScheduler:
                     started,
                     args={"warps": kernel.warps_per_cta},
                 )
-            warps = [
-                WarpContext(cta_id, warp_id, program)
-                for warp_id, program in enumerate(kernel.cta_programs(cta_id))
-            ]
-            processes = [
-                engine.process(warp.body(sm), name=f"cta{cta_id}.w{warp.warp_id}")
-                for warp in warps
-            ]
+            processes = []
+            for warp_id, program in enumerate(kernel.cta_programs(cta_id)):
+                if warp_id < len(pool):
+                    warp = pool[warp_id]
+                    warp.reset(cta_id, warp_id, program)
+                else:
+                    warp = WarpContext(cta_id, warp_id, program)
+                    pool.append(warp)
+                processes.append(
+                    engine.process(
+                        warp.body(sm), name=f"cta{cta_id}.w{warp_id}"
+                    )
+                )
             yield AllOf([process.done for process in processes])
             self.ctas_finished += 1
             sm.ctas_retired += 1

@@ -33,7 +33,13 @@ class WarpState(enum.Enum):
 
 
 class WarpContext:
-    """One resident warp: identity, program, and progress statistics."""
+    """One resident warp: identity, program, and progress statistics.
+
+    Contexts are poolable: a CTA slot runs its CTAs serially, so the
+    scheduler keeps one context per resident-warp slot and :meth:`reset`\\ s
+    it for each new CTA instead of allocating ``ctas x warps_per_cta``
+    contexts (plus their scratch buffers) over a kernel's lifetime.
+    """
 
     __slots__ = (
         "cta_id",
@@ -43,9 +49,24 @@ class WarpContext:
         "instructions_executed",
         "segments_executed",
         "wait_cycles",
+        "_timeout",
+        "_pending",
+        "_prev_events",
     )
 
     def __init__(self, cta_id: int, warp_id: int, program: WarpProgram):
+        # Scratch reused across every body() this context ever runs: the
+        # engine consumes a yielded Timeout synchronously and AllOf copies
+        # its event list, so one mutable timeout and two ping-pong pending
+        # buffers serve a whole program without per-segment allocation —
+        # and, pooled, without per-CTA allocation either.
+        self._timeout = Timeout(0.0)
+        self._pending: list = []
+        self._prev_events: list = []
+        self.reset(cta_id, warp_id, program)
+
+    def reset(self, cta_id: int, warp_id: int, program: WarpProgram) -> None:
+        """Rebind this context to a new (CTA, warp) and clear its stats."""
         self.cta_id = cta_id
         self.warp_id = warp_id
         self.program = program
@@ -71,13 +92,13 @@ class WarpContext:
         memory_access = sm.memory.access
         local_index = sm.local_index
         count_compute = sm.counters.count_compute_map
-        # Reused command/buffer objects: the engine consumes a yielded Timeout
-        # synchronously and AllOf copies its event list, so one mutable
-        # timeout and two ping-pong pending buffers serve the whole program
-        # without per-segment allocation.
-        timeout = Timeout(0.0)
-        pending: list = []
-        prev_events: list = []
+        # Pooled scratch (see __init__): cleared here because a recycled
+        # context may carry the previous CTA's drained event lists.
+        timeout = self._timeout
+        pending = self._pending
+        prev_events = self._prev_events
+        pending.clear()
+        prev_events.clear()
         self.state = WarpState.RUNNING
         prev_completion = 0.0
         prev_waiting = False

@@ -62,6 +62,12 @@ class RunManifest:
     #: (list of ``GpmEnergy.as_dict()``); ``None`` when the run had no
     #: DVFS/residency pricing or predates per-GPM attribution.
     per_gpm_energy: list | None = None
+    #: Roofline-screening provenance when this simulation was selected by a
+    #: screened sweep (mode, metric, top_k, guard, predicted rank); ``None``
+    #: for exhaustive sweeps and manifests predating screening.  Advisory —
+    #: screening never changes the result or the cache key, only which grid
+    #: points were simulated at all.
+    screen: dict | None = None
     host: dict = field(default_factory=host_info)
     created_at: str = ""
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -89,6 +95,7 @@ class RunManifest:
             events_per_sec=data.get("events_per_sec", 0.0),
             dvfs_residency=data.get("dvfs_residency"),
             per_gpm_energy=data.get("per_gpm_energy"),
+            screen=data.get("screen"),
             host=data.get("host", {}),
             created_at=data.get("created_at", ""),
             schema_version=data.get("schema_version", MANIFEST_SCHEMA_VERSION),
@@ -146,6 +153,10 @@ class ServiceManifest:
     total_s: float
     results_version: int
     spec_hash: str
+    #: Roofline prediction attached when the request asked for screening
+    #: provenance (predicted energy/delay/EDP vs. what was served); ``None``
+    #: otherwise.  Advisory only — never part of the cache identity.
+    screen: dict | None = None
     created_at: str = ""
     schema_version: int = SERVICE_MANIFEST_SCHEMA_VERSION
 
@@ -172,6 +183,7 @@ class ServiceManifest:
             total_s=data["total_s"],
             results_version=data["results_version"],
             spec_hash=data["spec_hash"],
+            screen=data.get("screen"),
             created_at=data.get("created_at", ""),
             schema_version=data.get(
                 "schema_version", SERVICE_MANIFEST_SCHEMA_VERSION

@@ -1,0 +1,69 @@
+"""The shared deterministic tie-break used by exact search and screening."""
+
+import pytest
+
+from repro.dvfs.operating_point import OperatingPoint
+from repro.dvfs.selection import best_candidate, rank_candidates, top_candidates
+from repro.errors import ExperimentError
+
+
+def point(mhz: float, name: str = "") -> OperatingPoint:
+    return OperatingPoint(mhz * 1e6, 1.0, name=name or f"p{mhz:g}")
+
+
+def tie_key(p: OperatingPoint) -> tuple[float, str]:
+    return (p.frequency_hz, p.label())
+
+
+class TestRanking:
+    def test_ranks_by_score_ascending(self):
+        points = [point(800), point(400), point(600)]
+        scores = {800e6: 3.0, 400e6: 1.0, 600e6: 2.0}
+        ranked = rank_candidates(
+            points, score=lambda p: scores[p.frequency_hz], tie_key=tie_key
+        )
+        assert [p.frequency_hz for p in ranked] == [400e6, 600e6, 800e6]
+
+    def test_tie_breaks_to_lower_frequency(self):
+        # Equal scores: the lower point draws less power, so it must win —
+        # and the winner must not depend on input order.
+        for ordering in ([point(400), point(800)], [point(800), point(400)]):
+            best = best_candidate(ordering, score=lambda p: 1.0, tie_key=tie_key)
+            assert best.frequency_hz == 400e6
+
+    def test_input_order_never_matters(self):
+        points = [point(400), point(600), point(800)]
+        scores = {400e6: 2.0, 600e6: 2.0, 800e6: 1.0}
+        forward = rank_candidates(
+            points, score=lambda p: scores[p.frequency_hz], tie_key=tie_key
+        )
+        backward = rank_candidates(
+            points[::-1], score=lambda p: scores[p.frequency_hz], tie_key=tie_key
+        )
+        assert forward == backward
+
+    def test_label_totalizes_equal_frequency(self):
+        a, b = point(600, name="alpha"), point(600, name="beta")
+        best = best_candidate([b, a], score=lambda p: 1.0, tie_key=tie_key)
+        assert best.label() == "alpha"
+
+
+class TestTopK:
+    def test_top_k_prefix_of_full_ranking(self):
+        points = [point(mhz) for mhz in (400, 500, 600, 700)]
+        scores = {400e6: 4.0, 500e6: 2.0, 600e6: 1.0, 700e6: 3.0}
+        score = lambda p: scores[p.frequency_hz]  # noqa: E731
+        full = rank_candidates(points, score=score, tie_key=tie_key)
+        assert top_candidates(points, 2, score=score, tie_key=tie_key) == full[:2]
+
+    def test_k_beyond_size_returns_everything(self):
+        points = [point(400), point(600)]
+        assert len(
+            top_candidates(points, 10, score=lambda p: 1.0, tie_key=tie_key)
+        ) == 2
+
+    def test_empty_and_bad_k_rejected(self):
+        with pytest.raises(ExperimentError):
+            best_candidate([], score=lambda p: 1.0, tie_key=tie_key)
+        with pytest.raises(ExperimentError):
+            top_candidates([point(400)], 0, score=lambda p: 1.0, tie_key=tie_key)

@@ -1,0 +1,85 @@
+"""Calibration plumbing and the committed error-bound manifest.
+
+The heavyweight check — re-simulating every golden case and validating the
+predictor's relative error against ``ROOFLINE_bounds.json`` — is the same
+code path CI runs via ``python -m repro.tools.roofline_bounds``, so a model
+or engine drift fails here with the exact message CI would print.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.roofline.calibration import (
+    DEFAULT_CALIBRATION,
+    RooflineCalibration,
+    simulate_reference,
+    validate_calibration,
+)
+from repro.tools.roofline_bounds import BOUNDS_PATH, check_bounds
+
+
+class TestCalibrationParams:
+    def test_json_round_trip(self):
+        restored = RooflineCalibration.from_json(DEFAULT_CALIBRATION.to_json())
+        assert restored == DEFAULT_CALIBRATION
+
+    def test_unknown_keys_rejected(self):
+        payload = DEFAULT_CALIBRATION.to_json()
+        payload["mystery_knob"] = 1.0
+        with pytest.raises(ConfigError):
+            RooflineCalibration.from_json(payload)
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ConfigError):
+            RooflineCalibration(l2_hit_stream=1.5)
+        with pytest.raises(ConfigError):
+            RooflineCalibration(pipeline_overlap=0.0)
+
+
+class TestCommittedBounds:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return simulate_reference()
+
+    @pytest.fixture(scope="class")
+    def report(self, reference):
+        return validate_calibration(DEFAULT_CALIBRATION, reference)
+
+    def test_bounds_manifest_holds(self, report):
+        assert BOUNDS_PATH.exists(), "ROOFLINE_bounds.json missing from repo"
+        problems = check_bounds(report, BOUNDS_PATH)
+        assert problems == []
+
+    def test_every_golden_case_within_ceilings(self, report):
+        # The per-case errors, not just the maxima: a regression on one
+        # golden must not hide behind headroom on another.
+        import json
+
+        committed = json.loads(BOUNDS_PATH.read_text())
+        bound = committed["bound"]
+        for case in report.cases:
+            assert case.delay_rel_err <= bound["delay"], case.case
+            assert case.energy_rel_err <= bound["energy"], case.case
+            assert case.edp_rel_err <= bound["edp"], case.case
+
+    def test_screen_is_deterministic_on_every_golden(self, reference):
+        """The disposition for a golden case is a pure function of the
+        calibration: two independent predictors rank identically."""
+        from repro.dvfs.operating_point import K40_VF_CURVE
+        from repro.roofline import RooflinePredictor
+        from repro.roofline.screen import screen_operating_points
+
+        points = tuple(
+            K40_VF_CURVE.point_at(mhz * 1e6) for mhz in (324, 562, 745, 875)
+        )
+        for ref in reference:
+            first = screen_operating_points(
+                RooflinePredictor(), ref.spec, ref.config, points,
+                top_k=2, guard=1,
+            )
+            second = screen_operating_points(
+                RooflinePredictor(), ref.spec, ref.config, points,
+                top_k=2, guard=1,
+            )
+            assert first == second
+            assert first[1].simulated_points == 3

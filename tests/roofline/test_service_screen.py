@@ -1,0 +1,80 @@
+"""Screen provenance through the sweep service.
+
+A ``screen`` annotation on a job request asks the service to attach the
+roofline prediction to the response manifest.  It is advisory only: the
+cache key, the lane, and the simulated record must be exactly what an
+unannotated request produces.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import table_iii_config
+from repro.service.job import (
+    JobRequest,
+    recipe_from_request,
+    request_from_recipe,
+)
+from repro.service.server import ServiceConfig, ServiceThread
+from repro.workloads.suite import shrunken_spec
+
+
+def _stub_execute(request: JobRequest):
+    return {"key": request.key(), "seconds": 0.001}, 0.001
+
+
+class TestRequestScreenField:
+    def test_screen_stays_out_of_the_cache_key(self):
+        spec = shrunken_spec("Stream", total_ctas=16)
+        config = table_iii_config(2)
+        plain = JobRequest(spec=spec, config=config)
+        screened = JobRequest(spec=spec, config=config, screen="roofline")
+        assert screened.key() == plain.key()
+        assert screened.lane() == plain.lane()
+
+    def test_unknown_screen_mode_rejected(self):
+        spec = shrunken_spec("Stream", total_ctas=16)
+        with pytest.raises(ConfigError):
+            JobRequest(
+                spec=spec, config=table_iii_config(1), screen="oracle"
+            )
+
+    def test_recipe_round_trip_carries_screen(self):
+        recipe = {
+            "workload": "Stream", "ctas": 16, "gpms": 2, "screen": "roofline"
+        }
+        request = request_from_recipe(recipe)
+        assert request.screen == "roofline"
+        encoded = recipe_from_request(request)
+        assert encoded is not None and encoded["screen"] == "roofline"
+        assert request_from_recipe(encoded).key() == request.key()
+
+    def test_recipe_rejects_bad_screen(self):
+        with pytest.raises(ConfigError):
+            request_from_recipe(
+                {"workload": "Stream", "ctas": 16, "screen": "oracle"}
+            )
+
+
+class TestManifestProvenance:
+    def test_screened_submission_gets_prediction(self, tmp_path):
+        base = {"workload": "Stream", "ctas": 16, "gpms": 2}
+        with ServiceThread(
+            ServiceConfig(workers=1, use_disk_cache=False),
+            execute=_stub_execute,
+        ) as thread:
+            plain = thread.submit(request_from_recipe(base), client="a")
+            screened = thread.submit(
+                request_from_recipe({**base, "screen": "roofline"}),
+                client="b",
+            )
+        assert plain.manifest.screen is None
+        note = screened.manifest.screen
+        assert note is not None and note["mode"] == "roofline"
+        assert note["predicted_delay_s"] > 0.0
+        assert note["predicted_energy_j"] > 0.0
+        assert note["predicted_edp"] > 0.0
+        assert note["bound"] in {"issue", "dram", "link", "latency"}
+        # Advisory only: both submissions shared one cache identity.
+        assert screened.manifest.cache_key == plain.manifest.cache_key
+        assert screened.cache == "hit"
