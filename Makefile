@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke perf-smoke perf-baseline differential reproduce examples trace-smoke service-smoke roofline-smoke clean-cache loc
+.PHONY: install test bench bench-smoke perf-smoke perf-baseline differential reproduce examples trace-smoke service-smoke roofline-smoke idle-smoke clean-cache loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -67,6 +67,15 @@ roofline-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/roofline -q
 	PYTHONPATH=src $(PYTHON) -m pytest --benchmark-disable -q \
 	  benchmarks/bench_roofline.py
+
+# Idle-subsystem wall: the differential idle-off bit-identity suite, the
+# Hypothesis property wall for sleep states and governors, then a 2-point
+# governor comparison that must reproduce the headline race-to-idle win on
+# the bursty workload (see docs/POWER.md).
+idle-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/differential/test_idle_identity.py \
+	  tests/dvfs/test_idle_properties.py -q
+	PYTHONPATH=src $(PYTHON) -m repro idlestudy --quick
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -22,10 +22,16 @@ Two observability subcommands sit beside the experiments (see
   energy sweet spot (see ``docs/POWER.md``); ``--governed`` additionally runs
   the utilization governor and prints its per-GPM decisions;
   ``--cap-watts`` runs the chip under a power budget and prints the
-  power-capping governor's decisions with residency-priced energy.
+  power-capping governor's decisions with residency-priced energy;
+  ``--governor`` adds per-GPM sleep states (race-to-idle, deadline-paced,
+  gate-only, or utilization) and prints the gated residency.
 * ``repro capsweep`` — sweep chip power budgets across GPM counts and report
   residency-priced EDPSE per budget (``--quick`` for a small grid;
-  ``--screen roofline`` prunes the budget grid analytically first).
+  ``--screen roofline`` prunes the budget grid analytically first;
+  ``--governor`` attaches per-GPM sleep states under the cap).
+* ``repro idlestudy`` — compare race-to-idle, deadline-paced, gate-only,
+  and utilization governors on per-GPM sleep states and report EDPSE per
+  workload shape (``--quick`` for the CI smoke grid; see ``docs/POWER.md``).
 * ``repro roofline`` — score a workload's V/f ladder with the closed-form
   roofline predictor and compare against simulation; ``--check-bounds``
   verifies the committed error-bound manifest (see docs/MODELING.md).
@@ -62,6 +68,7 @@ from repro.experiments import (
     fig9_switch,
     fig10_speedup_energy,
     headline,
+    idle_study,
     interconnect_energy_study,
     locality_ablation,
     powergate_study,
@@ -88,6 +95,7 @@ _EXPERIMENTS = {
     "compression": compression_study.run,
     "locality": locality_ablation.run,
     "powergate": powergate_study.run,
+    "idle": idle_study.run,
     "edip": edip_study.run,
     "topology": topology_study.run,
     "sweetspot": sweetspot_study.run,
@@ -150,6 +158,133 @@ def _add_observe_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="number of kernel launches to keep (default: 1)",
     )
+
+
+def _add_idle_arguments(parser: argparse.ArgumentParser) -> None:
+    """The per-GPM sleep-state knobs shared by dvfs/profile (docs/POWER.md)."""
+    parser.add_argument(
+        "--governor",
+        choices=["utilization", "gate-only", "race-to-idle", "deadline-paced"],
+        default=None,
+        help=(
+            "also run with per-GPM sleep states under this governor and"
+            " print the gated residency (see docs/POWER.md)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-us",
+        type=float,
+        default=None,
+        help=(
+            "simulated-time deadline for --governor deadline-paced"
+            " (microseconds; rejected up front if the roofline bound at"
+            " f_max cannot meet it)"
+        ),
+    )
+    parser.add_argument(
+        "--entry-latency-cycles",
+        type=float,
+        default=None,
+        help="override the clock-gated state's entry latency",
+    )
+    parser.add_argument(
+        "--exit-latency-cycles",
+        type=float,
+        default=None,
+        help="override the clock-gated state's exit latency",
+    )
+    parser.add_argument(
+        "--residual",
+        type=float,
+        default=None,
+        help=(
+            "override the clock-gated state's residual power fraction"
+            " (relative to the active idle floor)"
+        ),
+    )
+
+
+def _idle_config_from_args(args, config):
+    """Build the :class:`~repro.dvfs.idle.IdleConfig` the flags describe.
+
+    Returns ``None`` when no idle flag was given.  All validation —
+    negative latencies, residual above the active floor, exit latency
+    beyond the wake budget, a deadline without the paced governor — happens
+    inside :mod:`repro.dvfs.idle` and surfaces through the subcommand
+    guard as one ``ConfigError`` line.
+    """
+    import dataclasses
+
+    from repro.dvfs.idle import CLOCK_GATED, IdleConfig
+
+    overrides = {
+        "entry_latency_cycles": args.entry_latency_cycles,
+        "exit_latency_cycles": args.exit_latency_cycles,
+        "residual_fraction": args.residual,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if args.governor is None and args.deadline_us is None and not overrides:
+        return None
+    clock_gated = (
+        dataclasses.replace(CLOCK_GATED, **overrides)
+        if overrides
+        else CLOCK_GATED
+    )
+    deadline_cycles = (
+        None
+        if args.deadline_us is None
+        else args.deadline_us * 1e-6 * config.gpm.clock_hz
+    )
+    return IdleConfig(
+        clock_gated=clock_gated,
+        governor=(
+            None if args.governor in (None, "gate-only") else args.governor
+        ),
+        deadline_cycles=deadline_cycles,
+    )
+
+
+def _check_deadline_feasible(args, spec, config) -> None:
+    """Reject a deadline the chip cannot meet even at f_max, up front.
+
+    Mirrors the ``--cap-watts`` precedent: an unsatisfiable knob is one
+    stderr line before any simulation, not a surprise after the sweep.
+    The bound is the roofline prediction at the top of the ladder — the
+    fastest the race governor itself could possibly finish.
+    """
+    if args.governor != "deadline-paced" or args.deadline_us is None:
+        return
+    from repro.dvfs.operating_point import K40_VF_CURVE
+    from repro.dvfs.sweetspot import with_operating_point
+    from repro.errors import ConfigError
+    from repro.roofline.model import RooflinePredictor
+
+    curve = config.dvfs.curve if config.dvfs is not None else K40_VF_CURVE
+    top = curve.points[-1]
+    predicted = RooflinePredictor().predict(
+        spec, with_operating_point(config, top)
+    )
+    if args.deadline_us * 1e-6 < predicted.delay_s:
+        raise ConfigError(
+            f"deadline {args.deadline_us:g} us is infeasible: the roofline"
+            f" bound at {top.label()} needs at least"
+            f" {predicted.delay_s * 1e6:.2f} us"
+        )
+
+
+def _print_sleep_residency(residency) -> None:
+    """Per-GPM gated-cycle lines for a run that actually slept."""
+    if residency is None or residency.total_sleep_cycles <= 0.0:
+        return
+    print("  per-GPM sleep residency:")
+    for gpm_id, hist in enumerate(residency.core):
+        for state, cycles in sorted(
+            hist.sleep_cycles.items(), key=lambda kv: kv[0].name
+        ):
+            print(
+                f"    gpm{gpm_id}: {state.name:<12} {cycles:>10.0f} cycles"
+                f" ({cycles / hist.total_cycles:.1%})"
+            )
 
 
 def _run_main(argv: list[str]) -> int:
@@ -252,9 +387,16 @@ def _profile_main(argv: list[str]) -> int:
         ),
     )
     _add_observe_arguments(parser)
+    _add_idle_arguments(parser)
     args = parser.parse_args(argv)
 
     spec, workload, config = _observed_pair(parser, args)
+    idle = _idle_config_from_args(args, config)
+    if idle is not None:
+        import dataclasses
+
+        _check_deadline_feasible(args, spec, config)
+        config = dataclasses.replace(config, idle=idle)
     metrics = MetricsRegistry()
     result = simulate(workload, config, metrics=metrics)
     counters = result.counters
@@ -275,6 +417,7 @@ def _profile_main(argv: list[str]) -> int:
         EnergyParams.for_operating_point(config, residency=result.residency)
     )
     print(f"  energy            {breakdown.total * 1e6:14.2f}uJ")
+    _print_sleep_residency(result.residency)
     if breakdown.per_gpm:
         print()
         print(
@@ -347,9 +490,23 @@ def _dvfs_main(argv: list[str]) -> int:
             " its decisions and residency-priced energy"
         ),
     )
+    _add_idle_arguments(parser)
     args = parser.parse_args(argv)
 
     spec, workload, config = _observed_pair(parser, args)
+    # Reject malformed or infeasible idle knobs before the ladder sweep,
+    # same as the cap-feasibility check below.  Building the governed
+    # configuration here also validates the cap/governor mix (a budget and
+    # a deadline cannot both own the operating-point policy).
+    idle = _idle_config_from_args(args, config)
+    idle_config = None
+    if idle is not None:
+        import dataclasses
+
+        _check_deadline_feasible(args, spec, config)
+        idle_config = dataclasses.replace(
+            config, idle=idle, power_cap_watts=args.cap_watts
+        )
     if args.cap_watts is not None:
         # Reject an unsatisfiable budget up front (one-line error via the
         # subcommand guard) instead of tracebacking after the (expensive)
@@ -456,6 +613,24 @@ def _dvfs_main(argv: list[str]) -> int:
                     f" stall={gpm.sm_idle * 1e6:.2f}uJ"
                     f" total={gpm.total * 1e6:.2f}uJ"
                 )
+
+    if idle_config is not None:
+        result = simulate(workload, idle_config)
+        params = EnergyParams.for_operating_point(
+            idle_config, residency=result.residency
+        )
+        energy = EnergyModel(params).evaluate(result.counters, result.seconds)
+        slept = result.residency.total_sleep_cycles
+        print()
+        print(
+            f"  idle run ({idle_config.idle.label()}):"
+            f" {result.cycles:.0f} cycles,"
+            f" {energy.total * 1e6:.2f} uJ residency-priced,"
+            f" {slept:.0f} gated cycles"
+        )
+        _print_sleep_residency(result.residency)
+        if result.governor is not None and result.governor.trace:
+            print(f"  {len(result.governor.trace)} interval decisions")
     return 0
 
 
@@ -646,6 +821,16 @@ def _capsweep_main(argv: list[str]) -> int:
         default=1,
         help="per-GPM shard engines per simulation (default: 1)",
     )
+    parser.add_argument(
+        "--governor",
+        choices=["utilization", "gate-only", "race-to-idle"],
+        default=None,
+        help=(
+            "attach per-GPM sleep states under this governor to every"
+            " configuration in the sweep (composes with the cap: a"
+            " race-to-idle ceiling rides inside the waterfill)"
+        ),
+    )
     _add_screen_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -663,6 +848,14 @@ def _capsweep_main(argv: list[str]) -> int:
         screen_kwargs = {
             "screen": args.screen, "top_k": args.top_k, "guard": args.guard
         }
+    if args.governor is not None:
+        from repro.dvfs.idle import IdleConfig
+
+        screen_kwargs["idle"] = (
+            IdleConfig()
+            if args.governor == "gate-only"
+            else IdleConfig(governor=args.governor)
+        )
     start = time.time()
     if args.quick:
         result = capping_study.run(
@@ -677,6 +870,65 @@ def _capsweep_main(argv: list[str]) -> int:
     rendered = result.render()
     print(rendered)
     print(f"[capsweep: {time.time() - start:.1f}s]")
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _idlestudy_main(argv: list[str]) -> int:
+    """``repro idlestudy``: governor comparison with real sleep states."""
+    from repro.experiments import idle_study
+
+    parser = argparse.ArgumentParser(
+        prog="repro idlestudy",
+        description=(
+            "Compare race-to-idle, deadline-paced, gate-only, and"
+            " utilization governors on per-GPM sleep states and report"
+            " residency-priced EDPSE per workload shape"
+            " (see docs/POWER.md)."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "one bursty + one steady workload under the"
+            " static/utilization/race-to-idle trio (the CI smoke shape)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the rendered tables to this path",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: auto)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the sweep result cache",
+    )
+    args = parser.parse_args(argv)
+
+    settings_kwargs = {}
+    if args.processes is not None:
+        settings_kwargs["processes"] = args.processes
+    if args.no_cache:
+        settings_kwargs["use_cache"] = False
+    runner = SweepRunner(SweepSettings(**settings_kwargs))
+
+    start = time.time()
+    result = idle_study.run(runner, quick=args.quick)
+    rendered = result.render()
+    print(rendered)
+    print(f"[idlestudy: {time.time() - start:.1f}s]")
     if args.out:
         from pathlib import Path
 
@@ -861,6 +1113,7 @@ _SUBCOMMANDS = {
     "dvfs": _dvfs_main,
     "roofline": _roofline_main,
     "capsweep": _capsweep_main,
+    "idlestudy": _idlestudy_main,
     "serve": _serve_main,
     "submit": _submit_main,
 }
@@ -906,7 +1159,8 @@ def main(argv: list[str] | None = None) -> int:
             " prints component metrics; 'repro dvfs <workload>' sweeps the"
             " V/f ladder and reports the energy sweet spot; 'repro capsweep'"
             " sweeps chip power budgets and reports residency-priced EDPSE;"
-            " 'repro bench' measures simulator throughput.  See"
+            " 'repro idlestudy' compares sleep-state governors; 'repro"
+            " bench' measures simulator throughput.  See"
             " docs/OBSERVABILITY.md, docs/POWER.md, and docs/PERFORMANCE.md."
         ),
     )

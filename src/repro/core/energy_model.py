@@ -414,6 +414,13 @@ class EnergyParams:
         price each module's events at that module's own residency-weighted
         scale (exact mixed-clock attribution); the baked chip-wide fields
         keep the equal-weight mean across GPMs as the shardless fallback.
+
+        Sleep buckets (idle-state runs) split the weighting by cost kind:
+        per-*event* costs (the dynamic V² scale) weight over awake time
+        only — no instructions retire while gated — while per-*cycle* costs
+        (stall, constant) weight over the full window, a gated bucket
+        contributing its state's ``residual_fraction`` of the anchor cost.
+        Sleep-free residencies take the exact pre-idle code paths.
         """
         leak = leakage_fraction
         if not 0.0 <= leak <= 1.0:
@@ -432,14 +439,19 @@ class EnergyParams:
         def _const(freq: float, volt: float) -> float:
             return leak * volt + (1.0 - leak) * freq * (volt * volt)
 
+        def _residual(state) -> float:
+            return state.residual_fraction
+
         core_sq_vec = [
             h.weighted_mean(_dyn, curve) for h in residency.core
         ]
         stall_vec = [
-            h.weighted_mean(_stall, curve) for h in residency.core
+            h.weighted_mean_with_sleep(_stall, curve, _residual)
+            for h in residency.core
         ]
         const_vec = [
-            h.weighted_mean(_const, curve) for h in residency.core
+            h.weighted_mean_with_sleep(_const, curve, _residual)
+            for h in residency.core
         ]
         return self._with_domain_scales(
             core_sq=_mean_scale(core_sq_vec),

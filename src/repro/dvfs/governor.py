@@ -73,6 +73,13 @@ class Governor(abc.ABC):
     ) -> OperatingPoint:
         """Pick the next interval's point from the last interval's load."""
 
+    def on_run_begin(self, total_kernels: int) -> None:
+        """Called once before the workload launches (kernel count known).
+
+        Pacing policies need the run's shape up front; interval policies
+        ignore it, so the default is a no-op.
+        """
+
     # ------------------------------------------------------------- chip level
 
     def initial_points(self, num_gpms: int) -> list[OperatingPoint]:

@@ -6,6 +6,11 @@ power budget.  Pricing such a run at any single point misstates its energy;
 the faithful quantity is the *residency*: how many anchor cycles each clock
 domain spent at each operating point.
 
+With idle states configured (:mod:`repro.dvfs.idle`) a core domain can also
+spend cycles *gated*: those land in sleep buckets keyed by
+:class:`~repro.dvfs.idle.SleepState` alongside the operating-point buckets,
+and active + gated buckets together partition the run.
+
 :class:`ResidencyHistogram` is one domain's histogram; :class:`DvfsResidency`
 bundles every domain of a run (per-GPM core plus the chip-global DRAM and
 interconnect domains).  The energy model folds a residency into its pricing
@@ -20,15 +25,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.dvfs.idle import SleepState
 from repro.dvfs.operating_point import OperatingPoint, VfCurve
 from repro.errors import ConfigError
 
 
 @dataclass
 class ResidencyHistogram:
-    """Anchor cycles spent at each operating point of one clock domain."""
+    """Anchor cycles spent at each operating point of one clock domain.
+
+    ``cycles`` holds the awake buckets (one per operating point);
+    ``sleep_cycles`` holds the gated buckets (one per sleep state).  The two
+    together account every anchor cycle of the domain's window.
+    """
 
     cycles: dict[OperatingPoint, float] = field(default_factory=dict)
+    sleep_cycles: dict[SleepState, float] = field(default_factory=dict)
 
     def add(self, point: OperatingPoint, cycles: float) -> None:
         """Accumulate ``cycles`` anchor cycles of residency at ``point``."""
@@ -38,14 +50,31 @@ class ResidencyHistogram:
             return
         self.cycles[point] = self.cycles.get(point, 0.0) + cycles
 
+    def add_sleep(self, state: SleepState, cycles: float) -> None:
+        """Accumulate ``cycles`` anchor cycles spent gated in ``state``."""
+        if cycles < 0:
+            raise ConfigError(f"residency cycles must be non-negative: {cycles!r}")
+        if cycles == 0:
+            return
+        self.sleep_cycles[state] = self.sleep_cycles.get(state, 0.0) + cycles
+
     @property
     def total_cycles(self) -> float:
+        return sum(self.cycles.values()) + sum(self.sleep_cycles.values())
+
+    @property
+    def active_cycles(self) -> float:
         return sum(self.cycles.values())
 
-    def fractions(self) -> dict[OperatingPoint, float]:
-        """Time share per point; empty histograms have no fractions.
+    @property
+    def total_sleep_cycles(self) -> float:
+        return sum(self.sleep_cycles.values())
 
-        A single-bucket histogram yields exactly ``{point: 1.0}`` (a float
+    @staticmethod
+    def _complement_shares(buckets: dict) -> dict:
+        """Shares that exactly partition the bucket total.
+
+        A single-bucket histogram yields exactly ``{bucket: 1.0}`` (a float
         divided by itself), so static residencies price bit-identically to
         the direct per-point scaling.
 
@@ -55,29 +84,48 @@ class ResidencyHistogram:
         *last* in the returned dict — summing the values in iteration order
         then computes ``s + fl(1.0 - s)``, which rounds to exactly 1.0
         (Sterbenz for s >= 0.5; within a quarter ulp of 1.0 otherwise).
+        One complement over *all* buckets — active and sleep alike — keeps
+        the invariant with any number of bucket kinds.
         """
-        total = self.total_cycles
+        total = sum(buckets.values())
         if total <= 0:
             return {}
-        if len(self.cycles) == 1:
-            ((point, cycles),) = self.cycles.items()
-            return {point: cycles / total}
-        largest = max(self.cycles, key=lambda point: self.cycles[point])
+        if len(buckets) == 1:
+            ((bucket, cycles),) = buckets.items()
+            return {bucket: cycles / total}
+        largest = max(buckets, key=lambda bucket: buckets[bucket])
         shares = {
-            point: cycles / total
-            for point, cycles in self.cycles.items()
-            if point is not largest
+            bucket: cycles / total
+            for bucket, cycles in buckets.items()
+            if bucket is not largest
         }
         shares[largest] = 1.0 - sum(shares.values())
         return shares
 
+    def fractions(self) -> dict:
+        """Time share per bucket (operating points *and* sleep states).
+
+        Empty histograms have no fractions.  The shares partition the window
+        exactly — see :meth:`_complement_shares`.
+        """
+        return self._complement_shares({**self.cycles, **self.sleep_cycles})
+
+    def active_fractions(self) -> dict[OperatingPoint, float]:
+        """Awake-time share per operating point, renormalized over awake time.
+
+        Per-event costs (instructions, transfers) only accrue while the
+        domain is awake, so their residency weighting ignores the gated
+        buckets.  Without sleep buckets this is exactly :meth:`fractions`.
+        """
+        return self._complement_shares(dict(self.cycles))
+
     def weighted_mean(self, fn: Callable[[float, float], float], curve: VfCurve) -> float:
-        """Time-weighted mean of ``fn(freq_ratio, volt_ratio)`` over the points.
+        """Awake-time-weighted mean of ``fn(freq_ratio, volt_ratio)``.
 
         An empty histogram means the domain never ran; return the anchor
         value ``fn(1.0, 1.0)`` so zero-length runs price like anchor runs.
         """
-        fractions = self.fractions()
+        fractions = self.active_fractions()
         if not fractions:
             return fn(1.0, 1.0)
         total = 0.0
@@ -85,6 +133,33 @@ class ResidencyHistogram:
             total += weight * fn(
                 curve.frequency_ratio(point), curve.voltage_ratio(point)
             )
+        return total
+
+    def weighted_mean_with_sleep(
+        self,
+        fn: Callable[[float, float], float],
+        curve: VfCurve,
+        sleep_value: Callable[[SleepState], float],
+    ) -> float:
+        """Full-time-weighted mean: awake buckets via ``fn``, gated via
+        ``sleep_value``.
+
+        Per-*cycle* costs (stall power, constant power) accrue around the
+        clock, so their weighting spans every bucket; a gated bucket
+        contributes whatever residual the sleep state still burns.  Without
+        sleep buckets this reduces bit-identically to :meth:`weighted_mean`.
+        """
+        fractions = self.fractions()
+        if not fractions:
+            return fn(1.0, 1.0)
+        total = 0.0
+        for bucket, weight in fractions.items():
+            if isinstance(bucket, OperatingPoint):
+                total += weight * fn(
+                    curve.frequency_ratio(bucket), curve.voltage_ratio(bucket)
+                )
+            else:
+                total += weight * sleep_value(bucket)
         return total
 
     @classmethod
@@ -97,8 +172,10 @@ class ResidencyHistogram:
     # ----------------------------------------------------------- serialization
 
     def to_json(self) -> list[dict]:
-        """Stable JSON form, sorted by frequency."""
-        return [
+        """Stable JSON form: points sorted by frequency, then sleep states
+        sorted by name.  Sleep-free histograms serialize byte-identically to
+        the pre-idle format."""
+        entries: list[dict] = [
             {
                 "point": point.label(),
                 "frequency_hz": point.frequency_hz,
@@ -109,11 +186,35 @@ class ResidencyHistogram:
                 self.cycles.items(), key=lambda item: item[0].frequency_hz
             )
         ]
+        entries.extend(
+            {
+                "sleep": state.name,
+                "entry_latency_cycles": state.entry_latency_cycles,
+                "exit_latency_cycles": state.exit_latency_cycles,
+                "residual_fraction": state.residual_fraction,
+                "cycles": cycles,
+            }
+            for state, cycles in sorted(
+                self.sleep_cycles.items(), key=lambda item: item[0].name
+            )
+        )
+        return entries
 
     @classmethod
     def from_json(cls, data: list[dict]) -> "ResidencyHistogram":
         histogram = cls()
         for entry in data:
+            if "sleep" in entry:
+                histogram.add_sleep(
+                    SleepState(
+                        name=entry["sleep"],
+                        entry_latency_cycles=entry["entry_latency_cycles"],
+                        exit_latency_cycles=entry["exit_latency_cycles"],
+                        residual_fraction=entry["residual_fraction"],
+                    ),
+                    entry["cycles"],
+                )
+                continue
             histogram.add(
                 OperatingPoint(
                     frequency_hz=entry["frequency_hz"],
@@ -132,7 +233,8 @@ class DvfsResidency:
     ``core`` holds one histogram per GPM (core domains are per-module); the
     DRAM and interconnect domains are chip-global and hold one each.  For an
     ungoverned run every histogram has a single bucket spanning the whole
-    run — see :meth:`static_run`.
+    run — see :meth:`static_run`.  Only core domains ever carry sleep
+    buckets: DRAM and the interconnect stay powered for the chip.
     """
 
     core: tuple[ResidencyHistogram, ...]
@@ -167,11 +269,16 @@ class DvfsResidency:
     def num_gpms(self) -> int:
         return len(self.core)
 
+    @property
+    def total_sleep_cycles(self) -> float:
+        """Gated cycles summed over every core domain (0.0 without idle)."""
+        return sum(hist.total_sleep_cycles for hist in self.core)
+
     def domain_fractions(self) -> dict[str, list[dict[str, float]]]:
-        """Per-domain time shares keyed by point label (invariant checks)."""
+        """Per-domain time shares keyed by bucket label (invariant checks)."""
         return {
             "core": [
-                {point.label(): share for point, share in hist.fractions().items()}
+                {bucket.label(): share for bucket, share in hist.fractions().items()}
                 for hist in self.core
             ],
             "dram": [

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.energy_model import EnergyParams
 from repro.dvfs.governor import DEFAULT_GPM_ANCHOR_WATTS
+from repro.dvfs.idle import IdleConfig
 from repro.dvfs.residency import DvfsResidency
 from repro.errors import ExperimentError
 from repro.experiments.render import render_table
@@ -42,9 +43,20 @@ def nominal_chip_watts(num_gpms: int) -> float:
     return num_gpms * DEFAULT_GPM_ANCHOR_WATTS
 
 
-def capped_config(num_gpms: int, fraction: float | None) -> GpuConfig:
-    """The Table III configuration under one budget fraction."""
+def capped_config(
+    num_gpms: int,
+    fraction: float | None,
+    idle: "IdleConfig | None" = None,
+) -> GpuConfig:
+    """The Table III configuration under one budget fraction.
+
+    ``idle`` optionally gives every GPM the sleep ladder on top of the cap
+    (``repro capsweep --governor``); the attached governor composes with
+    the budget — a race-to-idle ceiling rides inside the waterfill.
+    """
     config = table_iii_config(num_gpms)
+    if idle is not None:
+        config = replace(config, idle=idle)
     if fraction is None:
         return config
     return replace(
@@ -252,12 +264,15 @@ def run(
     screen: str | None = None,
     top_k: int = 3,
     guard: int = 1,
+    idle: "IdleConfig | None" = None,
 ) -> CappingStudyResult:
     """Execute (or fetch from cache) the power-capping study.
 
     ``screen="roofline"`` prunes the budget grid analytically first (see
     :func:`_screen_fractions`); the surviving budgets are simulated through
     the exact same configurations — hence cache keys — as an exhaustive run.
+    (The screen's predictor is idle-blind: with ``idle`` set it still ranks
+    budgets by the gate-free roofline, which the guard point absorbs.)
     """
     if None not in fractions:
         raise ExperimentError(
@@ -278,7 +293,7 @@ def run(
             specs, gpm_counts, fractions, top_k, guard
         )
     configs = {
-        (fraction, n): capped_config(n, fraction)
+        (fraction, n): capped_config(n, fraction, idle=idle)
         for fraction in fractions
         for n in gpm_counts
     }

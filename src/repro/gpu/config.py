@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field, replace
 
 from repro.dvfs.config import DvfsConfig
+from repro.dvfs.idle import IdleConfig
 from repro.errors import ConfigError
 from repro.interconnect.compression import CompressionConfig
 from repro.memory.cache import CacheConfig
@@ -144,6 +145,12 @@ class GpuConfig:
     (``math.inf`` runs the governor but never throttles; ``None`` disables
     it entirely).  The cap is part of the cacheable configuration — it joins
     the config label and the sweep-cache fingerprint.
+
+    ``idle`` optionally gives every GPM sleep states and picks the governor
+    that steers the ladder on top of them (see :mod:`repro.dvfs.idle`);
+    ``None`` keeps cores always-on and is bit-identical to the pre-idle
+    simulator.  Like the cap, an idle config joins the label and the cache
+    fingerprint; idle-off fingerprints are unchanged.
     """
 
     gpm: GpmConfig = field(default_factory=GpmConfig)
@@ -154,6 +161,7 @@ class GpuConfig:
     compression: "CompressionConfig | None" = None
     dvfs: "DvfsConfig | None" = None
     power_cap_watts: float | None = None
+    idle: "IdleConfig | None" = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -173,6 +181,16 @@ class GpuConfig:
             raise ConfigError(
                 f"power_cap_watts must be positive, got"
                 f" {self.power_cap_watts!r}"
+            )
+        if (
+            self.power_cap_watts is not None
+            and self.idle is not None
+            and self.idle.governor == "deadline-paced"
+        ):
+            raise ConfigError(
+                "a power cap and a deadline-paced governor cannot both own"
+                " the operating-point policy: the cap may forbid the pace"
+                " the deadline needs"
             )
 
     @property
@@ -194,6 +212,8 @@ class GpuConfig:
             base = f"{base}@{self.dvfs.label()}"
         if self.power_cap_watts is not None:
             base = f"{base}+cap{self.power_cap_watts:g}W"
+        if self.idle is not None:
+            base = f"{base}+{self.idle.label()}"
         return base
 
 

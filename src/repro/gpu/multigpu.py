@@ -14,6 +14,17 @@ fingerprint).  A runtime :class:`~repro.dvfs.governor.Governor` additionally
 re-points each GPM's core domain at every kernel boundary from its
 issue-stage utilization over the interval just closed; governed runs are a
 runtime behaviour, not part of the cacheable configuration.
+
+Idle states (:class:`~repro.dvfs.idle.IdleConfig` on the configuration) add
+a third mechanism at the same kernel-boundary granularity: a GPM whose share
+drained before the barrier — or that had no share at all — sat idle for a
+measurable *gap*, and the driver retroactively enters the deepest sleep
+state whose break-even cost fits inside it.  Entry latencies stay awake
+(the drain/flush), the rest of the gap lands in the histogram's sleep
+buckets, and the exit latency stalls that GPM's next kernel share.  A GPM
+with no work in consecutive kernels stays gated across them.  Every idle
+code path is gated on ``config.idle is not None``, keeping idle-off runs
+bit-identical to the pre-idle driver.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from dataclasses import dataclass
 
 from repro.dvfs.config import DomainScales, IDENTITY_SCALES
 from repro.dvfs.governor import Governor, GpmObservation
+from repro.dvfs.idle import SleepState
 from repro.dvfs.operating_point import K40_OPERATING_POINT, OperatingPoint
 from repro.dvfs.residency import DvfsResidency, ResidencyHistogram
 from repro.errors import ConfigError
@@ -38,7 +50,7 @@ from repro.interconnect.topology import Topology
 from repro.isa.kernel import Workload
 from repro.memory.coherence import SoftwareCoherence
 from repro.memory.pages import PagePlacement
-from repro.sim.engine import AllOf, Engine
+from repro.sim.engine import AllOf, Engine, Timeout
 
 
 @dataclass
@@ -114,6 +126,21 @@ class MultiGpu:
                 "dvfs.interval_utilization"
             )
             self._core_mhz = self.engine.metrics.accumulator("dvfs.core_mhz")
+        self.idle = config.idle
+        if self.idle is not None:
+            #: Per-GPM gated anchor cycles, by sleep state.
+            self._sleep_residency: list[dict[SleepState, float]] = [
+                {} for _ in self.gpms
+            ]
+            #: The state each GPM is currently gated in; sticky across
+            #: kernels while the GPM has no work.
+            self._asleep: list[SleepState | None] = [None for _ in self.gpms]
+            #: Gated cycles inside the kernel window just closed (the
+            #: governed residency subtracts them from the active bucket).
+            self._window_sleep = [0.0 for _ in self.gpms]
+            #: When each GPM's share of the current kernel drained.
+            self._drain_cycle = [0.0 for _ in self.gpms]
+            self._had_share = [False for _ in self.gpms]
 
     @property
     def dvfs_residency(self) -> dict[int, dict[str, float]]:
@@ -122,6 +149,17 @@ class MultiGpu:
             gpm_id: {point.label(): cycles for point, cycles in hist.items()}
             for gpm_id, hist in enumerate(self._core_residency)
             if hist
+        }
+
+    @property
+    def sleep_residency(self) -> dict[int, dict[str, float]]:
+        """Gated cycles as ``{gpm_id: {state name: cycles}}`` (idle runs)."""
+        if self.idle is None:
+            return {}
+        return {
+            gpm_id: {state.name: cycles for state, cycles in sleeps.items()}
+            for gpm_id, sleeps in enumerate(self._sleep_residency)
+            if sleeps
         }
 
     def _gpm_scales(self, gpm_id: int) -> DomainScales:
@@ -202,8 +240,12 @@ class MultiGpu:
                 else min(1.0, busy_delta / (window * num_sms))
             )
             if window > 0:
+                awake = window
+                if self.idle is not None:
+                    awake -= self._window_sleep[gpm.gpm_id]
                 hist = self._core_residency[gpm.gpm_id]
-                hist[current] = hist.get(current, 0.0) + window
+                if awake > 0:
+                    hist[current] = hist.get(current, 0.0) + awake
                 self._last_core_point[gpm.gpm_id] = current
             observations.append(
                 GpmObservation(
@@ -225,9 +267,69 @@ class MultiGpu:
                         args={"utilization": round(observed.utilization, 3)},
                     )
 
+    def _gated_kernel(self, gpm: Gpm, kernel, cta_ids: list[int]) -> Generator:
+        """One GPM's kernel share, behind the wake stall its sleep state owes.
+
+        Also records when the share drained: the span from there to the
+        barrier is the gap :meth:`_account_idle_window` classifies.
+        """
+        gpm_id = gpm.gpm_id
+        state = self._asleep[gpm_id]
+        if state is not None:
+            self._asleep[gpm_id] = None
+            if state.exit_latency_cycles > 0.0:
+                yield Timeout(state.exit_latency_cycles)
+        yield from gpm.run_kernel(kernel, cta_ids)
+        self._drain_cycle[gpm_id] = self.engine.now
+
+    def _account_idle_window(self, start: float) -> None:
+        """Classify each GPM's gap behind the kernel barrier just closed.
+
+        A GPM that drained early (or had no share) sat idle until the
+        barrier; if the gap clears a sleep state's break-even cost, the GPM
+        entered that state: the entry latency stays awake (the drain and
+        flush), the remainder of the gap is gated.  A GPM that was already
+        gated and got no work stays gated across the whole window, paying
+        no new entry cost.
+        """
+        idle = self.idle
+        now = self.engine.now
+        tracer = self.engine.tracer
+        for gpm in self.gpms:
+            gpm_id = gpm.gpm_id
+            self._window_sleep[gpm_id] = 0.0
+            state = self._asleep[gpm_id]
+            if state is not None:
+                slept = now - start
+                if slept > 0.0:
+                    sleeps = self._sleep_residency[gpm_id]
+                    sleeps[state] = sleeps.get(state, 0.0) + slept
+                    self._window_sleep[gpm_id] = slept
+                continue
+            drained = (
+                self._drain_cycle[gpm_id] if self._had_share[gpm_id] else start
+            )
+            gap = now - drained
+            state = idle.state_for_gap(gap)
+            if state is None:
+                continue
+            slept = gap - state.entry_latency_cycles
+            sleeps = self._sleep_residency[gpm_id]
+            sleeps[state] = sleeps.get(state, 0.0) + slept
+            self._window_sleep[gpm_id] = slept
+            self._asleep[gpm_id] = state
+            if tracer.enabled:
+                tracer.instant(
+                    "gpu",
+                    f"idle.g{gpm_id}->{state.name}",
+                    now,
+                    args={"gap_cycles": round(gap, 1)},
+                )
+
     def _workload_body(self, workload: Workload) -> Generator:
         tracer = self.engine.tracer
         if self.governor is not None:
+            self.governor.on_run_begin(len(workload.kernels))
             self._busy_snapshot = [gpm.busy_cycles() for gpm in self.gpms]
         for kernel in workload.kernels:
             start = self.engine.now
@@ -244,20 +346,35 @@ class MultiGpu:
                         "warps_per_cta": kernel.warps_per_cta,
                     },
                 )
-            processes = [
-                self.engine.process(
-                    gpm.run_kernel(kernel, cta_ids),
-                    name=f"gpm{gpm.gpm_id}.{kernel.name}",
-                )
-                for gpm, cta_ids in zip(self.gpms, partitions)
-                if cta_ids
-            ]
+            if self.idle is None:
+                processes = [
+                    self.engine.process(
+                        gpm.run_kernel(kernel, cta_ids),
+                        name=f"gpm{gpm.gpm_id}.{kernel.name}",
+                    )
+                    for gpm, cta_ids in zip(self.gpms, partitions)
+                    if cta_ids
+                ]
+            else:
+                processes = []
+                for gpm, cta_ids in zip(self.gpms, partitions):
+                    self._had_share[gpm.gpm_id] = bool(cta_ids)
+                    if not cta_ids:
+                        continue
+                    processes.append(
+                        self.engine.process(
+                            self._gated_kernel(gpm, kernel, cta_ids),
+                            name=f"gpm{gpm.gpm_id}.{kernel.name}",
+                        )
+                    )
             yield AllOf([process.done for process in processes])
             if tracer.enabled:
                 tracer.end("gpu", self.engine.now)
             self.kernel_stats.append(
                 KernelStats(kernel.name, start_cycle=start, end_cycle=self.engine.now)
             )
+            if self.idle is not None:
+                self._account_idle_window(start)
             self._govern_interval(start)
             if self.config.num_gpms > 1:
                 self.coherence.kernel_boundary()
@@ -303,21 +420,26 @@ class MultiGpu:
         true elapsed time by accumulated dust — and trailing fire-and-forget
         drains extend the run past the last governor interval entirely.  Both
         gaps belong to the point the GPM last sat at, so the final bucket is
-        set to exactly ``elapsed`` minus the other buckets, making
-        ``total_cycles == elapsed`` hold in exact float64.
+        set to exactly ``elapsed`` minus the other buckets — sleep buckets
+        included — making ``total_cycles == elapsed`` hold in exact float64.
         """
         recorded = self._core_residency[gpm_id]
+        sleep = (
+            dict(self._sleep_residency[gpm_id])
+            if self.idle is not None
+            else {}
+        )
         last = self._last_core_point[gpm_id]
-        if not recorded or last is None:
-            return ResidencyHistogram(dict(recorded))
+        if last is None:
+            return ResidencyHistogram(dict(recorded), sleep)
         cycles = {
             point: window
             for point, window in recorded.items()
             if point != last
         }
-        residual = elapsed - sum(cycles.values())
-        cycles[last] = residual if residual > 0.0 else recorded[last]
-        return ResidencyHistogram(cycles)
+        residual = elapsed - sum(cycles.values()) - sum(sleep.values())
+        cycles[last] = residual if residual > 0.0 else recorded.get(last, 0.0)
+        return ResidencyHistogram(cycles, sleep)
 
     def residency(self) -> DvfsResidency:
         """Per-domain time-at-operating-point record of the finished run.
@@ -346,6 +468,20 @@ class MultiGpu:
             else K40_OPERATING_POINT
             for gpm in self.gpms
         ]
-        return DvfsResidency.static_run(
-            elapsed, core_points, dram_point, ic_point
+        if self.idle is None:
+            return DvfsResidency.static_run(
+                elapsed, core_points, dram_point, ic_point
+            )
+        # Ungoverned idle run: one awake bucket per GPM (its static point)
+        # plus whatever it slept; awake = elapsed - slept by construction,
+        # so every histogram partitions the run exactly.
+        core = []
+        for gpm_id, point in enumerate(core_points):
+            sleep = dict(self._sleep_residency[gpm_id])
+            awake = elapsed - sum(sleep.values())
+            core.append(ResidencyHistogram({point: awake}, sleep))
+        return DvfsResidency(
+            core=tuple(core),
+            dram=ResidencyHistogram.single(dram_point, elapsed),
+            interconnect=ResidencyHistogram.single(ic_point, elapsed),
         )

@@ -15,7 +15,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.dvfs.governor import Governor, PowerCapGovernor
+from repro.dvfs.governor import Governor
+from repro.dvfs.idle import governor_for
 from repro.dvfs.operating_point import K40_VF_CURVE
 from repro.dvfs.residency import DvfsResidency
 from repro.gpu.config import GpuConfig
@@ -141,12 +142,13 @@ class GpuSimulator:
         V/f domain at kernel boundaries; explicitly-passed governors are
         runtime behaviour and must not go through the sweep cache.
 
-        A configuration with ``power_cap_watts`` set (and no explicit
-        governor) automatically attaches a
-        :class:`~repro.dvfs.governor.PowerCapGovernor` for that budget —
-        making the capped run a deterministic function of the configuration,
-        which is what lets it share the sweep cache (the cap joins the
-        cache fingerprint).
+        A configuration with ``power_cap_watts`` or ``idle`` set (and no
+        explicit governor) automatically attaches the governor those knobs
+        imply — a :class:`~repro.dvfs.governor.PowerCapGovernor` for the
+        budget, or the :mod:`repro.dvfs.idle` governor kind the idle config
+        selects — making the run a deterministic function of the
+        configuration, which is what lets it share the sweep cache (both
+        knobs join the cache fingerprint).
 
         ``shards > 1`` requests the per-GPM sharded engine
         (:mod:`repro.sim.sharded`): decoupled workloads split across
@@ -154,14 +156,17 @@ class GpuSimulator:
         bit-identical results; runs that cannot shard fall back to this
         single-process path and record why on ``RunResult.sharding``.
         """
-        if governor is None and self.config.power_cap_watts is not None:
+        if governor is None and (
+            self.config.power_cap_watts is not None
+            or self.config.idle is not None
+        ):
             curve = (
                 self.config.dvfs.curve
                 if self.config.dvfs is not None
                 else K40_VF_CURVE
             )
-            governor = PowerCapGovernor(
-                curve=curve, cap_watts=self.config.power_cap_watts
+            governor = governor_for(
+                self.config.idle, self.config.power_cap_watts, curve
             )
         if shards > 1:
             # Deferred import: repro.sim.sharded drives this facade for its

@@ -73,6 +73,14 @@ def config_fingerprint(config: GpuConfig) -> dict:
             if config.power_cap_watts is None
             else {"power_cap_watts": config.power_cap_watts}
         ),
+        # And for idle states: sleep latencies, residual power, and the
+        # governor all change runtime behaviour, so idle-enabled configs get
+        # their own identity while idle-off keys stay byte-stable.
+        **(
+            {}
+            if config.idle is None
+            else {"idle": config.idle.fingerprint()}
+        ),
     }
 
 

@@ -54,7 +54,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dvfs.config import IDENTITY_SCALES
-from repro.dvfs.governor import Governor, GpmObservation, PowerCapGovernor
+from repro.dvfs.governor import Governor, GpmObservation
+from repro.dvfs.idle import governor_for
 from repro.dvfs.operating_point import K40_OPERATING_POINT, K40_VF_CURVE, OperatingPoint, VfCurve
 from repro.dvfs.residency import DvfsResidency, ResidencyHistogram
 from repro.errors import ConfigError, SimulationError
@@ -638,6 +639,8 @@ def fallback_reason(
         return "tracing requires the single-process event order"
     if max_events is not None:
         return "max_events accounting is engine-global"
+    if config.idle is not None:
+        return "idle-state bookkeeping needs the single-process driver"
     return coupling_reason(workload, config, partitioning)
 
 
@@ -672,11 +675,11 @@ def run_sharded(
     per-shard via the parallel Welford combine, which matches the
     single-process stream only up to float rounding.
     """
-    if governor is None and config.power_cap_watts is not None:
+    if governor is None and (
+        config.power_cap_watts is not None or config.idle is not None
+    ):
         curve = config.dvfs.curve if config.dvfs is not None else K40_VF_CURVE
-        governor = PowerCapGovernor(
-            curve=curve, cap_watts=config.power_cap_watts
-        )
+        governor = governor_for(config.idle, config.power_cap_watts, curve)
     reason = fallback_reason(
         workload, config, shards, partitioning, tracer, max_events
     )

@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.core.energy_model import EnergyParams
 from repro.dvfs.config import DvfsConfig
+from repro.dvfs.idle import IdleConfig
 from repro.dvfs.operating_point import K40_VF_CURVE
 from repro.experiments.runner import RESULTS_VERSION
 from repro.gpu.config import (
@@ -78,6 +79,21 @@ GOLDEN_SPECS: dict[str, WorkloadSpec] = {
         hot_block_bytes=2 * KIB, shared_mem_fraction=0.1,
         frac_stream=0.4, frac_reuse=0.1, frac_halo=0.2, frac_shared=0.3,
         store_fraction=0.3, seed=11,
+    ),
+    # A bursty straggler grid: 33 CTAs over 8 four-slot GPMs split
+    # [5,4,...,4], so one module runs a second wave while seven sit in a
+    # kernel-boundary gap long enough to clock-gate — the shape that makes
+    # the idle golden below actually sleep (TestGoldenCoverage pins it).
+    "bursty-micro": WorkloadSpec(
+        name="Golden Bursty", abbr="bursty-micro",
+        category=WorkloadCategory.MEMORY,
+        total_ctas=33, warps_per_cta=2, kernels=6, segments_per_warp=4,
+        compute_per_segment=4, accesses_per_segment=2,
+        compute_mix={Opcode.FFMA32: 0.7, Opcode.FADD32: 0.3},
+        footprint_bytes=512 * KIB, shared_footprint_bytes=64 * KIB,
+        hot_block_bytes=2 * KIB,
+        frac_stream=0.8, frac_reuse=0.2, frac_halo=0.0, frac_shared=0.0,
+        store_fraction=0.25, seed=13,
     ),
 }
 
@@ -142,6 +158,17 @@ GOLDEN_CONFIGS: dict[str, GpuConfig] = {
         ),
         name="golden-4gpm-mixedclock",
     ),
+    # An idle-enabled run under the race-to-idle governor: pins the sleep
+    # ladder's entry/exit accounting, the sleep buckets in the residency
+    # snapshot, and the residual-priced per-GPM energy.
+    "8gpm-idle": GpuConfig(
+        gpm=_golden_gpm(),
+        num_gpms=8,
+        interconnect=_golden_interconnect(),
+        integration_domain=IntegrationDomain.ON_PACKAGE,
+        idle=IdleConfig(governor="race-to-idle"),
+        name="golden-8gpm-idle",
+    ),
 }
 
 
@@ -187,7 +214,9 @@ def golden_run(
     """
     result = simulate(build_workload(spec), config)
     pin_dvfs = (
-        config.power_cap_watts is not None or config.dvfs is not None
+        config.power_cap_watts is not None
+        or config.dvfs is not None
+        or config.idle is not None
     )
     if not (pin_dvfs and result.residency is not None):
         return counters_to_json(result.counters), None, None
@@ -285,8 +314,21 @@ def diff_counters(expected: dict, actual: dict) -> list[str]:
     return diffs
 
 
+def _residency_entry_key(entry: dict) -> str:
+    """Stable diff key for one residency bucket (operating point or sleep)."""
+    if "point" in entry:
+        return entry["point"]
+    return f"sleep:{entry['sleep']}"
+
+
 def diff_residency(expected: dict, actual: dict) -> list[str]:
-    """Differences between two ``DvfsResidency.to_json()`` snapshots."""
+    """Differences between two ``DvfsResidency.to_json()`` snapshots.
+
+    Active buckets are keyed by their operating-point label, sleep buckets
+    by their state name; every numeric field (cycles, latencies, residual
+    power) is compared, so a changed sleep parameter fails the golden even
+    when the cycle split happens to match.
+    """
     diffs: list[str] = []
     domains = [("dram", expected.get("dram"), actual.get("dram")),
                ("interconnect", expected.get("interconnect"),
@@ -301,19 +343,21 @@ def diff_residency(expected: dict, actual: dict) -> list[str]:
     ]
     for name, want, got in domains:
         want, got = want or [], got or []
-        want_points = {entry["point"]: entry for entry in want}
-        got_points = {entry["point"]: entry for entry in got}
+        want_points = {_residency_entry_key(entry): entry for entry in want}
+        got_points = {_residency_entry_key(entry): entry for entry in got}
         for label in sorted(set(want_points) | set(got_points)):
             w, g = want_points.get(label), got_points.get(label)
             if w is None or g is None:
                 diffs.append(f"{name}[{label}]: golden={w} actual={g}")
-            elif not math.isclose(
-                w["cycles"], g["cycles"], rel_tol=FLOAT_RTOL, abs_tol=1e-9
-            ):
-                diffs.append(
-                    f"{name}[{label}].cycles: golden={w['cycles']}"
-                    f" actual={g['cycles']}"
-                )
+                continue
+            for field in sorted(set(w) | set(g)):
+                if field in ("point", "sleep"):
+                    continue
+                if not _close(w.get(field), g.get(field)):
+                    diffs.append(
+                        f"{name}[{label}].{field}: golden={w.get(field)}"
+                        f" actual={g.get(field)}"
+                    )
     return diffs
 
 

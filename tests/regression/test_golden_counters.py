@@ -157,6 +157,33 @@ class TestGoldenCoverage:
             == ring["counters"]["instructions"]
         )
 
+    def test_idle_golden_actually_sleeps(self):
+        """The idle golden must pin real gating: sleep buckets with cycles
+        in them, partition-exact fractions, and the race governor at the
+        top of the ladder while awake."""
+        from repro.dvfs.operating_point import K40_VF_CURVE
+
+        golden = _load_golden("bursty-micro_8gpm-idle")
+        assert "residency" in golden
+        sleep_cycles = sum(
+            entry["cycles"]
+            for hist in golden["residency"]["core"]
+            for entry in hist
+            if "sleep" in entry
+        )
+        assert sleep_cycles > 0, "idle golden never gated a GPM"
+        top_hz = K40_VF_CURVE.points[-1].frequency_hz
+        active = [
+            entry
+            for hist in golden["residency"]["core"]
+            for entry in hist
+            if "point" in entry
+        ]
+        assert active
+        assert all(entry["frequency_hz"] == top_hz for entry in active), (
+            "race-to-idle golden left the sprint point while awake"
+        )
+
     def test_multidomain_golden_scales_every_domain(self):
         golden = _load_golden("shared-micro_4gpm-multidomain")
         residency = golden["residency"]

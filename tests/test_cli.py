@@ -15,7 +15,8 @@ class TestRegistry:
 
     def test_extensions_registered(self):
         assert {
-            "compression", "locality", "powergate", "edip", "sweetspot"
+            "compression", "locality", "powergate", "edip", "sweetspot",
+            "idle",
         } <= set(_EXPERIMENTS)
 
 
@@ -71,6 +72,15 @@ class TestDvfsSubcommand:
             main(["dvfs", "NotAWorkload"])
         assert excinfo.value.code != 0
 
+    def test_governor_flag_prints_idle_run(self, capsys):
+        assert main(
+            ["dvfs", "Stream", "--gpms", "2", "--ctas", "16",
+             "--kernels", "2", "--governor", "race-to-idle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "idle run (idle[race-to-idle]):" in out
+        assert "gated cycles" in out
+
     def test_infeasible_cap_exits_with_one_line_error(self, capsys):
         # 4 GPMs draw far more than 1 W even at the ladder floor: the CLI
         # must reject the budget up front with a single stderr line and a
@@ -101,6 +111,50 @@ class TestUnifiedErrorHandling:
                 ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
                  "--cap-watts", "1"],
             ),
+            # Malformed idle knobs: each must die in IdleConfig/SleepState
+            # validation (or the upfront deadline-feasibility check) before
+            # any simulation, through the same one-line guard.
+            (
+                "dvfs",
+                ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--entry-latency-cycles", "-5"],
+            ),
+            (
+                "dvfs",
+                ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--governor", "gate-only", "--residual", "1.5"],
+            ),
+            (
+                "dvfs",
+                ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--governor", "gate-only",
+                 "--exit-latency-cycles", "99999999"],
+            ),
+            (
+                "dvfs",
+                # A deadline without the paced governor owns nothing.
+                ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--deadline-us", "5"],
+            ),
+            (
+                "dvfs",
+                # Shorter than the roofline bound at f_max: rejected before
+                # the ladder sweep, like an infeasible --cap-watts.
+                ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--governor", "deadline-paced", "--deadline-us", "0.001"],
+            ),
+            (
+                "dvfs",
+                # A cap and a deadline cannot both own the point policy.
+                ["dvfs", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--cap-watts", "200", "--governor", "deadline-paced",
+                 "--deadline-us", "100"],
+            ),
+            (
+                "profile",
+                ["profile", "Stream", "--gpms", "4", "--ctas", "16",
+                 "--residual", "-0.1"],
+            ),
             ("capsweep", ["capsweep", "--quick", "--shards", "0"]),
             ("serve", ["serve", "--shards", "0"]),
             ("serve", ["serve", "--aging-seconds", "0"]),
@@ -122,7 +176,7 @@ class TestUnifiedErrorHandling:
 
     def test_serve_and_submit_are_dispatched(self, capsys):
         # --help exits 0 through argparse, proving the subcommands exist.
-        for name in ("serve", "submit"):
+        for name in ("serve", "submit", "idlestudy"):
             with pytest.raises(SystemExit) as excinfo:
                 main([name, "--help"])
             assert excinfo.value.code == 0
