@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke perf-smoke perf-baseline differential reproduce examples trace-smoke service-smoke roofline-smoke idle-smoke clean-cache loc
+.PHONY: install test bench bench-smoke perf-smoke perf-baseline differential reproduce figures figures-smoke examples trace-smoke service-smoke roofline-smoke idle-smoke clean-cache loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,20 @@ perf-baseline:
 # Regenerate every paper table/figure (fills .cache/ on first run).
 reproduce:
 	$(PYTHON) -m repro all
+
+# Regenerate the committed full-tier figure logs in results/fig*/ (run
+# this after any change that moves figure numbers; see EXPERIMENTS.md).
+figures:
+	PYTHONPATH=src $(PYTHON) -m repro figures
+
+# Figure-harness smoke: the quick tier (shrunken workloads, reduced grid)
+# regenerates every figure into gitignored quick*.txt files, then the
+# workload/figure property tests assert the phase-schedule invariants and
+# the llmstudy governor direction (see docs/WORKLOADS.md).
+figures-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro figures --quick
+	PYTHONPATH=src $(PYTHON) -m pytest tests/workloads/test_llm.py \
+	  tests/experiments/test_llm_study.py tests/roofline/test_screen_fallback.py -q
 
 # Capture a small Chrome trace and validate it (see docs/OBSERVABILITY.md).
 # PYTHONPATH=src keeps this working on boxes that skipped `make install`.

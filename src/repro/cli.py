@@ -123,15 +123,24 @@ def _observed_pair(parser: argparse.ArgumentParser, args: argparse.Namespace):
     return spec, build_workload(spec), config
 
 
-def _add_observe_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_observe_arguments(
+    parser: argparse.ArgumentParser, workload_optional: bool = False
+) -> None:
     from repro.gpu.config import TABLE_III_GPM_COUNTS
-    from repro.workloads.suite import WORKLOAD_SPECS
+    from repro.workloads.suite import all_specs
 
+    choices = sorted(all_specs())
     parser.add_argument(
         "workload",
-        choices=sorted(WORKLOAD_SPECS),
+        choices=choices,
         metavar="workload",
-        help=f"Table II workload abbreviation ({', '.join(sorted(WORKLOAD_SPECS))})",
+        # `submit --phases` composes the workload from a phase schedule
+        # instead of naming one.
+        **({"nargs": "?", "default": None} if workload_optional else {}),
+        help=(
+            "Table II or LLM-serving workload abbreviation"
+            f" ({', '.join(choices)})"
+        ),
     )
     parser.add_argument(
         "--gpms",
@@ -253,6 +262,10 @@ def _check_deadline_feasible(args, spec, config) -> None:
     fastest the race governor itself could possibly finish.
     """
     if args.governor != "deadline-paced" or args.deadline_us is None:
+        return
+    if spec.phases is not None:
+        # The roofline bound does not cover phase schedules; the governor
+        # itself still enforces the deadline conservatively at runtime.
         return
     from repro.dvfs.operating_point import K40_VF_CURVE
     from repro.dvfs.sweetspot import with_operating_point
@@ -937,6 +950,85 @@ def _idlestudy_main(argv: list[str]) -> int:
     return 0
 
 
+def _figures_main(argv: list[str]) -> int:
+    """``repro figures``: regenerate every fig* study into results/."""
+    from repro.experiments.figures import FIGURES, run_figures
+
+    parser = argparse.ArgumentParser(
+        prog="repro figures",
+        description=(
+            "Regenerate the paper-figure logs end-to-end: every"
+            " experiments/fig* study runs and writes its rendered tables"
+            " (log.txt) plus headline numbers (summary.txt) into"
+            " results/<figure>/ (see EXPERIMENTS.md)."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "smoke tier: shrunken workloads on a reduced grid, written to"
+            " quick.txt/quick_summary.txt (gitignored) instead of the"
+            " committed full-tier logs"
+        ),
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(FIGURES),
+        metavar="FIGURE",
+        help=(
+            "regenerate just this figure (repeatable; default: all of"
+            f" {', '.join(FIGURES)})"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="results root directory (default: results)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="simulation worker processes (default: auto)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="per-GPM shard engines per simulation (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the sweep result cache",
+    )
+    args = parser.parse_args(argv)
+
+    settings_kwargs = {}
+    if args.processes is not None:
+        settings_kwargs["processes"] = args.processes
+    if args.no_cache:
+        settings_kwargs["use_cache"] = False
+    if args.shards != 1:
+        settings_kwargs["shards"] = args.shards
+    runner = SweepRunner(SweepSettings(**settings_kwargs))
+
+    start = time.time()
+    written = run_figures(
+        names=tuple(args.only) if args.only else None,
+        out_dir=args.out,
+        runner=runner,
+        quick=args.quick,
+        echo=print,
+    )
+    for name, fig_dir in written.items():
+        print(f"wrote {fig_dir}/")
+    print(f"[figures: {len(written)} figure(s), {time.time() - start:.1f}s]")
+    return 0
+
+
 def _serve_main(argv: list[str]) -> int:
     """``repro serve``: run the sweep service in the foreground."""
     from pathlib import Path
@@ -1003,6 +1095,37 @@ def _serve_main(argv: list[str]) -> int:
     )
 
 
+def _parse_phase_schedule(text: str) -> list[dict]:
+    """Decode ``prefill:64:1,decode:8:2`` into recipe phase entries."""
+    from repro.errors import ConfigError
+
+    entries = []
+    for chunk in text.split(","):
+        parts = chunk.strip().split(":")
+        if not parts[0]:
+            raise ConfigError(
+                f"malformed phase entry {chunk!r}; expected"
+                " phase:ctas[:kernels]"
+            )
+        if len(parts) > 3:
+            raise ConfigError(
+                f"malformed phase entry {chunk!r}; expected"
+                " phase:ctas[:kernels]"
+            )
+        entry: dict = {"phase": parts[0]}
+        try:
+            if len(parts) > 1:
+                entry["ctas"] = int(parts[1])
+            if len(parts) > 2:
+                entry["kernels"] = int(parts[2])
+        except ValueError as error:
+            raise ConfigError(
+                f"malformed phase entry {chunk!r}: {error}"
+            ) from error
+        entries.append(entry)
+    return entries
+
+
 def _submit_main(argv: list[str]) -> int:
     """``repro submit``: send one job recipe to a running sweep service."""
     import json
@@ -1017,10 +1140,25 @@ def _submit_main(argv: list[str]) -> int:
             " (see docs/SERVICE.md)."
         ),
     )
-    _add_observe_arguments(parser)
+    _add_observe_arguments(parser, workload_optional=True)
     parser.add_argument(
         "--full", action="store_true",
         help="simulate the full Table II workload instead of a shrunken copy",
+    )
+    parser.add_argument(
+        "--phases", default=None, metavar="SCHEDULE",
+        help=(
+            "compose an LLM phase schedule instead of naming a workload:"
+            " comma-separated phase:ctas[:kernels] entries, e.g."
+            " 'prefill:64:1,decode:8:2' (see docs/WORKLOADS.md)"
+        ),
+    )
+    parser.add_argument(
+        "--tenants", default=None, metavar="CLIENTS",
+        help=(
+            "replicate the --phases schedule per tenant (comma-separated"
+            " client ids, seed-decorrelated streams)"
+        ),
     )
     parser.add_argument(
         "--bandwidth", choices=["1x-BW", "2x-BW"], default="2x-BW",
@@ -1055,17 +1193,35 @@ def _submit_main(argv: list[str]) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.errors import ConfigError
+
     recipe: dict = {
-        "workload": args.workload,
         "gpms": args.gpms,
         "topology": args.topology,
         "bandwidth": args.bandwidth,
     }
-    if args.full:
-        recipe["full"] = True
+    if args.phases is not None:
+        if args.workload is not None:
+            raise ConfigError(
+                "--phases composes its own workload; drop the workload"
+                " argument"
+            )
+        recipe["phases"] = _parse_phase_schedule(args.phases)
+        if args.tenants is not None:
+            recipe["tenants"] = [
+                client.strip() for client in args.tenants.split(",")
+            ]
+    elif args.tenants is not None:
+        raise ConfigError("--tenants requires a --phases schedule")
+    elif args.workload is None:
+        raise ConfigError("name a workload or compose one with --phases")
     else:
-        recipe["ctas"] = args.ctas
-        recipe["kernels"] = args.kernels
+        recipe["workload"] = args.workload
+        if args.full:
+            recipe["full"] = True
+        else:
+            recipe["ctas"] = args.ctas
+            recipe["kernels"] = args.kernels
     if args.core_mhz is not None:
         recipe["core_mhz"] = args.core_mhz
     if args.cap_watts is not None:
@@ -1074,6 +1230,13 @@ def _submit_main(argv: list[str]) -> int:
         recipe["shards"] = args.shards
     if args.screen is not None:
         recipe["screen"] = args.screen
+
+    # Validate the recipe locally before any connection: a malformed
+    # schedule is one stderr line + exit 2 here, identical to what the
+    # server's admission would say, with zero engine (or network) time.
+    from repro.service.job import request_from_recipe
+
+    request_from_recipe(recipe)
 
     client = ServiceClient(args.host, args.port, client_id=args.client)
     outcome = client.submit_recipe(recipe)
@@ -1114,6 +1277,7 @@ _SUBCOMMANDS = {
     "roofline": _roofline_main,
     "capsweep": _capsweep_main,
     "idlestudy": _idlestudy_main,
+    "figures": _figures_main,
     "serve": _serve_main,
     "submit": _submit_main,
 }
@@ -1160,6 +1324,7 @@ def main(argv: list[str] | None = None) -> int:
             " V/f ladder and reports the energy sweet spot; 'repro capsweep'"
             " sweeps chip power budgets and reports residency-priced EDPSE;"
             " 'repro idlestudy' compares sleep-state governors; 'repro"
+            " figures' regenerates every fig* log in results/; 'repro"
             " bench' measures simulator throughput.  See"
             " docs/OBSERVABILITY.md, docs/POWER.md, and docs/PERFORMANCE.md."
         ),

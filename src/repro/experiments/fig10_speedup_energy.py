@@ -49,9 +49,11 @@ class Fig10Result:
 
     def render(self) -> str:
         """Render this result as the paper-style ASCII table."""
+        counts = self.studies[BANDWIDTH_ORDER[0]].scaled_counts
+        top = counts[-1]
         headers = ["config", "speedup", "energy (norm.)"]
         rows = []
-        for n in SCALED_GPM_COUNTS:
+        for n in counts:
             for bandwidth in BANDWIDTH_ORDER:
                 rows.append(
                     [
@@ -62,8 +64,8 @@ class Fig10Result:
                 )
         reduction = (
             1.0
-            - self.energy(BandwidthSetting.BW_4X, 32)
-            / self.energy(BandwidthSetting.BW_1X, 32)
+            - self.energy(BandwidthSetting.BW_4X, top)
+            / self.energy(BandwidthSetting.BW_1X, top)
         ) * 100.0
         return render_table(
             "Figure 10: speedup and energy vs 1-GPM across bandwidth settings",
@@ -71,19 +73,31 @@ class Fig10Result:
             rows,
             note=(
                 "1x-BW is on-board; 2x/4x are on-package with constant-energy"
-                f" amortization. 32-GPM energy reduction 1x->4x: {reduction:.1f}%"
+                f" amortization. {top}-GPM energy reduction 1x->4x:"
+                f" {reduction:.1f}%"
                 " (paper: 45% incl. amortization, 27.4% from bandwidth alone)."
             ),
         )
 
 
-def run(runner: SweepRunner | None = None) -> Fig10Result:
-    """Execute (or fetch from cache) the Figure 10 study."""
+def run(
+    runner: SweepRunner | None = None,
+    counts: tuple[int, ...] = SCALED_GPM_COUNTS,
+    workload_abbrs: tuple[str, ...] | None = None,
+    spec_for=None,
+) -> Fig10Result:
+    """Execute (or fetch from cache) the Figure 10 study.
+
+    ``counts``/``workload_abbrs``/``spec_for`` reduce the grid for the
+    ``repro figures --quick`` tier; the defaults reproduce the paper figure.
+    """
     runner = runner or SweepRunner()
     studies = {}
     for bandwidth in BANDWIDTH_ORDER:
-        configs = scaling_configs(bandwidth)
+        configs = scaling_configs(bandwidth, counts=counts)
         studies[bandwidth] = run_scaling_study(
-            runner, configs, label=bandwidth.value
+            runner, configs, label=bandwidth.value,
+            **({} if workload_abbrs is None else {"workload_abbrs": workload_abbrs}),
+            spec_for=spec_for,
         )
     return Fig10Result(studies=studies)

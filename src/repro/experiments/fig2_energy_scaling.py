@@ -46,19 +46,33 @@ class Fig2Result:
         )
 
 
-def run(runner: SweepRunner | None = None) -> Fig2Result:
-    """Execute (or fetch from cache) the Figure 2 study."""
+def run(
+    runner: SweepRunner | None = None,
+    counts: tuple[int, ...] = SCALED_GPM_COUNTS,
+    workload_abbrs: tuple[str, ...] | None = None,
+    spec_for=None,
+) -> Fig2Result:
+    """Execute (or fetch from cache) the Figure 2 study.
+
+    ``counts``/``workload_abbrs``/``spec_for`` reduce the grid for the
+    ``repro figures --quick`` tier; the defaults reproduce the paper figure.
+    """
     runner = runner or SweepRunner()
     configs = scaling_configs(
-        BandwidthSetting.BW_1X, domain=IntegrationDomain.ON_BOARD
+        BandwidthSetting.BW_1X, domain=IntegrationDomain.ON_BOARD,
+        counts=counts,
     )
-    study = run_scaling_study(runner, configs, label="on-board/1x-BW")
+    study = run_scaling_study(
+        runner, configs, label="on-board/1x-BW",
+        **({} if workload_abbrs is None else {"workload_abbrs": workload_abbrs}),
+        spec_for=spec_for,
+    )
     rows = [
         ScalingRow(
             num_gpms=n,
             label=f"{n}x",
             values={"energy": study.mean_energy_ratio(n)},
         )
-        for n in SCALED_GPM_COUNTS
+        for n in study.scaled_counts
     ]
     return Fig2Result(study=study, rows=rows)

@@ -115,9 +115,17 @@ def _measure_application(
 
 
 def run(
-    runner: SweepRunner | None = None, seed: int = 40
+    runner: SweepRunner | None = None,
+    seed: int = 40,
+    workload_abbrs: tuple[str, ...] | None = None,
+    spec_for=None,
 ) -> Fig4Result:
-    """Execute the full Figure 4 validation."""
+    """Execute the full Figure 4 validation.
+
+    ``workload_abbrs``/``spec_for`` reduce the Fig. 4b application sweep for
+    the ``repro figures --quick`` tier; the calibration and Fig. 4a
+    microbenchmarks are analytic (no engine time) and always run in full.
+    """
     runner = runner or SweepRunner()
     silicon = SiliconGpu(seed=seed)
     meter = PowerMeter(silicon)
@@ -133,7 +141,11 @@ def run(
     energy_model = EnergyModel(model.to_energy_params())
     sensor = PowerSensor()
     fig4b = ErrorReport()
-    specs = list(WORKLOAD_SPECS.values())
+    if spec_for is None:
+        spec_for = WORKLOAD_SPECS.__getitem__
+    if workload_abbrs is None:
+        workload_abbrs = tuple(WORKLOAD_SPECS)
+    specs = [spec_for(abbr) for abbr in workload_abbrs]
     records = runner.run([(spec, config) for spec in specs])
     for spec, record in zip(specs, records):
         counters = record.counters

@@ -74,13 +74,26 @@ class Fig6Result:
         )
 
 
-def run(runner: SweepRunner | None = None) -> Fig6Result:
-    """Execute (or fetch from cache) the Figure 6 study."""
+def run(
+    runner: SweepRunner | None = None,
+    counts: tuple[int, ...] = SCALED_GPM_COUNTS,
+    workload_abbrs: tuple[str, ...] | None = None,
+    spec_for=None,
+) -> Fig6Result:
+    """Execute (or fetch from cache) the Figure 6 study.
+
+    ``counts``/``workload_abbrs``/``spec_for`` reduce the grid for the
+    ``repro figures --quick`` tier; the defaults reproduce the paper figure.
+    """
     runner = runner or SweepRunner()
-    configs = scaling_configs(BandwidthSetting.BW_2X)
-    study = run_scaling_study(runner, configs, label="on-package/2x-BW")
+    configs = scaling_configs(BandwidthSetting.BW_2X, counts=counts)
+    study = run_scaling_study(
+        runner, configs, label="on-package/2x-BW",
+        **({} if workload_abbrs is None else {"workload_abbrs": workload_abbrs}),
+        spec_for=spec_for,
+    )
     rows = []
-    for n in SCALED_GPM_COUNTS:
+    for n in study.scaled_counts:
         rows.append(
             ScalingRow(
                 num_gpms=n,

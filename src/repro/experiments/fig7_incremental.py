@@ -75,44 +75,65 @@ class Fig7Result:
 
 
 def _mean_breakdown(
-    grid: dict[str, dict], config_label: str, params: EnergyParams
+    grid: dict[str, dict],
+    config_label: str,
+    params: EnergyParams,
+    abbrs: tuple[str, ...],
 ) -> dict[str, float]:
     """Average per-component energy across workloads (joules)."""
     sums: dict[str, float] = {}
     records = grid[config_label]
-    for abbr in SCALING_SUBSET:
+    for abbr in abbrs:
         record = records[abbr]
         breakdown = record.energy(params)
         for name, value in breakdown.as_dict().items():
             sums[name] = sums.get(name, 0.0) + value
-    count = len(SCALING_SUBSET)
+    count = len(abbrs)
     return {name: value / count for name, value in sums.items()}
 
 
-def run(runner: SweepRunner | None = None) -> Fig7Result:
-    """Execute (or fetch from cache) the Figure 7 study."""
+def run(
+    runner: SweepRunner | None = None,
+    counts: tuple[int, ...] = SCALED_GPM_COUNTS,
+    workload_abbrs: tuple[str, ...] = SCALING_SUBSET,
+    spec_for=None,
+) -> Fig7Result:
+    """Execute (or fetch from cache) the Figure 7 study.
+
+    ``counts``/``workload_abbrs``/``spec_for`` reduce the grid for the
+    ``repro figures --quick`` tier; the defaults reproduce the paper figure.
+    The monolithic comparison always uses the two largest scaled counts.
+    """
     runner = runner or SweepRunner()
-    configs = scaling_configs(BandwidthSetting.BW_2X)
-    study = run_scaling_study(runner, configs, label="on-package/2x-BW")
+    counts = tuple(sorted(counts))
+    configs = scaling_configs(BandwidthSetting.BW_2X, counts=counts)
+    study = run_scaling_study(
+        runner, configs, label="on-package/2x-BW",
+        workload_abbrs=workload_abbrs, spec_for=spec_for,
+    )
 
     # Per-component mean energies at each count (including the baseline).
-    specs = [WORKLOAD_SPECS[abbr] for abbr in SCALING_SUBSET]
+    if spec_for is None:
+        spec_for = WORKLOAD_SPECS.__getitem__
+    specs = [spec_for(abbr) for abbr in workload_abbrs]
     base_config = table_iii_config(1, BandwidthSetting.BW_2X)
-    all_configs = [base_config] + [configs[n] for n in SCALED_GPM_COUNTS]
+    all_configs = [base_config] + [configs[n] for n in counts]
     grid = runner.run_grid(specs, all_configs)
     breakdowns: dict[int, dict[str, float]] = {}
     breakdowns[1] = _mean_breakdown(
-        grid, base_config.label(), EnergyParams.for_config(base_config)
+        grid, base_config.label(), EnergyParams.for_config(base_config),
+        workload_abbrs,
     )
-    for n in SCALED_GPM_COUNTS:
+    for n in counts:
         config = configs[n]
         breakdowns[n] = _mean_breakdown(
-            grid, config.label(), EnergyParams.for_config(config)
+            grid, config.label(), EnergyParams.for_config(config),
+            workload_abbrs,
         )
 
     steps: list[Fig7Step] = []
-    counts = [1] + list(SCALED_GPM_COUNTS)
-    for prev_n, n in zip(counts, counts[1:]):
+    step_counts = [1] + list(counts)
+    for prev_n, n in zip(step_counts, step_counts[1:]):
         speedups = []
         for scaling in study.workloads.values():
             prev_delay = (
@@ -138,13 +159,14 @@ def run(runner: SweepRunner | None = None) -> Fig7Result:
             )
         )
 
-    # Monolithic comparison: a single module with 16x vs 32x resources.
-    mono16 = monolithic_config(16)
-    mono32 = monolithic_config(32)
-    mono_grid = runner.run_grid(specs, [mono16, mono32])
+    # Monolithic comparison: a single module with the two largest scaled
+    # resource multiples (16x vs 32x on the full grid).
+    mono_small = monolithic_config(counts[-2] if len(counts) > 1 else 1)
+    mono_big = monolithic_config(counts[-1])
+    mono_grid = runner.run_grid(specs, [mono_small, mono_big])
     ratios = [
-        mono_grid[mono16.label()][abbr].seconds
-        / mono_grid[mono32.label()][abbr].seconds
-        for abbr in SCALING_SUBSET
+        mono_grid[mono_small.label()][abbr].seconds
+        / mono_grid[mono_big.label()][abbr].seconds
+        for abbr in workload_abbrs
     ]
     return Fig7Result(steps=steps, monolithic_16_to_32=geomean(ratios))

@@ -39,35 +39,48 @@ class Fig8Result:
 
     def render(self) -> str:
         """Render this result as the paper-style ASCII table."""
-        headers = ["config"] + [f"{n}-GPM" for n in SCALED_GPM_COUNTS]
+        counts = self.studies[BANDWIDTH_ORDER[0]].scaled_counts
+        top = counts[-1]
+        headers = ["config"] + [f"{n}-GPM" for n in counts]
         rows = []
         for bandwidth in BANDWIDTH_ORDER:
             study = self.studies[bandwidth]
             rows.append(
                 [bandwidth.value]
-                + [study.mean_edpse(n) for n in SCALED_GPM_COUNTS]
+                + [study.mean_edpse(n) for n in counts]
             )
-        gain = self.edpse(BandwidthSetting.BW_4X, 32) / self.edpse(
-            BandwidthSetting.BW_1X, 32
+        gain = self.edpse(BandwidthSetting.BW_4X, top) / self.edpse(
+            BandwidthSetting.BW_1X, top
         )
         return render_table(
             "Figure 8: EDPSE (%) vs interconnect bandwidth",
             headers,
             rows,
             note=(
-                f"4x-BW / 1x-BW EDPSE gain at 32-GPM: {gain:.2f}x"
+                f"4x-BW / 1x-BW EDPSE gain at {top}-GPM: {gain:.2f}x"
                 " (paper: ~3x from 4x more bandwidth)."
             ),
         )
 
 
-def run(runner: SweepRunner | None = None) -> Fig8Result:
-    """Execute (or fetch from cache) the Figure 8 study."""
+def run(
+    runner: SweepRunner | None = None,
+    counts: tuple[int, ...] = SCALED_GPM_COUNTS,
+    workload_abbrs: tuple[str, ...] | None = None,
+    spec_for=None,
+) -> Fig8Result:
+    """Execute (or fetch from cache) the Figure 8 study.
+
+    ``counts``/``workload_abbrs``/``spec_for`` reduce the grid for the
+    ``repro figures --quick`` tier; the defaults reproduce the paper figure.
+    """
     runner = runner or SweepRunner()
     studies = {}
     for bandwidth in BANDWIDTH_ORDER:
-        configs = scaling_configs(bandwidth)
+        configs = scaling_configs(bandwidth, counts=counts)
         studies[bandwidth] = run_scaling_study(
-            runner, configs, label=bandwidth.value
+            runner, configs, label=bandwidth.value,
+            **({} if workload_abbrs is None else {"workload_abbrs": workload_abbrs}),
+            spec_for=spec_for,
         )
     return Fig8Result(studies=studies)

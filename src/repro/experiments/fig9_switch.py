@@ -36,33 +36,49 @@ class Fig9Result:
 
     def render(self) -> str:
         """Render this result as the paper-style ASCII table."""
-        headers = ["config"] + [f"{n}-GPM" for n in SCALED_GPM_COUNTS]
+        counts = self.studies[SERIES[0][0]].scaled_counts
+        top = counts[-1]
+        headers = ["config"] + [f"{n}-GPM" for n in counts]
         rows = [
-            [label] + [self.studies[label].mean_edpse(n) for n in SCALED_GPM_COUNTS]
+            [label] + [self.studies[label].mean_edpse(n) for n in counts]
             for label, _bw, _topo in SERIES
         ]
         gain = (
-            self.studies["Switch (1x-BW)"].mean_edpse(32)
-            / self.studies["Ring (1x-BW)"].mean_edpse(32)
+            self.studies["Switch (1x-BW)"].mean_edpse(top)
+            / self.studies["Ring (1x-BW)"].mean_edpse(top)
         )
         return render_table(
             "Figure 9: EDPSE (%) — on-board ring vs switched networks",
             headers,
             rows,
             note=(
-                f"Switch / ring EDPSE gain at 32-GPM (same links):"
+                f"Switch / ring EDPSE gain at {top}-GPM (same links):"
                 f" {gain:.2f}x (paper: ~2x)."
             ),
         )
 
 
-def run(runner: SweepRunner | None = None) -> Fig9Result:
-    """Execute (or fetch from cache) the Figure 9 study."""
+def run(
+    runner: SweepRunner | None = None,
+    counts: tuple[int, ...] = SCALED_GPM_COUNTS,
+    workload_abbrs: tuple[str, ...] | None = None,
+    spec_for=None,
+) -> Fig9Result:
+    """Execute (or fetch from cache) the Figure 9 study.
+
+    ``counts``/``workload_abbrs``/``spec_for`` reduce the grid for the
+    ``repro figures --quick`` tier; the defaults reproduce the paper figure.
+    """
     runner = runner or SweepRunner()
     studies = {}
     for label, bandwidth, topology in SERIES:
         configs = scaling_configs(
-            bandwidth, domain=IntegrationDomain.ON_BOARD, topology=topology
+            bandwidth, domain=IntegrationDomain.ON_BOARD, topology=topology,
+            counts=counts,
         )
-        studies[label] = run_scaling_study(runner, configs, label=label)
+        studies[label] = run_scaling_study(
+            runner, configs, label=label,
+            **({} if workload_abbrs is None else {"workload_abbrs": workload_abbrs}),
+            spec_for=spec_for,
+        )
     return Fig9Result(studies=studies)

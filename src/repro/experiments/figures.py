@@ -1,0 +1,309 @@
+"""One-command regeneration of every ``fig*`` study (``repro figures``).
+
+Each figure module already knows how to *run*; what kept going stale was
+the glue: EXPERIMENTS.md cited result files nobody regenerated, and the
+committed logs drifted from the code that allegedly produced them.  This
+harness makes the figure outputs a build artifact:
+
+* ``run_figures()`` executes every registered ``fig*`` study end-to-end
+  and writes two files per figure into ``results/<figure>/`` — the full
+  rendered tables (``log.txt``) and a few headline numbers next to their
+  paper targets (``summary.txt``).  Both are committed; regenerating them
+  is one command, so a reviewer can diff code against its own evidence.
+* ``--quick`` swaps in the smoke tier: shrunken workloads on a reduced
+  grid, written to ``quick.txt``/``quick_summary.txt`` (gitignored, so CI
+  never clobbers the committed full-tier logs).  Quick outputs are fully
+  deterministic — the smoke test runs the tier twice and asserts the bytes
+  match.
+
+The registry below is ordered as the paper presents the figures; the
+LLM-serving study rides at the end as the repo's forward-looking grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    fig2_energy_scaling,
+    fig4_validation,
+    fig6_edpse_onpackage,
+    fig7_incremental,
+    fig8_bandwidth,
+    fig9_switch,
+    fig10_speedup_energy,
+    figllm_study,
+)
+from repro.experiments.runner import SweepRunner
+from repro.gpu.config import BandwidthSetting
+from repro.workloads.suite import shrunken_spec
+
+#: The reduced grid the ``--quick`` tier sweeps (vs the paper's 2..32).
+QUICK_COUNTS: tuple[int, ...] = (2, 4)
+
+#: One memory-intensive and one compute-intensive workload, so category
+#: means stay well-defined on the quick tier.
+QUICK_WORKLOADS: tuple[str, ...] = ("Stream", "BPROP")
+
+
+def _quick_spec(abbr: str):
+    """Shrunken stand-in keeping the namesake's locality character."""
+    return shrunken_spec(abbr, total_ctas=32, kernels=2)
+
+
+def _scaling_kwargs(quick: bool) -> dict:
+    """The shared quick-tier overrides for the scaling-study figures."""
+    if not quick:
+        return {}
+    return {
+        "counts": QUICK_COUNTS,
+        "workload_abbrs": QUICK_WORKLOADS,
+        "spec_for": _quick_spec,
+    }
+
+
+@dataclass(frozen=True)
+class FigureJob:
+    """One regenerable figure: how to run it and how to summarize it."""
+
+    #: Module name; doubles as the ``results/<name>/`` directory.
+    name: str
+    #: One-line description written at the top of both output files.
+    title: str
+    #: ``f(runner, quick) -> result`` for the underlying study.
+    run: Callable
+    #: ``f(result) -> str`` extracting the headline numbers.
+    summarize: Callable
+
+    def build(self, runner: SweepRunner, quick: bool) -> tuple[str, str]:
+        """Run the study; return (rendered log, headline summary)."""
+        result = self.run(runner, quick)
+        tier = "quick (smoke) tier" if quick else "full tier"
+        banner = f"{self.name}: {self.title} [{tier}]"
+        log = banner + "\n\n" + result.render() + "\n"
+        summary = banner + "\n" + self.summarize(result) + "\n"
+        return log, summary
+
+
+def _summ_fig2(result) -> str:
+    top = result.rows[-1]
+    return (
+        f"mean normalized energy at {top.num_gpms}x capability:"
+        f" {top.values['energy']:.2f}x (ideal 1.0x; paper:"
+        f" ~{fig2_energy_scaling.PAPER_ENERGY_AT_32X:.1f}x at 32x)"
+    )
+
+
+def _summ_fig4(result) -> str:
+    outliers = ", ".join(sorted(result.fig4b.outliers(25.0))) or "none"
+    return (
+        f"Fig 4b mean |error|: {result.fig4b.mean_absolute_error:.1f}%"
+        f" (paper: {fig4_validation.PAPER_MEAN_ABS_ERROR}%)\n"
+        f"outliers >25%: {outliers}"
+        f" (paper >30%: {', '.join(fig4_validation.PAPER_OUTLIERS)})"
+    )
+
+
+def _summ_fig6(result) -> str:
+    first, last = result.rows[0], result.rows[-1]
+    return (
+        f"mean EDPSE: {first.values['all']:.1f}% at {first.num_gpms}-GPM,"
+        f" {last.values['all']:.1f}% at {last.num_gpms}-GPM"
+        f" (paper: peak {fig6_edpse_onpackage.PAPER_MAX_MEAN_EDPSE:.0f}%,"
+        f" {fig6_edpse_onpackage.PAPER_MEAN_EDPSE_32GPM:.0f}% at 32-GPM)"
+    )
+
+
+def _summ_fig7(result) -> str:
+    first, last = result.steps[0], result.steps[-1]
+    return (
+        f"incremental speedup: {first.incremental_speedup:.3f}x at first"
+        f" doubling, {last.incremental_speedup:.3f}x at the last"
+        f" (paper: 1.868x -> 1.47x)\n"
+        f"monolithic last-doubling speedup:"
+        f" {result.monolithic_16_to_32:.2f}x (paper: 1.81x)"
+    )
+
+
+def _summ_fig8(result) -> str:
+    top = result.studies[fig8_bandwidth.BANDWIDTH_ORDER[0]].scaled_counts[-1]
+    gain = result.edpse(BandwidthSetting.BW_4X, top) / result.edpse(
+        BandwidthSetting.BW_1X, top
+    )
+    return (
+        f"4x-BW / 1x-BW EDPSE gain at {top}-GPM: {gain:.2f}x"
+        " (paper: ~3x)"
+    )
+
+
+def _summ_fig9(result) -> str:
+    top = result.studies[fig9_switch.SERIES[0][0]].scaled_counts[-1]
+    gain = (
+        result.studies["Switch (1x-BW)"].mean_edpse(top)
+        / result.studies["Ring (1x-BW)"].mean_edpse(top)
+    )
+    return (
+        f"switch / ring EDPSE gain at {top}-GPM (same links):"
+        f" {gain:.2f}x (paper: ~2x)"
+    )
+
+
+def _summ_fig10(result) -> str:
+    order = fig10_speedup_energy.BANDWIDTH_ORDER
+    top = result.studies[order[0]].scaled_counts[-1]
+    reduction = (
+        1.0
+        - result.energy(BandwidthSetting.BW_4X, top)
+        / result.energy(BandwidthSetting.BW_1X, top)
+    ) * 100.0
+    return (
+        f"{top}-GPM energy reduction 1x->4x BW: {reduction:.1f}%"
+        " (paper: 45% incl. amortization, 27.4% bandwidth alone)"
+    )
+
+
+def _summ_figllm(result) -> str:
+    lines = []
+    for governor in figllm_study.STUDY_GOVERNORS:
+        if governor not in result.edpse:
+            continue
+        lines.append(
+            f"{governor}: mean EDPSE {result.mean_edpse(governor):.1f}%"
+            f" (decode grid {result.edpse[governor]['decode']:.1f}%)"
+        )
+    race = result.edpse["race-to-idle"]["decode"]
+    incumbent = result.edpse["utilization"]["decode"]
+    verdict = "holds" if race > incumbent else "DOES NOT HOLD"
+    lines.append(
+        f"decode-grid direction (race-to-idle {race:.1f}% >"
+        f" utilization {incumbent:.1f}%): {verdict}"
+    )
+    return "\n".join(lines)
+
+
+#: Every regenerable figure, in paper order.  The directory under
+#: ``results/`` is the registry key.
+FIGURES: dict[str, FigureJob] = {
+    job.name: job
+    for job in (
+        FigureJob(
+            name="fig2_energy_scaling",
+            title="energy cost of strong scaling (on-board, 1x-BW)",
+            run=lambda runner, quick: fig2_energy_scaling.run(
+                runner, **_scaling_kwargs(quick)
+            ),
+            summarize=_summ_fig2,
+        ),
+        FigureJob(
+            name="fig4_validation",
+            title="GPUJoule validation against silicon (4a + 4b)",
+            run=lambda runner, quick: fig4_validation.run(
+                runner,
+                **(
+                    {
+                        "workload_abbrs": QUICK_WORKLOADS,
+                        "spec_for": _quick_spec,
+                    }
+                    if quick
+                    else {}
+                ),
+            ),
+            summarize=_summ_fig4,
+        ),
+        FigureJob(
+            name="fig6_edpse_onpackage",
+            title="EDPSE vs GPM count (on-package, 2x-BW)",
+            run=lambda runner, quick: fig6_edpse_onpackage.run(
+                runner, **_scaling_kwargs(quick)
+            ),
+            summarize=_summ_fig6,
+        ),
+        FigureJob(
+            name="fig7_incremental",
+            title="incremental speedup and energy growth per doubling",
+            run=lambda runner, quick: fig7_incremental.run(
+                runner, **_scaling_kwargs(quick)
+            ),
+            summarize=_summ_fig7,
+        ),
+        FigureJob(
+            name="fig8_bandwidth",
+            title="EDPSE vs inter-GPM bandwidth (1x/2x/4x)",
+            run=lambda runner, quick: fig8_bandwidth.run(
+                runner, **_scaling_kwargs(quick)
+            ),
+            summarize=_summ_fig8,
+        ),
+        FigureJob(
+            name="fig9_switch",
+            title="on-board ring vs high-radix switch",
+            run=lambda runner, quick: fig9_switch.run(
+                runner, **_scaling_kwargs(quick)
+            ),
+            summarize=_summ_fig9,
+        ),
+        FigureJob(
+            name="fig10_speedup_energy",
+            title="speedup and normalized energy across the sweep",
+            run=lambda runner, quick: fig10_speedup_energy.run(
+                runner, **_scaling_kwargs(quick)
+            ),
+            summarize=_summ_fig10,
+        ),
+        FigureJob(
+            name="figllm_study",
+            title="LLM serving: governors on prefill/decode/tenant grids",
+            run=lambda runner, quick: figllm_study.run(runner, quick=quick),
+            summarize=_summ_figllm,
+        ),
+    )
+}
+
+
+def resolve_figures(names: tuple[str, ...] | None) -> list[FigureJob]:
+    """Map user-facing figure names to jobs, rejecting unknown ones."""
+    if not names:
+        return list(FIGURES.values())
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        raise ExperimentError(
+            f"unknown figure(s) {unknown}; known: {list(FIGURES)}"
+        )
+    return [FIGURES[name] for name in names]
+
+
+def run_figures(
+    names: tuple[str, ...] | None = None,
+    out_dir: str | Path = "results",
+    runner: SweepRunner | None = None,
+    quick: bool = False,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, Path]:
+    """Regenerate figure logs + summaries; return per-figure directories.
+
+    Full tier writes ``log.txt``/``summary.txt`` (the committed evidence);
+    quick tier writes ``quick.txt``/``quick_summary.txt`` (gitignored).
+    Output bytes are a pure function of the code and the figure grids —
+    no timestamps, hostnames, or float formatting left to chance.
+    """
+    jobs = resolve_figures(names)
+    runner = runner or SweepRunner()
+    out_dir = Path(out_dir)
+    log_name, summary_name = (
+        ("quick.txt", "quick_summary.txt") if quick else
+        ("log.txt", "summary.txt")
+    )
+    written: dict[str, Path] = {}
+    for job in jobs:
+        if echo is not None:
+            echo(f"[figures] {job.name}: {job.title}")
+        log, summary = job.build(runner, quick)
+        fig_dir = out_dir / job.name
+        fig_dir.mkdir(parents=True, exist_ok=True)
+        (fig_dir / log_name).write_text(log, encoding="utf-8")
+        (fig_dir / summary_name).write_text(summary, encoding="utf-8")
+        written[job.name] = fig_dir
+    return written

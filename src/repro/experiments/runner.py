@@ -496,5 +496,10 @@ class SweepRunner:
                         "guard": guard,
                         "scored_points": disposition.scored_points,
                         "predicted_rank": ranked[point.label()],
+                        **(
+                            {}
+                            if disposition.fallback is None
+                            else {"fallback": disposition.fallback}
+                        ),
                     }
         return pairs

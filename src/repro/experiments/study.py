@@ -84,6 +84,19 @@ class StudyResult:
         """Arithmetic-mean normalized energy over a category (None = all)."""
         return mean(w.energy_ratio(n) for w in self._subset(category))
 
+    @property
+    def scaled_counts(self) -> tuple[int, ...]:
+        """The GPM counts this study actually scaled to, ascending.
+
+        Figure renderers iterate this instead of the module-level
+        :data:`SCALED_GPM_COUNTS`, so reduced (``--quick``) grids render
+        without KeyErrors.
+        """
+        counts: set[int] = set()
+        for scaling in self.workloads.values():
+            counts.update(scaling.scaled)
+        return tuple(sorted(counts))
+
 
 def scaling_configs(
     bandwidth: BandwidthSetting,
@@ -109,6 +122,7 @@ def run_scaling_study(
     label: str,
     params_for: "callable | None" = None,
     workload_abbrs: tuple[str, ...] = SCALING_SUBSET,
+    spec_for: "callable | None" = None,
 ) -> StudyResult:
     """Simulate the workload subset on a baseline + scaled configs and price it.
 
@@ -120,22 +134,28 @@ def run_scaling_study(
             to :meth:`EnergyParams.for_config` (the §V-C point studies pass
             re-pricing functions here).
         workload_abbrs: which Table II workloads to include.
+        spec_for: optional ``f(abbr) -> WorkloadSpec`` override; the quick
+            figure tier passes shrunken specs here so a reduced study keeps
+            the full study's structure (and cache-key discipline) at a
+            fraction of the engine time.
     """
     if params_for is None:
         params_for = EnergyParams.for_config
+    if spec_for is None:
+        spec_for = WORKLOAD_SPECS.__getitem__
     base_config = baseline_config()
-    specs = [WORKLOAD_SPECS[abbr] for abbr in workload_abbrs]
+    specs = [spec_for(abbr) for abbr in workload_abbrs]
     all_configs = [base_config] + [configs[n] for n in sorted(configs)]
     grid = runner.run_grid(specs, all_configs)
 
     base_params = params_for(base_config)
     workloads: dict[str, WorkloadScaling] = {}
     base_records = grid[base_config.label()]
-    for abbr in workload_abbrs:
-        record = base_records[abbr]
+    for abbr, spec in zip(workload_abbrs, specs):
+        record = base_records[spec.abbr]
         workloads[abbr] = WorkloadScaling(
             workload=abbr,
-            category=WORKLOAD_SPECS[abbr].category,
+            category=spec.category,
             baseline=record.scaling_point(base_params),
         )
     for n in sorted(configs):

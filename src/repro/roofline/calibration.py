@@ -43,12 +43,15 @@ __all__ = [
 
 
 def golden_pairs() -> list[tuple[str, WorkloadSpec, GpuConfig]]:
-    """Every idle-free golden (case_name, spec, config), in suite order.
+    """Every roofline-scoreable golden (case_name, spec, config), in order.
 
-    Idle-configured goldens are excluded: the roofline model is idle-blind
-    (it prices every cycle at active power and knows nothing about gap
-    gating), so validating it against a sleeping run would fold the sleep
-    savings into the committed error bound as noise.
+    Two golden shapes are excluded, matching the screen's automatic
+    exhaustive fallbacks (docs/WORKLOADS.md §4): idle-configured goldens —
+    the roofline model is idle-blind (it prices every cycle at active power
+    and knows nothing about gap gating), so validating it against a
+    sleeping run would fold the sleep savings into the committed error
+    bound as noise — and phase-scheduled goldens, which the predictor
+    refuses outright (per-kernel mixes break the expectation counters).
     """
     from repro.tools.regen_goldens import (
         GOLDEN_CONFIGS,
@@ -60,6 +63,7 @@ def golden_pairs() -> list[tuple[str, WorkloadSpec, GpuConfig]]:
         (case_name, GOLDEN_SPECS[spec_key], GOLDEN_CONFIGS[config_key])
         for case_name, spec_key, config_key in golden_cases()
         if GOLDEN_CONFIGS[config_key].idle is None
+        and GOLDEN_SPECS[spec_key].phases is None
     ]
 
 

@@ -513,6 +513,12 @@ class RooflinePredictor:
         that arithmetic — not the predicted mean power — is what lands on
         the rungs the simulated run actually dwells at.
         """
+        if spec.phases is not None:
+            raise ExperimentError(
+                f"{spec.abbr}: the roofline model does not cover"
+                " phase-scheduled workloads (per-kernel mixes break the"
+                " expectation counters); run the simulator instead"
+            )
         dvfs = config.dvfs
         core_hz = (
             dvfs.core.frequency_hz

@@ -66,7 +66,11 @@ class ScreenDisposition:
     """Which grid points a screened sweep simulated, and why.
 
     ``entries`` is ordered by predicted rank (best first), so the first
-    ``simulated_points`` entries are exactly the simulated set.
+    ``simulated_points`` entries are exactly the simulated set.  When the
+    roofline model does not cover the run (``fallback`` is set), the screen
+    degrades to exhaustive: every point is simulated, nothing is scored,
+    and the reason is recorded — mirroring the sharded engine's recorded
+    fallback to the single-process path.
     """
 
     mode: str
@@ -74,6 +78,11 @@ class ScreenDisposition:
     top_k: int
     guard: int
     entries: tuple[ScreenEntry, ...]
+    #: Why screening was skipped (``None`` when the screen actually ranked):
+    #: ``"idle"`` — idle states configured, but idle goldens are excluded
+    #: from the roofline calibration; ``"phase-schedule"`` — the workload
+    #: has a phase schedule the closed-form counter model cannot represent.
+    fallback: str | None = None
 
     @property
     def scored_points(self) -> int:
@@ -95,6 +104,9 @@ class ScreenDisposition:
             "guard": self.guard,
             "scored_points": self.scored_points,
             "simulated_points": self.simulated_points,
+            # Only present on fallback runs, so screened manifests written
+            # before this field existed parse (and serialize) identically.
+            **({} if self.fallback is None else {"fallback": self.fallback}),
             "entries": [entry.to_json() for entry in self.entries],
         }
 
@@ -105,6 +117,7 @@ class ScreenDisposition:
             metric=data["metric"],
             top_k=data["top_k"],
             guard=data["guard"],
+            fallback=data.get("fallback"),
             entries=tuple(
                 ScreenEntry(
                     label=entry["label"],
@@ -116,6 +129,22 @@ class ScreenDisposition:
                 for entry in data["entries"]
             ),
         )
+
+
+def screen_fallback_reason(spec: WorkloadSpec, config: GpuConfig) -> str | None:
+    """Why the roofline screen must not prune this (spec, config) — or None.
+
+    The calibration excludes the idle goldens (sleep-state pricing is not in
+    the closed-form model), and phase-scheduled workloads have per-kernel
+    instruction mixes the expectation-counter model cannot represent.  In
+    either case a screened sweep silently pruning on garbage scores would be
+    a correctness bug, so the screen degrades to exhaustive instead.
+    """
+    if config.idle is not None:
+        return "idle"
+    if spec.phases is not None:
+        return "phase-schedule"
+    return None
 
 
 def screen_operating_points(
@@ -152,6 +181,28 @@ def screen_operating_points(
         raise ExperimentError(f"screen top-k must be >= 1, got {top_k}")
     if guard < 0:
         raise ExperimentError(f"screen guard must be >= 0, got {guard}")
+
+    reason = screen_fallback_reason(spec, config)
+    if reason is not None:
+        entries = tuple(
+            ScreenEntry(
+                label=point.label(),
+                frequency_hz=point.frequency_hz,
+                predicted_score=0.0,
+                bound="",
+                simulated=True,
+            )
+            for point in points
+        )
+        disposition = ScreenDisposition(
+            mode="roofline",
+            metric=metric,
+            top_k=top_k,
+            guard=guard,
+            entries=entries,
+            fallback=reason,
+        )
+        return tuple(points), disposition
 
     predictions = {
         point: predictor.predict(spec, expand(point)) for point in points

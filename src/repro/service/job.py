@@ -134,8 +134,44 @@ RECIPE_FIELDS = frozenset(
     {
         "workload", "ctas", "kernels", "full", "gpms", "topology",
         "bandwidth", "cap_watts", "core_mhz", "shards", "screen",
+        "phases", "tenants",
     }
 )
+
+#: Keys one ``phases`` entry may carry (``phase`` is required).
+PHASE_RECIPE_FIELDS = frozenset({"phase", "ctas", "kernels"})
+
+
+def _phase_entries(phases: Any) -> tuple[tuple[str, int, int], ...]:
+    """Decode/validate the ``phases`` recipe field into schedule entries."""
+    if not isinstance(phases, (list, tuple)) or not phases:
+        raise ConfigError(
+            "phases must be a non-empty list of phase objects"
+        )
+    entries = []
+    for entry in phases:
+        if not isinstance(entry, dict):
+            raise ConfigError(
+                f"each phase must be an object, got {type(entry).__name__}"
+            )
+        unknown = set(entry) - PHASE_RECIPE_FIELDS
+        if unknown:
+            raise ConfigError(
+                f"unknown phase field(s): {', '.join(sorted(unknown))}"
+            )
+        if "phase" not in entry:
+            raise ConfigError("each phase entry needs a 'phase' name")
+        name = entry["phase"]
+        if not isinstance(name, str):
+            raise ConfigError(
+                f"phase name must be a string, got {type(name).__name__}"
+            )
+        entries.append((
+            name,
+            int(entry.get("ctas", 256 if name == "prefill" else 16)),
+            int(entry.get("kernels", 1)),
+        ))
+    return tuple(entries)
 
 
 def request_from_recipe(recipe: dict) -> JobRequest:
@@ -156,7 +192,8 @@ def request_from_recipe(recipe: dict) -> JobRequest:
         TopologyKind,
         table_iii_config,
     )
-    from repro.workloads.suite import WORKLOAD_SPECS, shrunken_spec
+    from repro.workloads.llm import schedule_spec, validate_clients
+    from repro.workloads.suite import all_specs, shrunken_spec
 
     if not isinstance(recipe, dict):
         raise ConfigError(f"job recipe must be an object, got {type(recipe).__name__}")
@@ -165,26 +202,57 @@ def request_from_recipe(recipe: dict) -> JobRequest:
         raise ConfigError(
             f"unknown job recipe field(s): {', '.join(sorted(unknown))}"
         )
-    workload = recipe.get("workload")
-    if not isinstance(workload, str) or workload not in WORKLOAD_SPECS:
-        raise ConfigError(
-            f"workload must be one of {sorted(WORKLOAD_SPECS)}, got {workload!r}"
+    phases = recipe.get("phases")
+    tenants = recipe.get("tenants")
+    if tenants is not None and phases is None:
+        raise ConfigError("tenants requires a phases schedule")
+    if phases is not None:
+        # A phase schedule *is* the workload: the shrink knobs parameterize
+        # Table II namesakes and cannot also apply.
+        clashes = sorted(
+            {"workload", "ctas", "kernels", "full"} & set(recipe)
         )
-    try:
-        if recipe.get("full"):
-            spec = WORKLOAD_SPECS[workload]
-        else:
-            spec = shrunken_spec(
-                workload,
-                total_ctas=int(recipe.get("ctas", 64)),
-                # Same default as shrunken_spec; an explicit null keeps the
-                # namesake workload's own kernel count.
-                kernels=(
-                    1 if "kernels" not in recipe
-                    else None if recipe["kernels"] is None
-                    else int(recipe["kernels"])
+        if clashes:
+            raise ConfigError(
+                f"phases cannot be combined with: {', '.join(clashes)}"
+            )
+        if tenants is not None and not isinstance(tenants, (list, tuple)):
+            raise ConfigError("tenants must be a list of client ids")
+        try:
+            spec = schedule_spec(
+                _phase_entries(phases),
+                clients=(
+                    None if tenants is None
+                    else validate_clients(tuple(tenants))
                 ),
             )
+        except (TypeError, ValueError) as error:
+            raise ConfigError(str(error)) from error
+    else:
+        workload = recipe.get("workload")
+        specs = all_specs()
+        if not isinstance(workload, str) or workload not in specs:
+            raise ConfigError(
+                f"workload must be one of {sorted(specs)}, got {workload!r}"
+            )
+        try:
+            if recipe.get("full"):
+                spec = specs[workload]
+            else:
+                spec = shrunken_spec(
+                    workload,
+                    total_ctas=int(recipe.get("ctas", 64)),
+                    # Same default as shrunken_spec; an explicit null keeps
+                    # the namesake workload's own kernel count.
+                    kernels=(
+                        1 if "kernels" not in recipe
+                        else None if recipe["kernels"] is None
+                        else int(recipe["kernels"])
+                    ),
+                )
+        except (TypeError, ValueError) as error:
+            raise ConfigError(str(error)) from error
+    try:
         topology = TopologyKind(recipe.get("topology", "ring"))
         bandwidth = BandwidthSetting(recipe.get("bandwidth", "2x-BW"))
         config = table_iii_config(
@@ -217,10 +285,10 @@ def recipe_from_request(request: JobRequest) -> dict | None:
     specs, per-GPM DVFS, compression) returns ``None`` — callers fall back
     to in-process submission.
     """
-    from repro.workloads.suite import WORKLOAD_SPECS
+    from repro.workloads.suite import all_specs
 
     spec, config = request.spec, request.config
-    base = WORKLOAD_SPECS.get(spec.abbr)
+    base = all_specs().get(spec.abbr)
     if base is None:
         return None
     recipe: dict = {"workload": spec.abbr, "gpms": config.num_gpms}

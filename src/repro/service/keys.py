@@ -84,14 +84,27 @@ def config_fingerprint(config: GpuConfig) -> dict:
     }
 
 
-def spec_fingerprint(spec: WorkloadSpec) -> dict:
-    """Deterministic cache-key content for one workload specification."""
+def _canonical_mixes(mapping: dict) -> dict:
+    """Re-key any opcode-mix dict values by opcode name (JSON-safe)."""
     return {
         key: (value if not isinstance(value, dict) else
               {opcode.value: weight for opcode, weight in value.items()})
-        for key, value in asdict(spec).items()
-        if key != "compute_mix"
-    } | {"mix": {op.value: w for op, w in spec.compute_mix.items()}}
+        for key, value in mapping.items()
+    }
+
+
+def spec_fingerprint(spec: WorkloadSpec) -> dict:
+    """Deterministic cache-key content for one workload specification."""
+    fields = asdict(spec)
+    phases = fields.pop("phases", None)
+    return _canonical_mixes(
+        {key: value for key, value in fields.items() if key != "compute_mix"}
+    ) | {"mix": {op.value: w for op, w in spec.compute_mix.items()}} | (
+        # The phase schedule follows the optional-subsystem precedent:
+        # flat specs keep their (byte-pinned) pre-phase cache identity.
+        {} if phases is None
+        else {"phases": [_canonical_mixes(phase) for phase in phases]}
+    )
 
 
 def spec_hash(spec: WorkloadSpec) -> str:

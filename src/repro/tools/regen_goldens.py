@@ -41,7 +41,7 @@ from repro.isa.kernel import WorkloadCategory
 from repro.isa.opcodes import Opcode
 from repro.units import KIB
 from repro.workloads.generator import build_workload
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import PhaseSpec, WorkloadSpec
 
 #: Where the checked-in snapshots live.
 GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "regression" / "goldens"
@@ -94,6 +94,35 @@ GOLDEN_SPECS: dict[str, WorkloadSpec] = {
         hot_block_bytes=2 * KIB,
         frac_stream=0.8, frac_reuse=0.2, frac_halo=0.0, frac_shared=0.0,
         store_fraction=0.25, seed=13,
+    ),
+    # A phase-scheduled prefill/decode pair: the LLM-serving shape in
+    # miniature.  The compute-dense prefill phase runs wide (32 CTAs), the
+    # decode phase runs a 9-CTA straggler wave streaming the interleaved
+    # shared region — pinning the per-kernel effective-spec generation and
+    # the phased cache-key path end to end.
+    "llm-micro": WorkloadSpec(
+        name="Golden LLM", abbr="llm-micro",
+        category=WorkloadCategory.MEMORY,
+        total_ctas=32, warps_per_cta=2, segments_per_warp=4,
+        footprint_bytes=512 * KIB, shared_footprint_bytes=64 * KIB,
+        hot_block_bytes=2 * KIB,
+        phases=(
+            PhaseSpec(
+                name="prefill", kernels=2,
+                compute_per_segment=8, accesses_per_segment=1,
+                compute_mix={Opcode.FFMA32: 0.8, Opcode.IMAD32: 0.2},
+                frac_stream=0.8, frac_reuse=0.1, frac_halo=0.0,
+                frac_shared=0.1, store_fraction=0.15,
+            ),
+            PhaseSpec(
+                name="decode", kernels=3, total_ctas=9,
+                compute_per_segment=1, accesses_per_segment=4,
+                compute_mix={Opcode.IMAD32: 0.6, Opcode.FFMA32: 0.4},
+                frac_stream=0.15, frac_reuse=0.1, frac_halo=0.0,
+                frac_shared=0.75, store_fraction=0.05, seed_offset=1,
+            ),
+        ),
+        seed=17,
     ),
 }
 

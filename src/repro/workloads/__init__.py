@@ -1,20 +1,35 @@
-"""The Table II workload suite as parameterized synthetic traces."""
+"""The Table II workload suite (plus LLM serving) as synthetic traces."""
 
-from repro.workloads.spec import WorkloadSpec
+from repro.workloads.spec import PhaseSpec, WorkloadSpec
 from repro.workloads.generator import build_workload
+from repro.workloads.llm import (
+    LLM_WORKLOAD_SPECS,
+    decode_phase,
+    multi_tenant_spec,
+    prefill_phase,
+    serving_spec,
+)
 from repro.workloads.suite import (
     SCALING_SUBSET,
     WORKLOAD_SPECS,
+    all_specs,
     get_spec,
     scaling_workloads,
     validation_workloads,
 )
 
 __all__ = [
+    "PhaseSpec",
     "WorkloadSpec",
     "build_workload",
+    "LLM_WORKLOAD_SPECS",
+    "decode_phase",
+    "multi_tenant_spec",
+    "prefill_phase",
+    "serving_spec",
     "SCALING_SUBSET",
     "WORKLOAD_SPECS",
+    "all_specs",
     "get_spec",
     "scaling_workloads",
     "validation_workloads",

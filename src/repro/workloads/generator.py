@@ -306,18 +306,26 @@ class WarpProgramBuilder:
 
 
 def build_workload(spec: WorkloadSpec) -> Workload:
-    """Materialize a workload's kernel launch sequence from its spec."""
+    """Materialize a workload's kernel launch sequence from its spec.
+
+    Phase-scheduled specs expand into one kernel per schedule slot, each
+    generated from that phase's effective spec; the *global* kernel index
+    keys the address/mix synthesis, so two phases never replay the same
+    stream even when their overrides coincide.  The footprint (and with it
+    the interleaved shared-region base) is global to the spec, so every
+    phase sees the same KV-cache-like shared region.
+    """
     if spec.kernels <= 0:
         raise TraceError(f"{spec.name}: needs at least one kernel")
     kernels = []
-    for index in range(spec.kernels):
-        builder = WarpProgramBuilder(spec, index)
+    for index, kernel_spec in enumerate(spec.kernel_specs()):
+        builder = WarpProgramBuilder(kernel_spec, index)
         builder.prewarm()
         kernels.append(
             Kernel(
                 name=f"{spec.abbr}.k{index}",
-                num_ctas=spec.total_ctas,
-                warps_per_cta=spec.warps_per_cta,
+                num_ctas=kernel_spec.total_ctas,
+                warps_per_cta=kernel_spec.warps_per_cta,
                 program_factory=builder,
             )
         )

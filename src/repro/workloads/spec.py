@@ -22,11 +22,87 @@ Access-type fractions partition every warp's global accesses:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.isa.kernel import WorkloadCategory
 from repro.isa.opcodes import Opcode
+
+#: WorkloadSpec fields a phase may override (everything shape-local; the
+#: footprint stays global so the interleaved shared region has one base).
+PHASE_OVERRIDABLE = (
+    "total_ctas",
+    "warps_per_cta",
+    "segments_per_warp",
+    "compute_per_segment",
+    "compute_mix",
+    "accesses_per_segment",
+    "shared_footprint_bytes",
+    "hot_block_bytes",
+    "frac_stream",
+    "frac_reuse",
+    "frac_halo",
+    "frac_shared",
+    "store_fraction",
+    "shared_mem_fraction",
+    "stride_lines",
+)
+
+_FRACTION_FIELDS = ("frac_stream", "frac_reuse", "frac_halo", "frac_shared")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a phase-scheduled workload (e.g. prefill or decode).
+
+    A phase names a contiguous run of ``kernels`` kernel launches and may
+    override the shape-local knobs of the parent :class:`WorkloadSpec`
+    (``None`` means "inherit").  The four access fractions must be
+    overridden together or not at all, since they partition the accesses.
+    ``seed_offset`` decorrelates the phase's (and, through the multi-tenant
+    composer, each tenant's) address streams from the parent seed.
+    """
+
+    name: str
+    kernels: int = 1
+    total_ctas: int | None = None
+    warps_per_cta: int | None = None
+    segments_per_warp: int | None = None
+    compute_per_segment: int | None = None
+    compute_mix: dict[Opcode, float] | None = None
+    accesses_per_segment: int | None = None
+    shared_footprint_bytes: int | None = None
+    hot_block_bytes: int | None = None
+    frac_stream: float | None = None
+    frac_reuse: float | None = None
+    frac_halo: float | None = None
+    frac_shared: float | None = None
+    store_fraction: float | None = None
+    shared_mem_fraction: float | None = None
+    stride_lines: int | None = None
+    seed_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("phase name must be non-empty")
+        overridden = [
+            field_name for field_name in _FRACTION_FIELDS
+            if getattr(self, field_name) is not None
+        ]
+        if overridden and len(overridden) != len(_FRACTION_FIELDS):
+            raise ConfigError(
+                f"phase {self.name!r}: access fractions must be overridden"
+                " together (they partition the accesses)"
+            )
+
+    def overrides(self) -> dict:
+        """The non-``None`` :data:`PHASE_OVERRIDABLE` fields, by name."""
+        return {
+            field_name: getattr(self, field_name)
+            for field_name in PHASE_OVERRIDABLE
+            if getattr(self, field_name) is not None
+        }
 
 
 @dataclass(frozen=True)
@@ -65,9 +141,31 @@ class WorkloadSpec:
     shared_mem_fraction: float = 0.0   # of all accesses, diverted to LDS
     stride_lines: int = 1
 
+    #: Optional phase schedule (LLM-style serving: prefill/decode/tenant
+    #: interleavings).  When set, ``kernels`` is derived as the sum of the
+    #: per-phase kernel counts and each kernel is generated from that
+    #: phase's *effective* spec (the parent spec with the phase overrides
+    #: applied — see :meth:`phase_specs`).
+    phases: tuple[PhaseSpec, ...] | None = None
+
     seed: int = 1
 
     def __post_init__(self) -> None:
+        if self.phases is not None:
+            if not self.phases:
+                raise ConfigError(
+                    f"{self.name}: phase schedule must name at least one phase"
+                )
+            object.__setattr__(
+                self, "phases", tuple(self.phases)
+            )
+            object.__setattr__(
+                self, "kernels", sum(phase.kernels for phase in self.phases)
+            )
+            # Building every effective spec validates each phase eagerly
+            # (a zero-CTA decode phase fails here, at construction, not
+            # deep inside the generator).
+            self.phase_specs()
         if self.total_ctas <= 0 or self.warps_per_cta <= 0:
             raise ConfigError(f"{self.name}: grid dimensions must be positive")
         if self.kernels <= 0 or self.segments_per_warp <= 0:
@@ -107,6 +205,45 @@ class WorkloadSpec:
 
     # ---------------------------------------------------------------- derived
 
+    def phase_specs(self) -> tuple[tuple[PhaseSpec, "WorkloadSpec"], ...]:
+        """Each phase paired with its *effective* (flat) spec.
+
+        The effective spec is this spec with the phase's overrides applied,
+        ``kernels`` set to the phase's kernel count, the seed offset folded
+        in, and ``phases`` cleared — so it is an ordinary single-schedule
+        spec the generator (and its validation) already understands.
+        """
+        if self.phases is None:
+            return ()
+        return tuple(
+            (
+                phase,
+                dataclasses.replace(
+                    self,
+                    name=f"{self.name}:{phase.name}",
+                    kernels=phase.kernels,
+                    seed=self.seed + phase.seed_offset,
+                    phases=None,
+                    **phase.overrides(),
+                ),
+            )
+            for phase in self.phases
+        )
+
+    def kernel_specs(self) -> tuple["WorkloadSpec", ...]:
+        """The effective spec governing each kernel launch, in launch order.
+
+        Flat specs repeat themselves ``kernels`` times; phased specs expand
+        the schedule.  ``len(spec.kernel_specs()) == spec.kernels`` always.
+        """
+        if self.phases is None:
+            return (self,) * self.kernels
+        return tuple(
+            effective
+            for phase, effective in self.phase_specs()
+            for _ in range(phase.kernels)
+        )
+
     @property
     def cta_region_bytes(self) -> int:
         """Bytes of the partitioned footprint owned by each CTA."""
@@ -115,6 +252,11 @@ class WorkloadSpec:
     @property
     def total_warp_instructions(self) -> int:
         """Total dynamic warp instructions across the whole workload."""
+        if self.phases is not None:
+            return sum(
+                effective.total_warp_instructions
+                for _phase, effective in self.phase_specs()
+            )
         per_segment = self.compute_per_segment + self.accesses_per_segment
         return (
             self.total_ctas
@@ -126,6 +268,11 @@ class WorkloadSpec:
 
     @property
     def total_accesses(self) -> int:
+        if self.phases is not None:
+            return sum(
+                effective.total_accesses
+                for _phase, effective in self.phase_specs()
+            )
         return (
             self.total_ctas
             * self.warps_per_cta

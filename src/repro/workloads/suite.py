@@ -304,12 +304,20 @@ SCALING_SUBSET: tuple[str, ...] = tuple(
 )
 
 
+def all_specs() -> dict[str, WorkloadSpec]:
+    """Every registered spec: the Table II suite plus the LLM family."""
+    from repro.workloads.llm import LLM_WORKLOAD_SPECS
+
+    return {**WORKLOAD_SPECS, **LLM_WORKLOAD_SPECS}
+
+
 def get_spec(abbr: str) -> WorkloadSpec:
-    """Look up one workload spec by its Table II abbreviation."""
-    spec = WORKLOAD_SPECS.get(abbr)
+    """Look up one spec by abbreviation (Table II or the LLM family)."""
+    specs = all_specs()
+    spec = specs.get(abbr)
     if spec is None:
         raise ConfigError(
-            f"unknown workload {abbr!r}; known: {sorted(WORKLOAD_SPECS)}"
+            f"unknown workload {abbr!r}; known: {sorted(specs)}"
         )
     return spec
 
@@ -322,21 +330,44 @@ def shrunken_spec(
     Shrinks the grid to ``total_ctas`` CTAs (and optionally to ``kernels``
     launches) while scaling the memory footprints proportionally, so the
     shrunken workload keeps its namesake's locality character but simulates
-    in well under a second.
+    in well under a second.  Phase-scheduled specs shrink per phase: each
+    phase's CTA count scales by the same ratio as the top-level grid and
+    ``kernels`` caps the launches *per phase*, preserving the schedule's
+    alternation instead of flattening it.
     """
     spec = get_spec(abbr)
     if total_ctas <= 0:
         raise ConfigError(f"total_ctas must be positive, got {total_ctas}")
     total_ctas = min(total_ctas, spec.total_ctas)
     factor = max(1, spec.total_ctas // total_ctas)
+    shrunken_phases = None
+    if spec.phases is not None:
+        shrunken_phases = tuple(
+            dataclasses.replace(
+                phase,
+                kernels=(
+                    phase.kernels if kernels is None
+                    else min(phase.kernels, kernels)
+                ),
+                total_ctas=(
+                    None if phase.total_ctas is None
+                    else max(1, phase.total_ctas // factor)
+                ),
+            )
+            for phase in spec.phases
+        )
     return dataclasses.replace(
         spec,
         total_ctas=total_ctas,
-        kernels=kernels if kernels is not None else spec.kernels,
+        kernels=(
+            spec.kernels if kernels is None or spec.phases is not None
+            else kernels
+        ),
         footprint_bytes=max(spec.footprint_bytes // factor, total_ctas * 128),
         shared_footprint_bytes=max(
             spec.shared_footprint_bytes // factor, 128 * 128
         ),
+        phases=shrunken_phases,
     )
 
 

@@ -105,3 +105,19 @@ class TestSubsystemGating:
         a, b = table_iii_config(4), table_iii_config(4)
         assert a is not b
         assert keys.cache_key(spec, a) == keys.cache_key(spec, b)
+
+    def test_flat_spec_fingerprint_has_no_phases_section(self):
+        # Phase schedules are an optional subsystem like caps/DVFS: absent
+        # from flat-spec fingerprints so every pre-phase key stays valid.
+        fingerprint = keys.spec_fingerprint(_spec("Stream"))
+        assert "phases" not in fingerprint
+
+    def test_phase_schedule_changes_the_key(self):
+        config = table_iii_config(4)
+        flat = shrunken_spec("Stream", total_ctas=16)
+        phased = shrunken_spec("LLMServe", total_ctas=16, kernels=1)
+        assert "phases" in keys.spec_fingerprint(phased)
+        assert keys.cache_key(flat, config) != keys.cache_key(phased, config)
+        # Deterministic: an identical schedule maps to the identical key.
+        again = shrunken_spec("LLMServe", total_ctas=16, kernels=1)
+        assert keys.cache_key(phased, config) == keys.cache_key(again, config)

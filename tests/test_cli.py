@@ -164,6 +164,41 @@ class TestUnifiedErrorHandling:
                 # surfaces through the same guard.
                 ["submit", "Stream", "--ctas", "8", "--port", "1"],
             ),
+            # Malformed phase/tenant recipes: rejected by eager local
+            # admission validation (no server contact, no engine time).
+            (
+                "submit",
+                # Unknown phase name.
+                ["submit", "--phases", "refill:8:1", "--port", "1"],
+            ),
+            (
+                "submit",
+                # Zero-CTA decode phase.
+                ["submit", "--phases", "decode:0:1", "--port", "1"],
+            ),
+            (
+                "submit",
+                # Malformed schedule text (missing the ctas field).
+                ["submit", "--phases", "decode", "--port", "1"],
+            ),
+            (
+                "submit",
+                # Duplicate tenant client ids.
+                ["submit", "--phases", "decode:8:1", "--tenants", "a,a",
+                 "--port", "1"],
+            ),
+            (
+                "submit",
+                # Tenants without a phase schedule own nothing.
+                ["submit", "Stream", "--tenants", "a,b", "--port", "1"],
+            ),
+            (
+                "submit",
+                # A schedule and a named workload cannot both win.
+                ["submit", "Stream", "--phases", "decode:8:1",
+                 "--port", "1"],
+            ),
+            ("figures", ["figures", "--quick", "--shards", "0"]),
             ("sweetspot", ["sweetspot", "--shards", "0"]),
         ],
     )
@@ -176,7 +211,7 @@ class TestUnifiedErrorHandling:
 
     def test_serve_and_submit_are_dispatched(self, capsys):
         # --help exits 0 through argparse, proving the subcommands exist.
-        for name in ("serve", "submit", "idlestudy"):
+        for name in ("serve", "submit", "idlestudy", "figures"):
             with pytest.raises(SystemExit) as excinfo:
                 main([name, "--help"])
             assert excinfo.value.code == 0
